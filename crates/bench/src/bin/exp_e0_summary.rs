@@ -1,0 +1,95 @@
+//! E0 — headline summary: every algorithm side by side.
+//!
+//! The "Table 1" the paper never printed: on one set of workloads,
+//! compare the classical baseline, the paper's three unweighted
+//! algorithms, and the weighted family — ratio, rounds, messages, and
+//! maximum message size. This is the at-a-glance version of the claims
+//! detailed in E1–E13.
+
+use bench_harness::{banner, f3, Table};
+use dgraph::generators::random::{bipartite_regular, gnp};
+use dgraph::generators::weights::{apply_weights, WeightModel};
+use dmatch::runner::{self, Algorithm, TerminationMode};
+use dmatch::weighted::MwmBox;
+
+fn main() {
+    banner("E0", "all algorithms at a glance", "the whole paper");
+
+    println!("--- unweighted, general graph: G(n=512, d̄=6)");
+    let g = gnp(512, 6.0 / 512.0, 99);
+    let opt = dgraph::blossom::max_matching(&g).size();
+    println!("    blossom optimum = {opt} edges\n");
+    let mut t = Table::new(vec!["algorithm", "guarantee", "ratio", "rounds", "messages", "maxmsg(bits)"]);
+    for (alg, bound) in [
+        (Algorithm::IsraeliItai, "1/2".to_string()),
+        (Algorithm::Generic { k: 2 }, "2/3".to_string()),
+        (Algorithm::Generic { k: 3 }, "3/4".to_string()),
+        (Algorithm::General { k: 2, early_stop: Some(15) }, "1/2 whp".to_string()),
+        (Algorithm::General { k: 3, early_stop: Some(15) }, "2/3 whp".to_string()),
+    ] {
+        let r = runner::run(&g, None, alg, 5, TerminationMode::Oracle);
+        t.row(vec![
+            r.name.clone(),
+            bound,
+            f3(r.mcm_ratio(&g)),
+            r.stats.rounds.to_string(),
+            r.stats.messages.to_string(),
+            r.stats.max_msg_bits.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n--- unweighted, bipartite: 3-regular, 512 + 512 nodes");
+    let (bg, sides) = bipartite_regular(512, 3, 7);
+    let bopt = dgraph::hopcroft_karp::max_matching(&bg, &sides).size();
+    println!("    Hopcroft–Karp optimum = {bopt} edges\n");
+    let mut t = Table::new(vec!["algorithm", "guarantee", "ratio", "rounds", "messages", "maxmsg(bits)"]);
+    for k in [2usize, 3, 5] {
+        let r = runner::run(&bg, Some(&sides), Algorithm::Bipartite { k }, 3, TerminationMode::Oracle);
+        t.row(vec![
+            r.name.clone(),
+            format!("1-1/{k}"),
+            f3(r.mcm_ratio(&bg)),
+            r.stats.rounds.to_string(),
+            r.stats.messages.to_string(),
+            r.stats.max_msg_bits.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n--- weighted, general graph: G(n=256, d̄=6), exponential weights");
+    let wg = apply_weights(&gnp(256, 6.0 / 256.0, 42), WeightModel::Exponential(2.0), 43);
+    let wref = runner::mwm_reference(&wg, None);
+    println!("    reference optimum/bound = {wref:.2}\n");
+    let mut t = Table::new(vec!["algorithm", "guarantee", "ratio", "rounds", "messages", "maxmsg(bits)"]);
+    for (alg, bound) in [
+        (Algorithm::DeltaMwm { mwm_box: MwmBox::LocalDominant }, "1/2 (O(n) rds)".to_string()),
+        (Algorithm::DeltaMwm { mwm_box: MwmBox::SeqClass }, "1/4".to_string()),
+        (Algorithm::Weighted { epsilon: 0.2, mwm_box: MwmBox::SeqClass }, "1/2-0.2".to_string()),
+        (Algorithm::Weighted { epsilon: 0.05, mwm_box: MwmBox::SeqClass }, "1/2-0.05".to_string()),
+    ] {
+        let r = runner::run(&wg, None, alg, 9, TerminationMode::Oracle);
+        t.row(vec![
+            r.name.clone(),
+            bound,
+            f3(r.mwm_ratio(&wg, None)),
+            r.stats.rounds.to_string(),
+            r.stats.messages.to_string(),
+            r.stats.max_msg_bits.to_string(),
+        ]);
+    }
+    // The Remark extension, on a size the exact DP can certify.
+    let small = apply_weights(&gnp(18, 0.3, 8), WeightModel::Uniform(0.5, 4.0), 9);
+    let sopt = dgraph::mwm_exact::max_weight_exact(&small);
+    let fa = dmatch::weighted::full_approx::run(&small, 3, 0.02, 1);
+    t.row(vec![
+        "(1-ε)-MWM remark (n=18, exact ref)".to_string(),
+        "3/4·0.98".to_string(),
+        f3(fa.matching.weight(&small) / sopt),
+        fa.stats.rounds.to_string(),
+        fa.stats.messages.to_string(),
+        fa.stats.max_msg_bits.to_string(),
+    ]);
+    t.print();
+    println!("\n(Ratios for n=256 weighted rows are against a certified upper bound, so they\nunderstate true quality; the exact-reference row shows the real headroom.)");
+}

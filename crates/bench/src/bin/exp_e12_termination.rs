@@ -1,0 +1,45 @@
+//! E12 — ablation: oracle vs. honest termination detection.
+//!
+//! The paper (standard in the field) does not charge for detecting
+//! "no augmenting path remains". Our runner supports an honest mode in
+//! which every global check runs a measured BFS-tree convergecast +
+//! broadcast (`O(D)` rounds). This experiment quantifies the overhead.
+
+use bench_harness::{banner, f2, Table};
+use dgraph::generators::random::gnp;
+use dmatch::runner::{self, Algorithm, TerminationMode};
+
+fn main() {
+    banner("E12", "termination detection: oracle vs honest convergecast", "Section 2 conventions (ablation)");
+
+    let mut t = Table::new(vec![
+        "n", "algorithm", "checks", "oracle rounds", "honest rounds", "overhead×",
+    ]);
+    for &n in &[64usize, 256, 1024] {
+        // Dense enough to be connected (honest mode needs connectivity).
+        let g = gnp(n, (2.5 * (n as f64).ln()) / n as f64, 3);
+        assert_eq!(g.components(), 1, "test graph must be connected");
+        for alg in [
+            Algorithm::General { k: 2, early_stop: Some(10) },
+            Algorithm::Weighted { epsilon: 0.2, mwm_box: dmatch::weighted::MwmBox::SeqClass },
+        ] {
+            let o = runner::run(&g, None, alg, 5, TerminationMode::Oracle);
+            let h = runner::run(&g, None, alg, 5, TerminationMode::Honest);
+            assert_eq!(o.matching.size(), h.matching.size(), "modes must agree on output");
+            t.row(vec![
+                n.to_string(),
+                o.name.clone(),
+                o.oracle_checks.to_string(),
+                o.stats.rounds.to_string(),
+                h.stats.rounds.to_string(),
+                f2(h.stats.rounds as f64 / o.stats.rounds.max(1) as f64),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nExpected shape: honest mode multiplies rounds by a modest constant — each of\n\
+         the `checks` global consultations costs one convergecast (O(D) rounds, small on\n\
+         these low-diameter graphs). The computed matchings are identical in both modes."
+    );
+}

@@ -1,0 +1,59 @@
+//! E13 — the Section 4 Remark: `(1-ε)`-MWM via short weighted
+//! augmentations (Hougardy–Vinkemeier adapted with Algorithm 2).
+//!
+//! The paper states the result and omits the details; we implement it
+//! (`dmatch::weighted::full_approx`) and measure: achieved ratio vs.
+//! the `k/(k+1)` target for growing `k`, the contrast with Algorithm
+//! 5's `(½-ε)` on the same instances, and the cost in rounds and
+//! message size (linear-size messages, like Theorem 3.1).
+
+use bench_harness::{banner, f3, mean, Table};
+use dgraph::generators::random::gnp;
+use dgraph::generators::weights::{apply_weights, WeightModel};
+use dmatch::weighted::{self, full_approx, MwmBox};
+
+fn main() {
+    banner("E13", "(1-ε)-MWM extension (Remark, Section 4)", "Hougardy–Vinkemeier [14] + Algorithm 2");
+
+    let mut t = Table::new(vec![
+        "k", "target k/(k+1)", "ratio(min/mean)", "alg5 ½-ε ratio(mean)", "iters(mean)", "rounds(mean)",
+    ]);
+    for k in [1usize, 2, 3, 4] {
+        let mut ratios = Vec::new();
+        let mut alg5 = Vec::new();
+        let mut iters = Vec::new();
+        let mut rounds = Vec::new();
+        for seed in 0..5u64 {
+            let g = apply_weights(&gnp(16, 0.3, 700 + seed), WeightModel::Uniform(0.5, 4.0), seed);
+            let opt = dgraph::mwm_exact::max_weight_exact(&g);
+            if opt <= 0.0 {
+                continue;
+            }
+            let r = full_approx::run(&g, k, 0.02, seed);
+            ratios.push(r.matching.weight(&g) / opt);
+            iters.push(r.iterations as f64);
+            rounds.push(r.stats.rounds as f64);
+            let a5 = weighted::run(&g, 0.1, MwmBox::SeqClass, seed);
+            alg5.push(a5.matching.weight(&g) / opt);
+        }
+        t.row(vec![
+            k.to_string(),
+            f3(k as f64 / (k as f64 + 1.0)),
+            format!(
+                "{}/{}",
+                f3(ratios.iter().cloned().fold(f64::INFINITY, f64::min)),
+                f3(mean(&ratios))
+            ),
+            f3(mean(&alg5)),
+            f3(mean(&iters)),
+            f3(mean(&rounds)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nExpected shape: the min ratio clears k/(k+1)·(1-δ) at every k and approaches 1,\n\
+         strictly dominating Algorithm 5's ½-ε guarantee on the same instances (though\n\
+         Algorithm 5 often overshoots its bound on random inputs). Cost: O(k²) improvement\n\
+         iterations, each with a radius-2(2k+1) gathering of linear-size messages."
+    );
+}

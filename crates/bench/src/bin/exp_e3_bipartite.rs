@@ -1,0 +1,56 @@
+//! E3 — Theorem 3.8: bipartite `(1-1/k)`-MCM with small messages.
+//!
+//! Paper claim: `O(k³ log Δ + k² log n)` rounds with `O(log Δ)`-bit
+//! messages. We sweep `k` and the degree `Δ` on random regular and
+//! G(n,p) bipartite graphs, reporting the achieved ratio (vs. the
+//! Hopcroft–Karp optimum), measured rounds, the normalization
+//! `rounds / (k³ log₂Δ + k² log₂n)` (should be roughly flat), and the
+//! maximum message size (should track `log Δ`, not `n`).
+
+use bench_harness::{banner, f2, f3, Table};
+use dgraph::generators::random::{bipartite_gnp, bipartite_regular};
+
+fn main() {
+    banner("E3", "bipartite small-message algorithm", "Theorem 3.8 / Section 3.2");
+
+    let mut t = Table::new(vec![
+        "graph", "n", "Δ", "k", "bound", "ratio", "rounds", "rounds/norm", "maxmsg(bits)",
+    ]);
+    let mut run_case = |label: &str, g: &dgraph::Graph, sides: &[bool], k: usize, seed: u64| {
+        let out = dmatch::bipartite::run(g, sides, k, seed);
+        let opt = dgraph::hopcroft_karp::max_matching(g, sides).size();
+        let ratio = if opt == 0 { 1.0 } else { out.matching.size() as f64 / opt as f64 };
+        let delta = g.max_degree().max(2) as f64;
+        let norm = (k as f64).powi(3) * delta.log2() + (k as f64).powi(2) * (g.n() as f64).log2();
+        t.row(vec![
+            label.to_string(),
+            g.n().to_string(),
+            g.max_degree().to_string(),
+            k.to_string(),
+            f3(1.0 - 1.0 / k as f64),
+            f3(ratio),
+            out.stats.rounds.to_string(),
+            f2(out.stats.rounds as f64 / norm),
+            out.stats.max_msg_bits.to_string(),
+        ]);
+    };
+
+    for &side in &[128usize, 512, 2048] {
+        for k in [2usize, 3, 5] {
+            let (g, sides) = bipartite_regular(side, 3, 42 + side as u64);
+            run_case("3-regular", &g, &sides, k, 7 * k as u64);
+        }
+    }
+    for &side in &[128usize, 512] {
+        for k in [2usize, 3] {
+            let (g, sides) = bipartite_gnp(side, side, 8.0 / side as f64, 9 + side as u64);
+            run_case("gnp(d̄=8)", &g, &sides, k, 11 * k as u64);
+        }
+    }
+    t.print();
+    println!(
+        "\nExpected shape: ratio ≥ bound always; rounds/norm roughly constant (the\n\
+         O(k³logΔ + k²logn) shape); max message a few dozen bits regardless of n\n\
+         (tokens: 98 bits; counts: O(ℓ·logΔ) bits) — the CONGEST claim."
+    );
+}

@@ -1,0 +1,53 @@
+//! E4 — Theorem 3.11 / Algorithm 4: general graphs by red/blue
+//! sampling.
+//!
+//! Paper claim: `2^{2k+1}(k+1)ln k` sampling iterations suffice for a
+//! `(1-1/k)`-MCM whp. We compare (a) the paper's iteration budget with
+//! (b) the empirically sufficient iterations (early stop once 25
+//! consecutive iterations find nothing), on non-bipartite inputs where
+//! odd cycles make the bipartite machinery inapplicable directly.
+
+use bench_harness::{banner, f3, Table};
+use dgraph::generators::random::gnp;
+use dgraph::generators::structured::cycle;
+use dmatch::general::{self, GeneralOpts};
+
+fn main() {
+    banner("E4", "general graphs via random bipartization", "Theorem 3.11 / Algorithm 4");
+
+    let mut t = Table::new(vec![
+        "graph", "n", "k", "bound", "ratio", "paper iters", "used iters", "applied", "rounds",
+    ]);
+    let cases: Vec<(&str, dgraph::Graph)> = vec![
+        ("gnp(0.1)", gnp(60, 0.1, 5)),
+        ("gnp(0.25)", gnp(40, 0.25, 6)),
+        ("C51", cycle(51)),
+        ("gnp(0.05)", gnp(120, 0.05, 7)),
+    ];
+    for (label, g) in &cases {
+        for k in [2usize, 3] {
+            let opts = GeneralOpts { iterations: None, early_stop_after: Some(25) };
+            let r = general::run_with(g, k, 17 + k as u64, opts);
+            let opt = dgraph::blossom::max_matching(g).size();
+            let ratio = if opt == 0 { 1.0 } else { r.matching.size() as f64 / opt as f64 };
+            t.row(vec![
+                label.to_string(),
+                g.n().to_string(),
+                k.to_string(),
+                f3(1.0 - 1.0 / k as f64),
+                f3(ratio),
+                general::iteration_bound(k).to_string(),
+                r.iterations.to_string(),
+                r.applied.to_string(),
+                r.stats.rounds.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nExpected shape: ratio ≥ bound on every row (whp); the empirically sufficient\n\
+         iteration count sits far below the paper's worst-case budget 2^(2k+1)(k+1)ln k —\n\
+         the bound is driven by the 2^-2k survival probability of a whole path, which is\n\
+         pessimistic on average inputs."
+    );
+}

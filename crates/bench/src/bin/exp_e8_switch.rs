@@ -1,0 +1,71 @@
+//! E8 — the introduction's application: input-queued switch scheduling.
+//!
+//! The paper motivates matching quality with switch throughput and
+//! cites PIM [3] and iSLIP [23] as the practical lineage of
+//! Israeli–Itai. We sweep offered load under uniform, diagonal, and
+//! bursty traffic and report normalized throughput and mean delay per
+//! scheduler, including the paper's algorithms as schedulers.
+
+use bench_harness::{banner, f2, f3, Table};
+use switchsim::{SchedulerKind, SimConfig, Simulator, TrafficModel};
+
+fn main() {
+    banner("E8", "switch scheduling: throughput & delay under load", "Introduction ¶2 + [3], [23]");
+
+    let ports = 8usize;
+    let cycles = 3000u64;
+    let schedulers = [
+        SchedulerKind::Pim { iterations: 1 },
+        SchedulerKind::Islip { iterations: 1 },
+        SchedulerKind::Islip { iterations: 3 },
+        SchedulerKind::DistMaximal,
+        SchedulerKind::Ilqf { iterations: 2 },
+        SchedulerKind::LpsBipartite { k: 2 },
+        SchedulerKind::MaxCardinality,
+        SchedulerKind::MaxWeight,
+    ];
+    for traffic in [
+        TrafficModel::Uniform { load: 0.0 },
+        TrafficModel::Diagonal { load: 0.0 },
+        TrafficModel::Bursty { load: 0.0, mean_burst: 16.0 },
+    ] {
+        println!("\n--- traffic: {} ({} ports, {} cycles) — delivery ratio | mean delay", traffic.label(), ports, cycles);
+        let mut t = Table::new(vec!["scheduler", "ρ=0.5", "ρ=0.7", "ρ=0.85", "ρ=0.95"]);
+        for kind in schedulers {
+            let mut cells = Vec::new();
+            for &load in &[0.5, 0.7, 0.85, 0.95] {
+                let model = match traffic {
+                    TrafficModel::Uniform { .. } => TrafficModel::Uniform { load },
+                    TrafficModel::Diagonal { .. } => TrafficModel::Diagonal { load },
+                    TrafficModel::Bursty { mean_burst, .. } => {
+                        TrafficModel::Bursty { load, mean_burst }
+                    }
+                    TrafficModel::Hotspot { frac, .. } => TrafficModel::Hotspot { load, frac },
+                };
+                let cfg = SimConfig { ports, cycles, warmup: cycles / 5, traffic: model, seed: 11 };
+                let r = Simulator::new(cfg, kind).run();
+                cells.push(format!("{}|{}", f3(r.delivery_ratio()), f2(r.mean_delay)));
+            }
+            let name = {
+                let cfg = SimConfig {
+                    ports,
+                    cycles: 1,
+                    warmup: 0,
+                    traffic: TrafficModel::Uniform { load: 0.0 },
+                    seed: 0,
+                };
+                Simulator::new(cfg, kind).run().scheduler
+            };
+            let mut row = vec![name];
+            row.extend(cells);
+            t.row(row);
+        }
+        t.print();
+    }
+    println!(
+        "\nExpected shape: all schedulers deliver ≈1.0 at ρ=0.5; under diagonal/bursty\n\
+         traffic at high load, PIM(1) degrades first, iSLIP(1) holds on uniform but slips\n\
+         on diagonal, and the larger matchings (LPS-MCM, max-cardinality, max-weight)\n\
+         sustain the highest loads — the throughput motivation of the paper's intro."
+    );
+}

@@ -1,0 +1,313 @@
+//! Israeli–Itai randomized maximal matching (1986) — the classical
+//! distributed ½-MCM baseline the paper improves on.
+//!
+//! Each *iteration* spans three synchronous rounds:
+//!
+//! 1. **Propose** — every active node flips a coin; heads ("male")
+//!    nodes propose to a uniformly random active neighbor.
+//! 2. **Accept** — tails ("female") nodes accept one incoming proposal
+//!    (lowest port), which immediately matches the pair.
+//! 3. **Announce** — newly matched nodes tell their other neighbors,
+//!    who mark the corresponding ports dead.
+//!
+//! A node halts once it is matched (after announcing) or all of its
+//! neighbors are matched — so the result is always a *maximal*
+//! matching, which is a ½-approximation of the maximum. The number of
+//! iterations is `O(log n)` with high probability [15].
+//!
+//! Messages are constant-size (2-bit tags), well inside CONGEST.
+
+use crate::state::{self, NodeInit};
+use dgraph::{Graph, Matching, NodeId, UNMATCHED};
+use simnet::{BitSize, Ctx, Envelope, NetStats, Network, Protocol};
+
+/// Wire messages (2 bits each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IIMsg {
+    /// "Will you match with me?"
+    Propose,
+    /// "Yes" (sent only to the chosen proposer; consummates the match).
+    Accept,
+    /// "I am matched; stop considering this edge."
+    Matched,
+}
+
+impl BitSize for IIMsg {
+    fn bit_size(&self) -> u64 {
+        2
+    }
+}
+
+/// Per-node protocol state.
+pub struct IINode {
+    /// Port of the mate once matched.
+    pub mate_port: Option<usize>,
+    /// Which ports still lead to unmatched nodes.
+    active_port: Vec<bool>,
+    /// True while this node is male in the current iteration.
+    male: bool,
+    /// Port proposed to in the current iteration.
+    proposed_to: Option<usize>,
+    announced: bool,
+}
+
+impl IINode {
+    fn new(init: &NodeInit) -> Self {
+        IINode {
+            mate_port: init.mate_port,
+            active_port: vec![true; init.edge_ids.len()],
+            male: false,
+            proposed_to: None,
+            announced: false, // pre-matched nodes announce in their first round
+        }
+    }
+
+    fn matched(&self) -> bool {
+        self.mate_port.is_some()
+    }
+}
+
+impl Protocol for IINode {
+    type Msg = IIMsg;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, IIMsg>, inbox: &[Envelope<IIMsg>]) {
+        let phase = ctx.round() % 3;
+        // Dead-port bookkeeping happens in every phase.
+        for env in inbox {
+            if env.msg == IIMsg::Matched {
+                self.active_port[env.port] = false;
+            }
+        }
+        match phase {
+            0 => {
+                // Nodes that entered matched (warm start) announce once.
+                if self.matched() && !self.announced {
+                    self.announce(ctx);
+                    return;
+                }
+                if self.matched() {
+                    ctx.halt();
+                    return;
+                }
+                let live: Vec<usize> =
+                    (0..ctx.degree()).filter(|&p| self.active_port[p]).collect();
+                if live.is_empty() {
+                    ctx.halt(); // isolated among matched nodes: maximality holds
+                    return;
+                }
+                self.male = ctx.rng().bernoulli(0.5);
+                self.proposed_to = None;
+                if self.male {
+                    let p = live[ctx.rng().below(live.len() as u64) as usize];
+                    self.proposed_to = Some(p);
+                    ctx.send(p, IIMsg::Propose);
+                }
+            }
+            1 => {
+                if self.matched() || self.male {
+                    return; // males ignore proposals
+                }
+                // Accept the lowest-port live proposal.
+                if let Some(env) = inbox
+                    .iter()
+                    .find(|e| e.msg == IIMsg::Propose && self.active_port[e.port])
+                {
+                    self.mate_port = Some(env.port);
+                    ctx.send(env.port, IIMsg::Accept);
+                }
+            }
+            2 => {
+                if !self.matched() {
+                    if let Some(env) = inbox.iter().find(|e| e.msg == IIMsg::Accept) {
+                        debug_assert_eq!(Some(env.port), self.proposed_to);
+                        self.mate_port = Some(env.port);
+                    }
+                }
+                if self.matched() && !self.announced {
+                    self.announce(ctx);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl IINode {
+    fn announce(&mut self, ctx: &mut Ctx<'_, IIMsg>) {
+        let mate = self.mate_port.expect("announce requires a mate");
+        for p in 0..ctx.degree() {
+            if p != mate {
+                ctx.send(p, IIMsg::Matched);
+            }
+        }
+        self.announced = true;
+    }
+}
+
+/// Round budget: `O(log n)` iterations whp, with a generous constant so
+/// a legitimate unlucky run never trips the assert.
+pub fn round_budget(n: usize) -> u64 {
+    3 * (200 + 60 * simnet::id_bits(n.max(2)))
+}
+
+/// Run Israeli–Itai to completion on `g`, starting from `initial`
+/// (pass the empty matching for the classical algorithm). Returns the
+/// resulting *maximal* matching and the network statistics.
+pub fn maximal_matching_from(g: &Graph, initial: &Matching, seed: u64) -> (Matching, NetStats) {
+    let inits = state::node_inits(g, initial);
+    let nodes: Vec<IINode> = inits.iter().map(IINode::new).collect();
+    let mut net = Network::new(state::topology_of(g), nodes, seed);
+    net.run_until_halt(round_budget(g.n()));
+    let (nodes, stats) = net.into_parts();
+    let mates: Vec<NodeId> = nodes
+        .iter()
+        .enumerate()
+        .map(|(v, s)| match s.mate_port {
+            Some(p) => g.incident(v as NodeId)[p].0,
+            None => UNMATCHED,
+        })
+        .collect();
+    (state::matching_from_mates(g, mates), stats)
+}
+
+/// Classical Israeli–Itai from the empty matching.
+///
+/// ```
+/// use dgraph::generators::random::gnp;
+/// let g = gnp(100, 0.05, 1);
+/// let (m, stats) = dmatch::israeli_itai::maximal_matching(&g, 7);
+/// assert!(m.is_maximal(&g));            // ⇒ a ½-approximation
+/// assert!(stats.max_msg_bits <= 2);     // constant-size messages
+/// ```
+pub fn maximal_matching(g: &Graph, seed: u64) -> (Matching, NetStats) {
+    maximal_matching_from(g, &Matching::new(g.n()), seed)
+}
+
+/// Run exactly `iterations` Israeli–Itai iterations (3 rounds each) and
+/// return whatever matching exists then — *not* necessarily maximal.
+///
+/// This is the constant-round regime of Hoepman–Kutten–Lotker [12]
+/// (cited by the paper): on trees, a constant number of iterations
+/// already yields a `(½-ε)`-approximation in expectation. Experiment
+/// E14 measures the ratio as a function of `iterations`.
+pub fn truncated_matching(g: &Graph, seed: u64, iterations: u64) -> (Matching, NetStats) {
+    let inits = state::node_inits(g, &Matching::new(g.n()));
+    let nodes: Vec<IINode> = inits.iter().map(IINode::new).collect();
+    let mut net = Network::new(state::topology_of(g), nodes, seed);
+    net.run_rounds(3 * iterations);
+    let (nodes, stats) = net.into_parts();
+    let mates: Vec<NodeId> = nodes
+        .iter()
+        .enumerate()
+        .map(|(v, s)| match s.mate_port {
+            Some(p) => g.incident(v as NodeId)[p].0,
+            None => UNMATCHED,
+        })
+        .collect();
+    (state::matching_from_mates(g, mates), stats)
+}
+
+/// Run Israeli–Itai for a fixed round budget under message loss and
+/// return the *agreed* matching: pairs in which both endpoints claim
+/// each other. Safety check for fault injection — agreement pairs
+/// always form a valid matching even when messages vanish.
+pub fn lossy_matching(g: &Graph, seed: u64, rounds: u64, loss: f64) -> (Matching, u64) {
+    let inits = state::node_inits(g, &Matching::new(g.n()));
+    let nodes: Vec<IINode> = inits.iter().map(IINode::new).collect();
+    let mut net = Network::new(state::topology_of(g), nodes, seed).with_message_loss(loss);
+    net.run_rounds(rounds);
+    let dropped = net.dropped();
+    let (nodes, _) = net.into_parts();
+    let claims: Vec<NodeId> = nodes
+        .iter()
+        .enumerate()
+        .map(|(v, s)| match s.mate_port {
+            Some(p) => g.incident(v as NodeId)[p].0,
+            None => UNMATCHED,
+        })
+        .collect();
+    (state::agreed_matching(g, &claims), dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgraph::generators::random::gnp;
+    use dgraph::generators::structured::{complete, cycle, path, star};
+
+    #[test]
+    fn produces_maximal_matchings() {
+        for seed in 0..10 {
+            let g = gnp(60, 0.08, seed);
+            let (m, _) = maximal_matching(&g, seed);
+            assert!(m.validate(&g).is_ok());
+            assert!(m.is_maximal(&g), "seed {seed}: not maximal");
+        }
+    }
+
+    #[test]
+    fn half_approximation_holds() {
+        for seed in 0..10 {
+            let g = gnp(40, 0.1, 100 + seed);
+            let (m, _) = maximal_matching(&g, seed);
+            let opt = dgraph::blossom::max_matching(&g).size();
+            assert!(2 * m.size() >= opt, "seed {seed}: {} < {opt}/2", m.size());
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        // Complete graph: many conflicts, still O(log n) iterations.
+        let g = complete(128);
+        let (m, stats) = maximal_matching(&g, 7);
+        assert_eq!(m.size(), 64);
+        assert!(
+            stats.rounds <= 3 * 80,
+            "took {} rounds on K128",
+            stats.rounds
+        );
+    }
+
+    #[test]
+    fn structured_families() {
+        let (m, _) = maximal_matching(&path(9), 1);
+        assert!(m.is_maximal(&path(9)));
+        let (m, _) = maximal_matching(&cycle(7), 2);
+        assert!(m.is_maximal(&cycle(7)));
+        let (m, _) = maximal_matching(&star(10), 3);
+        assert_eq!(m.size(), 1, "star admits exactly one matched edge");
+    }
+
+    #[test]
+    fn respects_warm_start() {
+        let g = path(6);
+        let init = Matching::from_edges(&g, &[2]); // middle edge (2,3)
+        let (m, _) = maximal_matching_from(&g, &init, 5);
+        assert!(m.contains(&g, 2), "warm-start edges must survive");
+        assert!(m.is_maximal(&g));
+    }
+
+    #[test]
+    fn messages_are_constant_size() {
+        let g = gnp(50, 0.1, 3);
+        let (_, stats) = maximal_matching(&g, 11);
+        assert_eq!(stats.max_msg_bits, 2);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = Graph::new(5, vec![]);
+        let (m, stats) = maximal_matching(&g, 0);
+        assert_eq!(m.size(), 0);
+        assert!(stats.rounds <= 2);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = gnp(30, 0.15, 9);
+        let (m1, s1) = maximal_matching(&g, 42);
+        let (m2, s2) = maximal_matching(&g, 42);
+        assert_eq!(m1, m2);
+        assert_eq!(s1.rounds, s2.rounds);
+    }
+}

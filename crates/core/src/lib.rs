@@ -1,0 +1,34 @@
+//! # dmatch — the algorithms of *Improved Distributed Approximate
+//! Matching* (Lotker, Patt-Shamir, Pettie; SPAA 2008)
+//!
+//! Every algorithm family of the paper, implemented over the
+//! synchronous round simulator of [`simnet`]:
+//!
+//! | Paper artifact | Module | Guarantee |
+//! |---|---|---|
+//! | Israeli–Itai '86 baseline | [`israeli_itai`] | maximal (½-MCM), `O(log n)` rounds whp |
+//! | Luby MIS primitive | [`luby`] | MIS, `O(log n)` rounds whp |
+//! | Algorithm 1+2 (Theorem 3.1) | [`generic`] | `(1-1/(k+1))`-MCM, `O(k³ log n)` rounds, large messages |
+//! | Algorithm 3 + token MIS (Theorem 3.8) | [`bipartite`] | bipartite `(1-1/k)`-MCM, small messages |
+//! | Algorithm 4 (Theorem 3.11) | [`general`] | general `(1-1/k)`-MCM whp via red/blue sampling |
+//! | Algorithm 5 (Theorem 4.5) | [`weighted`] | `(½-ε)`-MWM via a δ-MWM black box |
+//! | δ-MWM black boxes (LPS'07 [18] substitute) | [`weighted`] | constant-factor MWM |
+//!
+//! All protocols exchange real messages with accounted bit sizes; see
+//! each module's docs for where (and how) the implementation deviates
+//! from the paper's telegraphic description, and `DESIGN.md` at the
+//! workspace root for the substitution table.
+
+pub mod bipartite;
+pub mod general;
+pub mod generic;
+pub mod israeli_itai;
+pub mod line_mm;
+pub mod luby;
+pub mod paper;
+pub mod runner;
+pub mod state;
+pub mod weighted;
+
+pub use runner::{Algorithm, RunReport, TerminationMode};
+pub use state::topology_of;

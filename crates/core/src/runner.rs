@@ -1,0 +1,222 @@
+//! Uniform driver: run any algorithm of the paper (or a baseline) on a
+//! graph and obtain a [`RunReport`] with the matching, the network
+//! statistics, and quality metrics against exact or certified bounds.
+
+use crate::{bipartite, general, generic, israeli_itai, weighted};
+use dgraph::{Graph, Matching};
+use simnet::NetStats;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Israeli–Itai maximal matching (½-MCM baseline).
+    IsraeliItai,
+    /// Algorithm 1 (Theorem 3.1): generic `(1-1/(k+1))`-MCM.
+    Generic { k: usize },
+    /// Theorem 3.8: bipartite `(1-1/k)`-MCM with small messages.
+    /// Requires `sides`.
+    Bipartite { k: usize },
+    /// Algorithm 4 (Theorem 3.11): general `(1-1/k)`-MCM whp.
+    General { k: usize, early_stop: Option<u64> },
+    /// Algorithm 5 (Theorem 4.5): `(½-ε)`-MWM.
+    Weighted { epsilon: f64, mwm_box: weighted::MwmBox },
+    /// δ-MWM black box alone (the [18] substitute) — baseline for E5.
+    DeltaMwm { mwm_box: weighted::MwmBox },
+}
+
+/// How global termination checks are charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TerminationMode {
+    /// The simulator inspects global state for free (the paper's
+    /// convention — termination detection is never charged).
+    #[default]
+    Oracle,
+    /// Each oracle consultation is charged the measured cost of one
+    /// BFS-tree convergecast + broadcast over the topology (requires a
+    /// connected graph).
+    Honest,
+}
+
+/// Result of a run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Human-readable algorithm label.
+    pub name: String,
+    /// The computed matching.
+    pub matching: Matching,
+    /// Accumulated network statistics.
+    pub stats: NetStats,
+    /// Number of "global check" consultations (counting/token loop
+    /// iterations, sampling iterations, …) — what Honest mode charges.
+    pub oracle_checks: u64,
+}
+
+impl RunReport {
+    /// Cardinality ratio vs. the exact maximum (blossom).
+    pub fn mcm_ratio(&self, g: &Graph) -> f64 {
+        let opt = dgraph::blossom::max_matching(g).size();
+        if opt == 0 {
+            1.0
+        } else {
+            self.matching.size() as f64 / opt as f64
+        }
+    }
+
+    /// Weight ratio vs. the best available exact bound: Hungarian on
+    /// bipartite inputs, bitmask DP on tiny general graphs, otherwise
+    /// the certified upper bound of [`mwm_upper_bound`] (a ratio
+    /// against an upper bound understates quality, never overstates).
+    pub fn mwm_ratio(&self, g: &Graph, sides: Option<&[bool]>) -> f64 {
+        let opt = mwm_reference(g, sides);
+        if opt <= 0.0 {
+            1.0
+        } else {
+            self.matching.weight(g) / opt
+        }
+    }
+}
+
+/// Exact MWM when feasible, else a certified upper bound.
+pub fn mwm_reference(g: &Graph, sides: Option<&[bool]>) -> f64 {
+    if let Some(sides) = sides {
+        dgraph::hungarian::max_weight_matching(g, sides).weight(g)
+    } else if g.n() <= dgraph::mwm_exact::MAX_EXACT_NODES {
+        dgraph::mwm_exact::max_weight_exact(g)
+    } else if let Some(sides) = dgraph::bipartite::two_color(g) {
+        dgraph::hungarian::max_weight_matching(g, &sides).weight(g)
+    } else {
+        mwm_upper_bound(g)
+    }
+}
+
+/// Certified upper bound on the maximum matching weight: each matched
+/// edge is charged to both endpoints, so
+/// `w(M*) ≤ ½ Σ_v max_{e ∋ v} w(e)`.
+pub fn mwm_upper_bound(g: &Graph) -> f64 {
+    let per_vertex: f64 = (0..g.n() as u32)
+        .map(|v| {
+            g.incident(v)
+                .iter()
+                .map(|&(_, e)| g.weight(e))
+                .fold(0.0f64, f64::max)
+        })
+        .sum();
+    per_vertex / 2.0
+}
+
+/// Run `alg` on `g`. `sides` must be provided for
+/// [`Algorithm::Bipartite`]. In [`TerminationMode::Honest`], the
+/// measured cost of one distributed convergecast is added per oracle
+/// consultation (connected graphs only).
+pub fn run(
+    g: &Graph,
+    sides: Option<&[bool]>,
+    alg: Algorithm,
+    seed: u64,
+    termination: TerminationMode,
+) -> RunReport {
+    let (name, matching, mut stats, oracle_checks) = match alg {
+        Algorithm::IsraeliItai => {
+            let (m, s) = israeli_itai::maximal_matching(g, seed);
+            ("israeli-itai".to_string(), m, s, 0)
+        }
+        Algorithm::Generic { k } => {
+            let r = generic::run(g, k, seed);
+            let checks = r.phases.iter().map(|p| p.mis_iterations).sum();
+            (format!("generic(k={k})"), r.matching, r.stats, checks)
+        }
+        Algorithm::Bipartite { k } => {
+            let sides = sides.expect("Bipartite algorithm requires sides");
+            let r = bipartite::run(g, sides, k, seed);
+            (format!("bipartite(k={k})"), r.matching, r.stats, r.iterations + k as u64)
+        }
+        Algorithm::General { k, early_stop } => {
+            let opts = general::GeneralOpts { iterations: None, early_stop_after: early_stop };
+            let r = general::run_with(g, k, seed, opts);
+            (format!("general(k={k})"), r.matching, r.stats, r.iterations)
+        }
+        Algorithm::Weighted { epsilon, mwm_box } => {
+            let r = weighted::run(g, epsilon, mwm_box, seed);
+            (
+                format!("weighted(ε={epsilon}, box={mwm_box:?})"),
+                r.matching,
+                r.stats,
+                r.iterations,
+            )
+        }
+        Algorithm::DeltaMwm { mwm_box } => {
+            let (m, s) = mwm_box.run(g, seed);
+            (format!("delta-mwm({mwm_box:?})"), m, s, 0)
+        }
+    };
+    if termination == TerminationMode::Honest && oracle_checks > 0 && g.n() > 0 {
+        let topo = crate::state::topology_of(g);
+        let (_, agg) = simnet::tree::aggregate(&topo, &vec![0u64; g.n()], simnet::tree::AggOp::Max);
+        for _ in 0..oracle_checks {
+            stats.absorb(&agg);
+        }
+    }
+    RunReport { name, matching, stats, oracle_checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgraph::generators::random::{bipartite_gnp, gnp};
+    use dgraph::generators::weights::{apply_weights, WeightModel};
+
+    #[test]
+    fn all_algorithms_produce_valid_matchings() {
+        let g = gnp(24, 0.15, 1);
+        for alg in [
+            Algorithm::IsraeliItai,
+            Algorithm::Generic { k: 2 },
+            Algorithm::General { k: 2, early_stop: Some(15) },
+            Algorithm::Weighted { epsilon: 0.2, mwm_box: weighted::MwmBox::SeqClass },
+            Algorithm::DeltaMwm { mwm_box: weighted::MwmBox::LocalDominant },
+        ] {
+            let r = run(&g, None, alg, 7, TerminationMode::Oracle);
+            assert!(r.matching.validate(&g).is_ok(), "{}", r.name);
+            assert!(r.mcm_ratio(&g) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bipartite_through_runner() {
+        let (g, sides) = bipartite_gnp(15, 15, 0.2, 2);
+        let r = run(&g, Some(&sides), Algorithm::Bipartite { k: 3 }, 5, TerminationMode::Oracle);
+        assert!(r.mcm_ratio(&g) >= 2.0 / 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn honest_mode_charges_more_rounds() {
+        let g = gnp(20, 0.3, 3); // dense ⇒ connected whp
+        assert_eq!(g.components(), 1, "test needs a connected graph");
+        let alg = Algorithm::General { k: 2, early_stop: Some(10) };
+        let oracle = run(&g, None, alg, 9, TerminationMode::Oracle);
+        let honest = run(&g, None, alg, 9, TerminationMode::Honest);
+        assert!(honest.stats.rounds > oracle.stats.rounds);
+        assert_eq!(honest.matching.size(), oracle.matching.size());
+    }
+
+    #[test]
+    fn upper_bound_dominates_exact() {
+        for seed in 0..5 {
+            let g = apply_weights(&gnp(12, 0.3, seed), WeightModel::Uniform(0.1, 3.0), seed);
+            let ub = mwm_upper_bound(&g);
+            let exact = dgraph::mwm_exact::max_weight_exact(&g);
+            assert!(ub >= exact - 1e-9, "seed {seed}: ub {ub} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn mwm_reference_picks_exact_for_bipartite() {
+        let (g0, sides) = bipartite_gnp(20, 20, 0.2, 4);
+        let g = apply_weights(&g0, WeightModel::Integer(1, 9), 5);
+        // n = 40 > DP limit, but the graph is bipartite: reference must
+        // be the Hungarian optimum even without explicit sides.
+        let w1 = mwm_reference(&g, Some(&sides));
+        let w2 = mwm_reference(&g, None);
+        assert!((w1 - w2).abs() < 1e-9);
+    }
+}

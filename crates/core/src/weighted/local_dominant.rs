@@ -1,0 +1,236 @@
+//! Distributed local-dominant weighted matching (Preis [25] / Hoepman
+//! [11] style): an edge joins the matching when both endpoints point at
+//! it as their heaviest remaining incident edge.
+//!
+//! Deterministic ½-MWM. Round complexity is `O(n)` in the worst case
+//! (a path with strictly increasing weights serializes completely) —
+//! exactly the baseline the paper's `O(log n)`-round algorithms beat;
+//! experiment E5 shows this contrast.
+//!
+//! One iteration spans two rounds: point, then resolve-and-announce.
+
+use crate::state::{self, NodeInit};
+use dgraph::{Graph, Matching, NodeId, UNMATCHED};
+use simnet::{BitSize, Ctx, Envelope, NetStats, Network, Protocol};
+
+/// Wire messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LdMsg {
+    /// "You are my heaviest remaining neighbor."
+    Point,
+    /// "I am matched; remove this edge."
+    Matched,
+}
+
+impl BitSize for LdMsg {
+    fn bit_size(&self) -> u64 {
+        1
+    }
+}
+
+struct LdNode {
+    mate_port: Option<usize>,
+    active: Vec<bool>,
+    weights: Vec<f64>,
+    edge_ids: Vec<dgraph::EdgeId>,
+    pointed: Option<usize>,
+    announced: bool,
+}
+
+impl LdNode {
+    fn new(init: &NodeInit) -> Self {
+        LdNode {
+            mate_port: init.mate_port,
+            active: vec![true; init.edge_ids.len()],
+            weights: init.weights.clone(),
+            edge_ids: init.edge_ids.clone(),
+            pointed: None,
+            announced: false,
+        }
+    }
+
+    /// Heaviest active port; ties broken by (globally known) edge id.
+    fn best_port(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for p in 0..self.active.len() {
+            if !self.active[p] {
+                continue;
+            }
+            best = match best {
+                None => Some(p),
+                Some(b) => {
+                    let key = (self.weights[p], std::cmp::Reverse(self.edge_ids[p]));
+                    let bkey = (self.weights[b], std::cmp::Reverse(self.edge_ids[b]));
+                    if key.partial_cmp(&bkey).expect("finite weights") == std::cmp::Ordering::Greater
+                    {
+                        Some(p)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        best
+    }
+}
+
+impl Protocol for LdNode {
+    type Msg = LdMsg;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, LdMsg>, inbox: &[Envelope<LdMsg>]) {
+        for env in inbox {
+            if env.msg == LdMsg::Matched {
+                self.active[env.port] = false;
+            }
+        }
+        match ctx.round() % 2 {
+            0 => {
+                if let Some(mp) = self.mate_port {
+                    if !self.announced {
+                        // Warm-start or newly matched: tell the others.
+                        for p in 0..ctx.degree() {
+                            if p != mp {
+                                ctx.send(p, LdMsg::Matched);
+                            }
+                        }
+                        self.announced = true;
+                    } else {
+                        ctx.halt();
+                    }
+                    return;
+                }
+                match self.best_port() {
+                    None => ctx.halt(), // all neighbors matched: locally maximal
+                    Some(p) => {
+                        self.pointed = Some(p);
+                        ctx.send(p, LdMsg::Point);
+                    }
+                }
+            }
+            1 => {
+                if self.mate_port.is_some() {
+                    return;
+                }
+                if let Some(p) = self.pointed {
+                    // Mutual pointing ⇒ the edge is locally dominant.
+                    if inbox.iter().any(|e| e.msg == LdMsg::Point && e.port == p) {
+                        self.mate_port = Some(p);
+                    }
+                }
+                self.pointed = None;
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Deterministic round budget: `O(n)` iterations suffice (every
+/// iteration matches at least one globally heaviest remaining edge).
+pub fn round_budget(n: usize) -> u64 {
+    2 * (2 * n as u64 + 16)
+}
+
+/// Run local-dominant matching from `initial` (empty for the classic
+/// algorithm). Returns a maximal-by-weight ½-MWM.
+pub fn run_from(g: &Graph, initial: &Matching, seed: u64) -> (Matching, NetStats) {
+    let inits = state::node_inits(g, initial);
+    let nodes: Vec<LdNode> = inits.iter().map(LdNode::new).collect();
+    let mut net = Network::new(state::topology_of(g), nodes, seed);
+    net.run_until_halt(round_budget(g.n()));
+    let (nodes, stats) = net.into_parts();
+    let mates: Vec<NodeId> = nodes
+        .iter()
+        .enumerate()
+        .map(|(v, s)| match s.mate_port {
+            Some(p) => g.incident(v as NodeId)[p].0,
+            None => UNMATCHED,
+        })
+        .collect();
+    (state::matching_from_mates(g, mates), stats)
+}
+
+/// Local-dominant matching from scratch.
+pub fn run(g: &Graph, seed: u64) -> (Matching, NetStats) {
+    run_from(g, &Matching::new(g.n()), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgraph::generators::random::gnp;
+    use dgraph::generators::weights::{apply_weights, WeightModel};
+    use dgraph::mwm_exact::max_weight_exact;
+
+    #[test]
+    fn half_approximation_on_random_weighted_graphs() {
+        for seed in 0..8 {
+            let g = apply_weights(&gnp(14, 0.3, seed), WeightModel::Uniform(0.5, 5.0), seed + 9);
+            let (m, _) = run(&g, seed);
+            assert!(m.validate(&g).is_ok());
+            let opt = max_weight_exact(&g);
+            assert!(
+                m.weight(&g) >= 0.5 * opt - 1e-9,
+                "seed {seed}: {} < {}/2",
+                m.weight(&g),
+                opt
+            );
+        }
+    }
+
+    #[test]
+    fn result_is_maximal() {
+        for seed in 0..5 {
+            let g = apply_weights(&gnp(20, 0.2, 50 + seed), WeightModel::Exponential(1.0), seed);
+            let (m, _) = run(&g, seed);
+            assert!(m.is_maximal(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn takes_globally_heaviest_edge() {
+        let g = Graph::with_weights(4, vec![(0, 1), (1, 2), (2, 3)], vec![1.0, 10.0, 1.0]);
+        let (m, _) = run(&g, 0);
+        assert!(m.contains(&g, 1), "heaviest edge is always locally dominant");
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn increasing_path_serializes() {
+        // Weights 1 < 2 < … : only the heaviest edge is dominant each
+        // sweep; rounds grow linearly — the worst case the paper
+        // escapes.
+        let n = 22;
+        let edges: Vec<(NodeId, NodeId)> = (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+        let weights: Vec<f64> = (0..n - 1).map(|i| (i + 1) as f64).collect();
+        let g = Graph::with_weights(n, edges, weights);
+        let (m, stats) = run(&g, 3);
+        assert!(m.validate(&g).is_ok());
+        // Every second edge from the heavy end.
+        assert!(m.weight(&g) >= 0.5 * max_weight_exact_for_path(&g));
+        assert!(
+            stats.rounds as usize >= n / 4,
+            "expected near-linear rounds, got {}",
+            stats.rounds
+        );
+    }
+
+    fn max_weight_exact_for_path(g: &Graph) -> f64 {
+        // The path is small enough for the DP oracle.
+        max_weight_exact(g)
+    }
+
+    #[test]
+    fn deterministic_result() {
+        let g = apply_weights(&gnp(16, 0.3, 7), WeightModel::Integer(1, 50), 8);
+        let (m1, _) = run(&g, 1);
+        let (m2, _) = run(&g, 2); // seed-independent: algorithm is deterministic
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn unit_weights_give_maximal_matching() {
+        let g = gnp(20, 0.2, 11);
+        let (m, _) = run(&g, 4);
+        assert!(m.is_maximal(&g));
+    }
+}

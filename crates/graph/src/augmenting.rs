@@ -1,0 +1,277 @@
+//! Augmenting-path machinery.
+//!
+//! An *augmenting path* w.r.t. a matching `M` is a simple path whose
+//! endpoints are free and whose edges alternate between `E \ M` and `M`
+//! (Section 2 of the paper). This module provides
+//!
+//! * exhaustive enumeration of augmenting paths up to a length bound
+//!   (used by the generic Algorithm 1 for its conflict graph, and by
+//!   tests as ground truth),
+//! * an exact shortest-augmenting-path computation for bipartite graphs
+//!   (a layered BFS, as in Hopcroft–Karp),
+//! * greedy maximal disjoint path selection and checkers for the
+//!   Hopcroft–Karp lemmas the paper builds on (Lemmas 3.4 and 3.5).
+
+use crate::graph::{Graph, NodeId};
+use crate::matching::Matching;
+
+/// Enumerate all augmenting paths with at most `max_edges` edges, as
+/// node sequences. Each path is reported once (canonical direction:
+/// smaller endpoint id first).
+///
+/// Worst-case exponential in `max_edges`; intended for the small `ℓ`
+/// values the paper's phases use (`ℓ ≤ 2k-1`) and for verification.
+pub fn enumerate_augmenting_paths(g: &Graph, m: &Matching, max_edges: usize) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let mut on_path = vec![false; g.n()];
+    let mut path: Vec<NodeId> = Vec::new();
+    for start in 0..g.n() as NodeId {
+        if !m.is_free(start) {
+            continue;
+        }
+        path.push(start);
+        on_path[start as usize] = true;
+        dfs(g, m, max_edges, &mut path, &mut on_path, &mut out);
+        on_path[start as usize] = false;
+        path.pop();
+    }
+    out
+}
+
+fn dfs(
+    g: &Graph,
+    m: &Matching,
+    max_edges: usize,
+    path: &mut Vec<NodeId>,
+    on_path: &mut [bool],
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    let v = *path.last().expect("path is nonempty");
+    let edges_so_far = path.len() - 1;
+    // Next edge must be unmatched if we are at even distance from the
+    // start (start is free, so the path begins with an unmatched edge),
+    // matched otherwise.
+    let need_matched = edges_so_far % 2 == 1;
+    if edges_so_far >= max_edges {
+        return;
+    }
+    for &(u, e) in g.incident(v) {
+        if on_path[u as usize] {
+            continue;
+        }
+        let matched = m.contains(g, e);
+        if matched != need_matched {
+            continue;
+        }
+        if !matched && m.is_free(u) {
+            // Completed an augmenting path (odd edge count by parity).
+            if path[0] < u {
+                let mut p = path.clone();
+                p.push(u);
+                out.push(p);
+            }
+            continue;
+        }
+        path.push(u);
+        on_path[u as usize] = true;
+        dfs(g, m, max_edges, path, on_path, out);
+        on_path[u as usize] = false;
+        path.pop();
+    }
+}
+
+/// Exact length (in edges) of the shortest augmenting path, or `None`
+/// if the matching is maximum. **Bipartite graphs only** (panics
+/// otherwise): a layered alternating BFS is exact only without odd
+/// cycles.
+pub fn shortest_augmenting_path_len_bipartite(
+    g: &Graph,
+    sides: &[bool],
+    m: &Matching,
+) -> Option<usize> {
+    assert!(
+        crate::bipartite::is_valid_bipartition(g, sides),
+        "layered BFS requires a valid bipartition"
+    );
+    // BFS from all free X vertices along alternating paths; distances
+    // count edges. dist[v] = shortest alternating distance from a free
+    // X vertex reaching v with the correct parity.
+    let n = g.n();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for v in 0..n as NodeId {
+        if !sides[v as usize] && m.is_free(v) {
+            dist[v as usize] = 0;
+            queue.push_back(v);
+        }
+    }
+    let mut best: Option<usize> = None;
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        if let Some(b) = best {
+            if d >= b {
+                continue;
+            }
+        }
+        let from_x = !sides[v as usize];
+        for &(u, e) in g.incident(v) {
+            let matched = m.contains(g, e);
+            // From X we traverse unmatched edges, from Y matched ones.
+            if from_x == matched {
+                continue;
+            }
+            if dist[u as usize] != usize::MAX {
+                continue;
+            }
+            if from_x && m.is_free(u) {
+                // u is a free Y vertex: augmenting path of length d+1.
+                best = Some(best.map_or(d + 1, |b| b.min(d + 1)));
+                continue;
+            }
+            dist[u as usize] = d + 1;
+            queue.push_back(u);
+        }
+    }
+    best
+}
+
+/// True if some augmenting path with at most `max_edges` edges exists
+/// (general graphs; uses enumeration, so keep `max_edges` small).
+pub fn has_augmenting_path_within(g: &Graph, m: &Matching, max_edges: usize) -> bool {
+    !enumerate_augmenting_paths(g, m, max_edges).is_empty()
+}
+
+/// Greedily select a maximal vertex-disjoint subset of `paths`
+/// (first-fit in the given order). Returns indices into `paths`.
+pub fn greedy_disjoint_paths(g: &Graph, paths: &[Vec<NodeId>]) -> Vec<usize> {
+    let mut used = vec![false; g.n()];
+    let mut chosen = Vec::new();
+    for (i, p) in paths.iter().enumerate() {
+        if p.iter().all(|&v| !used[v as usize]) {
+            for &v in p {
+                used[v as usize] = true;
+            }
+            chosen.push(i);
+        }
+    }
+    chosen
+}
+
+/// Check that the index set `chosen` is vertex-disjoint and maximal
+/// within `paths` (every unchosen path intersects a chosen one).
+pub fn is_maximal_disjoint(g: &Graph, paths: &[Vec<NodeId>], chosen: &[usize]) -> bool {
+    let mut used = vec![false; g.n()];
+    for &i in chosen {
+        for &v in &paths[i] {
+            if used[v as usize] {
+                return false; // overlap among chosen paths
+            }
+            used[v as usize] = true;
+        }
+    }
+    paths
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !chosen.contains(i))
+        .all(|(_, p)| p.iter().any(|&v| used[v as usize]))
+}
+
+/// Apply a set of vertex-disjoint augmenting paths: `M ← M ⊕ ∪paths`.
+pub fn apply_paths(g: &Graph, m: &mut Matching, paths: &[Vec<NodeId>]) {
+    for p in paths {
+        m.augment_path(g, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Path graph 0-1-2-3-4-5 with the middle edges (1,2),(3,4) matched:
+    /// exactly one augmenting path of length 5 (the whole path).
+    fn p6_with_middle() -> (Graph, Matching) {
+        let g = Graph::new(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let m = Matching::from_edges(&g, &[1, 3]);
+        (g, m)
+    }
+
+    #[test]
+    fn enumeration_finds_the_long_path() {
+        let (g, m) = p6_with_middle();
+        assert!(enumerate_augmenting_paths(&g, &m, 3).is_empty());
+        let paths = enumerate_augmenting_paths(&g, &m, 5);
+        assert_eq!(paths, vec![vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn enumeration_counts_short_paths() {
+        // Star: center 0, leaves 1..=3; empty matching: 3 aug paths of
+        // length 1 (0 is on all, but paths are (leaf, center) pairs:
+        // edges (0,1),(0,2),(0,3)).
+        let g = Graph::new(4, vec![(0, 1), (0, 2), (0, 3)]);
+        let m = Matching::new(4);
+        let paths = enumerate_augmenting_paths(&g, &m, 1);
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn bipartite_shortest_length() {
+        let (g, m) = p6_with_middle();
+        let sides = crate::bipartite::two_color(&g).unwrap();
+        assert_eq!(shortest_augmenting_path_len_bipartite(&g, &sides, &m), Some(5));
+        let empty = Matching::new(6);
+        assert_eq!(shortest_augmenting_path_len_bipartite(&g, &sides, &empty), Some(1));
+    }
+
+    #[test]
+    fn bipartite_shortest_none_when_maximum() {
+        let g = Graph::new(4, vec![(0, 1), (2, 3)]);
+        let sides = crate::bipartite::two_color(&g).unwrap();
+        let m = Matching::from_edges(&g, &[0, 1]);
+        assert_eq!(shortest_augmenting_path_len_bipartite(&g, &sides, &m), None);
+    }
+
+    #[test]
+    fn greedy_disjoint_is_maximal() {
+        let g = Graph::new(6, vec![(0, 1), (2, 3), (4, 5), (1, 2), (3, 4)]);
+        let m = Matching::new(6);
+        let paths = enumerate_augmenting_paths(&g, &m, 1);
+        let chosen = greedy_disjoint_paths(&g, &paths);
+        assert!(is_maximal_disjoint(&g, &paths, &chosen));
+        assert!(!chosen.is_empty());
+    }
+
+    #[test]
+    fn lemma_3_4_shortest_length_increases() {
+        // Hopcroft–Karp Lemma 3.4: augmenting along a maximal set of
+        // shortest paths strictly increases the shortest length.
+        let g = Graph::new(
+            8,
+            vec![(0, 4), (0, 5), (1, 4), (1, 6), (2, 5), (2, 7), (3, 6), (3, 7)],
+        );
+        let sides = crate::bipartite::two_color(&g).unwrap();
+        let mut m = Matching::new(8);
+        let l0 = shortest_augmenting_path_len_bipartite(&g, &sides, &m).unwrap();
+        assert_eq!(l0, 1);
+        let paths = enumerate_augmenting_paths(&g, &m, l0);
+        let shortest: Vec<Vec<NodeId>> =
+            paths.into_iter().filter(|p| p.len() == l0 + 1).collect();
+        let chosen = greedy_disjoint_paths(&g, &shortest);
+        let selected: Vec<Vec<NodeId>> = chosen.iter().map(|&i| shortest[i].clone()).collect();
+        apply_paths(&g, &mut m, &selected);
+        let l1 = shortest_augmenting_path_len_bipartite(&g, &sides, &m);
+        assert!(l1.is_none_or(|l| l > l0), "Lemma 3.4 violated: {l1:?} ≤ {l0}");
+    }
+
+    #[test]
+    fn apply_paths_rejects_conflicts() {
+        let g = Graph::new(3, vec![(0, 1), (1, 2)]);
+        let mut m = Matching::new(3);
+        let paths = vec![vec![0, 1], vec![1, 2]]; // share node 1
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            apply_paths(&g, &mut m, &paths);
+        }));
+        assert!(r.is_err());
+    }
+}

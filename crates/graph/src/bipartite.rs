@@ -1,0 +1,76 @@
+//! Bipartiteness testing and 2-coloring.
+
+use crate::graph::{Graph, NodeId};
+
+/// Try to 2-color the graph. Returns `sides` with `false` for the X
+/// side and `true` for the Y side (isolated vertices go to X), or
+/// `None` if an odd cycle exists.
+pub fn two_color(g: &Graph) -> Option<Vec<bool>> {
+    let n = g.n();
+    let mut color: Vec<i8> = vec![-1; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if color[s] != -1 {
+            continue;
+        }
+        color[s] = 0;
+        queue.push_back(s as NodeId);
+        while let Some(v) = queue.pop_front() {
+            for &(u, _) in g.incident(v) {
+                if color[u as usize] == -1 {
+                    color[u as usize] = 1 - color[v as usize];
+                    queue.push_back(u);
+                } else if color[u as usize] == color[v as usize] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c == 1).collect())
+}
+
+/// True when the graph contains no odd cycle.
+pub fn is_bipartite(g: &Graph) -> bool {
+    two_color(g).is_some()
+}
+
+/// Check that `sides` is a proper 2-coloring of `g`.
+pub fn is_valid_bipartition(g: &Graph, sides: &[bool]) -> bool {
+    sides.len() == g.n()
+        && g.edge_list().iter().all(|&(u, v)| sides[u as usize] != sides[v as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_cycle_is_bipartite() {
+        let g = Graph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let sides = two_color(&g).expect("C4 is bipartite");
+        assert!(is_valid_bipartition(&g, &sides));
+    }
+
+    #[test]
+    fn odd_cycle_is_not() {
+        let g = Graph::new(3, vec![(0, 1), (1, 2), (2, 0)]);
+        assert!(two_color(&g).is_none());
+        assert!(!is_bipartite(&g));
+    }
+
+    #[test]
+    fn disconnected_components_colored_independently() {
+        let g = Graph::new(5, vec![(0, 1), (2, 3)]);
+        let sides = two_color(&g).unwrap();
+        assert!(is_valid_bipartition(&g, &sides));
+        // Isolated node 4 lands on the X side.
+        assert!(!sides[4]);
+    }
+
+    #[test]
+    fn invalid_bipartition_detected() {
+        let g = Graph::new(2, vec![(0, 1)]);
+        assert!(!is_valid_bipartition(&g, &[false, false]));
+        assert!(is_valid_bipartition(&g, &[false, true]));
+    }
+}

@@ -1,0 +1,229 @@
+//! Edmonds' blossom algorithm: exact maximum-cardinality matching in
+//! **general** graphs, `O(V³)`.
+//!
+//! Ground truth for the general-graph experiments (Theorem 3.11): the
+//! approximation ratio of Algorithm 4 is always measured against the
+//! matching computed here.
+
+use crate::graph::{Graph, NodeId, UNMATCHED};
+use crate::matching::Matching;
+
+/// Maximum-cardinality matching of an arbitrary graph.
+///
+/// ```
+/// use dgraph::generators::structured::cycle;
+/// // C5 needs blossom handling; its maximum matching has 2 edges.
+/// assert_eq!(dgraph::blossom::max_matching(&cycle(5)).size(), 2);
+/// ```
+pub fn max_matching(g: &Graph) -> Matching {
+    let n = g.n();
+    let mut mate: Vec<NodeId> = vec![UNMATCHED; n];
+    // Greedy warm start halves the number of augmentation searches.
+    for v in 0..n as NodeId {
+        if mate[v as usize] == UNMATCHED {
+            for &(u, _) in g.incident(v) {
+                if mate[u as usize] == UNMATCHED {
+                    mate[v as usize] = u;
+                    mate[u as usize] = v;
+                    break;
+                }
+            }
+        }
+    }
+    let mut ctx = Search::new(n);
+    for v in 0..n as NodeId {
+        if mate[v as usize] == UNMATCHED {
+            ctx.find_augmenting_path(g, v, &mut mate);
+        }
+    }
+    Matching::from_mates(mate)
+}
+
+/// Scratch space for one augmenting-path search (reused across roots).
+struct Search {
+    parent: Vec<NodeId>,
+    base: Vec<NodeId>,
+    used: Vec<bool>,
+    blossom: Vec<bool>,
+    queue: std::collections::VecDeque<NodeId>,
+}
+
+impl Search {
+    fn new(n: usize) -> Self {
+        Search {
+            parent: vec![UNMATCHED; n],
+            base: (0..n as NodeId).collect(),
+            used: vec![false; n],
+            blossom: vec![false; n],
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Lowest common ancestor of `a` and `b` in the alternating forest,
+    /// in terms of blossom bases.
+    fn lca(&self, mate: &[NodeId], mut a: NodeId, mut b: NodeId) -> NodeId {
+        let n = mate.len();
+        let mut seen = vec![false; n];
+        loop {
+            a = self.base[a as usize];
+            seen[a as usize] = true;
+            if mate[a as usize] == UNMATCHED {
+                break; // reached the root
+            }
+            a = self.parent[mate[a as usize] as usize];
+        }
+        loop {
+            b = self.base[b as usize];
+            if seen[b as usize] {
+                return b;
+            }
+            b = self.parent[mate[b as usize] as usize];
+        }
+    }
+
+    /// Mark blossom vertices on the path from `v` down to base `b`,
+    /// re-rooting parent pointers through `child`.
+    fn mark_path(&mut self, mate: &[NodeId], mut v: NodeId, b: NodeId, mut child: NodeId) {
+        while self.base[v as usize] != b {
+            self.blossom[self.base[v as usize] as usize] = true;
+            self.blossom[self.base[mate[v as usize] as usize] as usize] = true;
+            self.parent[v as usize] = child;
+            child = mate[v as usize];
+            v = self.parent[mate[v as usize] as usize];
+        }
+    }
+
+    fn find_augmenting_path(&mut self, g: &Graph, root: NodeId, mate: &mut [NodeId]) -> bool {
+        let n = g.n();
+        self.used.iter_mut().for_each(|u| *u = false);
+        self.parent.iter_mut().for_each(|p| *p = UNMATCHED);
+        for (i, b) in self.base.iter_mut().enumerate() {
+            *b = i as NodeId;
+        }
+        self.used[root as usize] = true;
+        self.queue.clear();
+        self.queue.push_back(root);
+
+        while let Some(v) = self.queue.pop_front() {
+            for &(to, _) in g.incident(v) {
+                if self.base[v as usize] == self.base[to as usize] || mate[v as usize] == to {
+                    continue;
+                }
+                if to == root
+                    || (mate[to as usize] != UNMATCHED
+                        && self.parent[mate[to as usize] as usize] != UNMATCHED)
+                {
+                    // Odd cycle: contract the blossom.
+                    let cur_base = self.lca(mate, v, to);
+                    self.blossom.iter_mut().for_each(|b| *b = false);
+                    self.mark_path(mate, v, cur_base, to);
+                    self.mark_path(mate, to, cur_base, v);
+                    for i in 0..n as NodeId {
+                        if self.blossom[self.base[i as usize] as usize] {
+                            self.base[i as usize] = cur_base;
+                            if !self.used[i as usize] {
+                                self.used[i as usize] = true;
+                                self.queue.push_back(i);
+                            }
+                        }
+                    }
+                } else if self.parent[to as usize] == UNMATCHED {
+                    self.parent[to as usize] = v;
+                    if mate[to as usize] == UNMATCHED {
+                        // Augment along the found path.
+                        let mut u = to;
+                        while u != UNMATCHED {
+                            let pv = self.parent[u as usize];
+                            let ppv = mate[pv as usize];
+                            mate[u as usize] = pv;
+                            mate[pv as usize] = u;
+                            u = ppv;
+                        }
+                        return true;
+                    } else {
+                        self.used[mate[to as usize] as usize] = true;
+                        self.queue.push_back(mate[to as usize]);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::{bipartite_gnp, gnp};
+    use crate::generators::structured::{complete, cycle, p4_chain, path};
+
+    #[test]
+    fn odd_cycle_matching() {
+        // C5: maximum matching has size 2 and needs blossom handling.
+        let m = max_matching(&cycle(5));
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn petersen_graph_has_perfect_matching() {
+        let edges = vec![
+            // Outer C5, inner pentagram, spokes.
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0),
+            (5, 7), (7, 9), (9, 6), (6, 8), (8, 5),
+            (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),
+        ];
+        let g = Graph::new(10, edges);
+        let m = max_matching(&g);
+        assert_eq!(m.size(), 5);
+        assert!(m.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn complete_graph_sizes() {
+        assert_eq!(max_matching(&complete(6)).size(), 3);
+        assert_eq!(max_matching(&complete(7)).size(), 3);
+    }
+
+    #[test]
+    fn p4_chain_optimum_takes_outer_edges() {
+        let m = max_matching(&p4_chain(4));
+        assert_eq!(m.size(), 8);
+    }
+
+    #[test]
+    fn agrees_with_hopcroft_karp_on_bipartite() {
+        for seed in 0..8 {
+            let (g, sides) = bipartite_gnp(15, 15, 0.2, seed);
+            let b = max_matching(&g);
+            let hk = crate::hopcroft_karp::max_matching(&g, &sides);
+            assert_eq!(b.size(), hk.size(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn no_augmenting_path_remains_on_random_graphs() {
+        use crate::augmenting::enumerate_augmenting_paths;
+        for seed in 0..10 {
+            let g = gnp(12, 0.25, 300 + seed);
+            let m = max_matching(&g);
+            assert!(m.validate(&g).is_ok());
+            // Berge's theorem: maximum iff no augmenting path exists.
+            assert!(
+                enumerate_augmenting_paths(&g, &m, g.n()).is_empty(),
+                "seed {seed}: blossom result not maximum"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_plus_pendant() {
+        // Triangle 0-1-2 with pendant 3 attached to 0: size 2.
+        let g = Graph::new(4, vec![(0, 1), (1, 2), (0, 2), (0, 3)]);
+        assert_eq!(max_matching(&g).size(), 2);
+    }
+
+    #[test]
+    fn long_path() {
+        assert_eq!(max_matching(&path(101)).size(), 50);
+    }
+}

@@ -1,0 +1,18 @@
+//! Workload generators.
+//!
+//! Random families ([`random`]), structured families ([`structured`]),
+//! and weight models ([`weights`]). All generators are deterministic in
+//! their seed so every experiment is reproducible.
+
+pub mod random;
+pub mod structured;
+pub mod weights;
+
+pub use random::{
+    barabasi_albert, bipartite_gnp, bipartite_regular, gnm, gnp, random_tree,
+};
+pub use structured::{
+    binary_tree, caterpillar, complete, complete_bipartite, cycle, grid, hypercube, lollipop,
+    p4_chain, path, star,
+};
+pub use weights::{apply_weights, WeightModel};

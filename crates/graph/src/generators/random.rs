@@ -1,0 +1,252 @@
+//! Random graph families.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi G(n, p): every pair is an edge independently with
+/// probability `p`.
+///
+/// Uses the geometric skipping method (Batagelj–Brandes), so generation
+/// is `O(n + m)` rather than `O(n²)`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if p > 0.0 && n >= 2 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if p >= 1.0 {
+            for u in 0..n as NodeId {
+                for v in u + 1..n as NodeId {
+                    b.add_edge(u, v);
+                }
+            }
+        } else {
+            // Iterate over the pairs (v, u), u < v, skipping
+            // geometrically distributed gaps.
+            let lq = (1.0 - p).ln();
+            let (mut v, mut u) = (1i64, -1i64);
+            let n = n as i64;
+            while v < n {
+                let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                u += 1 + (r.ln() / lq).floor() as i64;
+                while u >= v && v < n {
+                    u -= v;
+                    v += 1;
+                }
+                if v < n {
+                    b.add_edge(u as NodeId, v as NodeId);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// G(n, m): exactly `m` distinct uniformly random edges.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max_edges = n * n.saturating_sub(1) / 2;
+    assert!(m <= max_edges, "cannot place {m} edges on {n} nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    while b.len() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Random bipartite graph: sides X = `0..nx`, Y = `nx..nx+ny`; each
+/// cross pair is an edge with probability `p`. Returns the graph and
+/// the side array (`false` = X).
+pub fn bipartite_gnp(nx: usize, ny: usize, p: f64, seed: u64) -> (Graph, Vec<bool>) {
+    assert!((0.0..=1.0).contains(&p));
+    let n = nx + ny;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..nx {
+        for v in 0..ny {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u as NodeId, (nx + v) as NodeId);
+            }
+        }
+    }
+    let sides = (0..n).map(|v| v >= nx).collect();
+    (b.build(), sides)
+}
+
+/// Random `d`-regular bipartite graph on `n + n` nodes: edge set
+/// `{ (x, τ((σ(x) + i) mod n)) : i < d }` for random permutations
+/// `σ, τ`. Each of the `d` shifts is a perfect matching, shifts are
+/// pairwise disjoint, so every node has degree exactly `d`. (Not
+/// uniform over all d-regular bipartite graphs, but a standard
+/// randomized regular family.)
+pub fn bipartite_regular(n: usize, d: usize, seed: u64) -> (Graph, Vec<bool>) {
+    assert!(d <= n, "degree {d} impossible with side size {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sigma: Vec<usize> = (0..n).collect();
+    let mut tau: Vec<usize> = (0..n).collect();
+    for perm in [&mut sigma, &mut tau] {
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+    }
+    let mut b = GraphBuilder::new(2 * n);
+    for x in 0..n {
+        for i in 0..d {
+            let y = tau[(sigma[x] + i) % n];
+            let fresh = b.add_edge(x as NodeId, (n + y) as NodeId);
+            debug_assert!(fresh, "shift construction cannot collide");
+        }
+    }
+    let sides = (0..2 * n).map(|v| v >= n).collect();
+    (b.build(), sides)
+}
+
+/// Uniform random labelled tree (random Prüfer sequence).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    if n <= 1 {
+        return Graph::new(n, vec![]);
+    }
+    if n == 2 {
+        return Graph::new(2, vec![(0, 1)]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // Min-heap of current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("tree invariant");
+        edges.push((leaf as NodeId, v as NodeId));
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            leaves.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().unwrap();
+    let std::cmp::Reverse(b) = leaves.pop().unwrap();
+    edges.push((a as NodeId, b as NodeId));
+    Graph::new(n, edges)
+}
+
+/// Barabási–Albert preferential attachment: start from a clique on
+/// `m0 = m + 1` nodes, then each new node attaches to `m` distinct
+/// existing nodes with probability proportional to degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m, "need n > m ≥ 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut ends: Vec<NodeId> = Vec::new();
+    let m0 = m + 1;
+    for u in 0..m0 as NodeId {
+        for v in u + 1..m0 as NodeId {
+            b.add_edge(u, v);
+            ends.push(u);
+            ends.push(v);
+        }
+    }
+    for v in m0..n {
+        let mut targets = std::collections::HashSet::new();
+        while targets.len() < m {
+            let t = ends[rng.gen_range(0..ends.len())];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            b.add_edge(v as NodeId, t);
+            ends.push(v as NodeId);
+            ends.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_edge_count_is_plausible() {
+        let n = 200;
+        let p = 0.05;
+        let g = gnp(n, p, 1);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let m = g.m() as f64;
+        assert!(
+            (m - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "m = {m}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).m(), 0);
+        assert_eq!(gnp(10, 1.0, 1).m(), 45);
+        assert_eq!(gnp(0, 0.5, 1).n(), 0);
+        assert_eq!(gnp(1, 1.0, 1).m(), 0);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_in_seed() {
+        let a = gnp(50, 0.1, 7);
+        let b = gnp(50, 0.1, 7);
+        assert_eq!(a.edge_list(), b.edge_list());
+        let c = gnp(50, 0.1, 8);
+        assert_ne!(a.edge_list(), c.edge_list());
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        let g = gnm(30, 100, 3);
+        assert_eq!(g.m(), 100);
+    }
+
+    #[test]
+    fn bipartite_gnp_respects_sides() {
+        let (g, sides) = bipartite_gnp(20, 30, 0.2, 5);
+        assert!(crate::bipartite::is_valid_bipartition(&g, &sides));
+        assert_eq!(sides.iter().filter(|&&s| !s).count(), 20);
+    }
+
+    #[test]
+    fn bipartite_regular_degrees() {
+        let (g, sides) = bipartite_regular(32, 4, 9);
+        assert!(crate::bipartite::is_valid_bipartition(&g, &sides));
+        for v in 0..g.n() as NodeId {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for n in [1, 2, 3, 10, 100] {
+            let g = random_tree(n, 11);
+            assert_eq!(g.m(), n.saturating_sub(1));
+            if n > 0 {
+                assert_eq!(g.components(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ba_graph_shape() {
+        let g = barabasi_albert(100, 3, 2);
+        assert_eq!(g.n(), 100);
+        // Clique on 4 + 96 nodes × 3 edges.
+        assert_eq!(g.m(), 6 + 96 * 3);
+        assert_eq!(g.components(), 1);
+    }
+}

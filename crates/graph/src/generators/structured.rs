@@ -1,0 +1,221 @@
+//! Deterministic structured graph families.
+
+use crate::graph::{Graph, NodeId};
+
+/// Path on `n` nodes (`n-1` edges).
+pub fn path(n: usize) -> Graph {
+    let edges = (0..n.saturating_sub(1)).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+    Graph::new(n, edges)
+}
+
+/// Cycle on `n ≥ 3` nodes.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs ≥ 3 nodes");
+    let mut edges: Vec<(NodeId, NodeId)> =
+        (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+    edges.push((n as NodeId - 1, 0));
+    Graph::new(n, edges)
+}
+
+/// Complete graph K_n.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for u in 0..n as NodeId {
+        for v in u + 1..n as NodeId {
+            edges.push((u, v));
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// Complete bipartite graph K_{a,b}; X side is `0..a`. Returns the
+/// graph and the side array.
+pub fn complete_bipartite(a: usize, b: usize) -> (Graph, Vec<bool>) {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u as NodeId, (a + v) as NodeId));
+        }
+    }
+    let sides = (0..a + b).map(|v| v >= a).collect();
+    (Graph::new(a + b, edges), sides)
+}
+
+/// Star with `n-1` leaves around center 0.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1);
+    let edges = (1..n).map(|v| (0, v as NodeId)).collect();
+    Graph::new(n, edges)
+}
+
+/// `w × h` grid graph.
+pub fn grid(w: usize, h: usize) -> Graph {
+    let at = |x: usize, y: usize| (y * w + x) as NodeId;
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((at(x, y), at(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((at(x, y), at(x, y + 1)));
+            }
+        }
+    }
+    Graph::new(w * h, edges)
+}
+
+/// `d`-dimensional hypercube (2^d nodes).
+pub fn hypercube(d: usize) -> Graph {
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(n * d / 2);
+    for v in 0..n {
+        for b in 0..d {
+            let u = v ^ (1 << b);
+            if v < u {
+                edges.push((v as NodeId, u as NodeId));
+            }
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// `copies` disjoint paths of 4 nodes (3 edges) each: the classic
+/// worst case where a careless maximal matching takes only the middle
+/// edge (ratio ½), while the optimum takes both outer edges.
+pub fn p4_chain(copies: usize) -> Graph {
+    let mut edges = Vec::with_capacity(copies * 3);
+    for c in 0..copies {
+        let b = (4 * c) as NodeId;
+        edges.push((b, b + 1));
+        edges.push((b + 1, b + 2));
+        edges.push((b + 2, b + 3));
+    }
+    Graph::new(4 * copies, edges)
+}
+
+/// Complete binary tree of the given depth (`2^(depth+1) - 1` nodes,
+/// root 0, children of `v` at `2v+1`, `2v+2`).
+pub fn binary_tree(depth: usize) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut edges = Vec::with_capacity(n - 1);
+    for v in 1..n {
+        edges.push((((v - 1) / 2) as NodeId, v as NodeId));
+    }
+    Graph::new(n, edges)
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs`
+/// pendant leaves — a tree family on which maximal matchings behave
+/// very differently from paths.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1);
+    let n = spine * (1 + legs);
+    let mut edges = Vec::new();
+    for s in 0..spine {
+        if s + 1 < spine {
+            edges.push((s as NodeId, (s + 1) as NodeId));
+        }
+        for l in 0..legs {
+            edges.push((s as NodeId, (spine + s * legs + l) as NodeId));
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// Lollipop: a clique on `clique` nodes with a path of `tail` nodes
+/// attached — mixes a dense core with a long sparse appendix.
+pub fn lollipop(clique: usize, tail: usize) -> Graph {
+    assert!(clique >= 1);
+    let n = clique + tail;
+    let mut edges = Vec::new();
+    for u in 0..clique {
+        for v in u + 1..clique {
+            edges.push((u as NodeId, v as NodeId));
+        }
+    }
+    for t in 0..tail {
+        let prev = if t == 0 { clique - 1 } else { clique + t - 1 };
+        edges.push((prev as NodeId, (clique + t) as NodeId));
+    }
+    Graph::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_cycle_counts() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(path(1).m(), 0);
+        assert_eq!(path(0).n(), 0);
+    }
+
+    #[test]
+    fn complete_graphs() {
+        assert_eq!(complete(6).m(), 15);
+        let (g, sides) = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert!(crate::bipartite::is_valid_bipartition(&g, &sides));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(4, 3);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 4 * 2); // horizontal + vertical
+        assert_eq!(g.components(), 1);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert!(crate::bipartite::is_bipartite(&g));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(3);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert_eq!(g.components(), 1);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 3);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 3 + 12);
+        assert_eq!(g.components(), 1);
+        assert_eq!(g.degree(0), 4); // 1 spine neighbor + 3 legs
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(5, 4);
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m(), 10 + 4);
+        assert_eq!(g.components(), 1);
+        assert_eq!(g.degree(8), 1);
+    }
+
+    #[test]
+    fn p4_chain_shape() {
+        let g = p4_chain(3);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 9);
+        assert_eq!(g.components(), 3);
+    }
+}

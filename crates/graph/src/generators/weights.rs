@@ -1,0 +1,97 @@
+//! Edge-weight models for the weighted experiments (E5).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distribution from which edge weights are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightModel {
+    /// All weights 1.0 (the unweighted case).
+    Unit,
+    /// Uniform in `[lo, hi)`.
+    Uniform(f64, f64),
+    /// Exponential with the given mean (heavy weight skew).
+    Exponential(f64),
+    /// Uniform integers in `[lo, hi]`, stored as `f64`.
+    Integer(u64, u64),
+    /// Pareto-ish power law: `lo · U^(-1/alpha)`; very heavy tail for
+    /// small `alpha`. Stresses the weight-class machinery of the
+    /// δ-MWM black box.
+    PowerLaw { lo: f64, alpha: f64 },
+}
+
+/// Return a copy of `g` with weights drawn i.i.d. from `model`.
+pub fn apply_weights(g: &Graph, model: WeightModel, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..g.m()).map(|_| draw(&mut rng, model)).collect();
+    g.reweighted(weights)
+}
+
+fn draw(rng: &mut StdRng, model: WeightModel) -> f64 {
+    match model {
+        WeightModel::Unit => 1.0,
+        WeightModel::Uniform(lo, hi) => {
+            assert!(lo < hi && lo >= 0.0);
+            rng.gen_range(lo..hi)
+        }
+        WeightModel::Exponential(mean) => {
+            assert!(mean > 0.0);
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            -mean * u.ln()
+        }
+        WeightModel::Integer(lo, hi) => {
+            assert!(lo <= hi);
+            rng.gen_range(lo..=hi) as f64
+        }
+        WeightModel::PowerLaw { lo, alpha } => {
+            assert!(lo > 0.0 && alpha > 0.0);
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            lo * u.powf(-1.0 / alpha)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::structured::complete;
+
+    #[test]
+    fn unit_weights() {
+        let g = apply_weights(&complete(5), WeightModel::Unit, 0);
+        assert!(g.weight_list().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let g = apply_weights(&complete(10), WeightModel::Uniform(2.0, 5.0), 1);
+        assert!(g.weight_list().iter().all(|&w| (2.0..5.0).contains(&w)));
+    }
+
+    #[test]
+    fn integer_weights_are_integers() {
+        let g = apply_weights(&complete(10), WeightModel::Integer(1, 9), 2);
+        assert!(g.weight_list().iter().all(|&w| w.fract() == 0.0 && (1.0..=9.0).contains(&w)));
+    }
+
+    #[test]
+    fn exponential_mean_plausible() {
+        let g = apply_weights(&complete(40), WeightModel::Exponential(3.0), 3);
+        let mean = g.total_weight() / g.m() as f64;
+        assert!((mean - 3.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn power_law_exceeds_floor() {
+        let g = apply_weights(&complete(10), WeightModel::PowerLaw { lo: 1.0, alpha: 1.5 }, 4);
+        assert!(g.weight_list().iter().all(|&w| w >= 1.0));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = apply_weights(&complete(8), WeightModel::Uniform(0.0, 1.0), 9);
+        let b = apply_weights(&complete(8), WeightModel::Uniform(0.0, 1.0), 9);
+        assert_eq!(a.weight_list(), b.weight_list());
+    }
+}

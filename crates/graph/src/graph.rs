@@ -1,0 +1,311 @@
+//! The core immutable graph type.
+//!
+//! Undirected, simple (no self-loops, no parallel edges), with `f64`
+//! edge weights (1.0 for unweighted workloads). Stored in CSR form with
+//! *edge ids*: every undirected edge has one id, and each incidence-list
+//! entry carries `(neighbor, edge_id)` so matchings and augmentations
+//! can refer to edges unambiguously.
+
+/// Node identifier (compatible with `simnet::NodeId`).
+pub type NodeId = u32;
+/// Edge identifier: index into [`Graph::edges`].
+pub type EdgeId = u32;
+
+/// Sentinel for "no mate" in mate arrays.
+pub const UNMATCHED: NodeId = NodeId::MAX;
+
+/// An immutable undirected weighted graph.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: usize,
+    /// Canonical endpoints, `u < v`.
+    edges: Vec<(NodeId, NodeId)>,
+    weights: Vec<f64>,
+    /// CSR offsets into `adj`.
+    offsets: Vec<usize>,
+    /// Flattened incidence lists, sorted by neighbor id.
+    adj: Vec<(NodeId, EdgeId)>,
+}
+
+impl Graph {
+    /// Build an unweighted graph (all weights 1.0).
+    pub fn new(n: usize, edges: Vec<(NodeId, NodeId)>) -> Self {
+        let w = vec![1.0; edges.len()];
+        Self::with_weights(n, edges, w)
+    }
+
+    /// Build a weighted graph. Endpoints are canonicalized to `u < v`.
+    ///
+    /// Panics on self-loops, duplicate edges, out-of-range endpoints,
+    /// negative or non-finite weights — all modelling errors.
+    pub fn with_weights(n: usize, edges: Vec<(NodeId, NodeId)>, weights: Vec<f64>) -> Self {
+        assert_eq!(edges.len(), weights.len(), "one weight per edge");
+        let mut canon: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len());
+        for &(u, v) in &edges {
+            assert!(u != v, "self-loop at {u}");
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range (n={n})");
+            canon.push((u.min(v), u.max(v)));
+        }
+        for &w in &weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative, got {w}");
+        }
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &canon {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![(0 as NodeId, 0 as EdgeId); acc];
+        for (e, &(u, v)) in canon.iter().enumerate() {
+            adj[cursor[u as usize]] = (v, e as EdgeId);
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = (u, e as EdgeId);
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            let slice = &mut adj[offsets[v]..offsets[v + 1]];
+            slice.sort_unstable();
+            assert!(
+                slice.windows(2).all(|w| w[0].0 != w[1].0),
+                "duplicate edge at node {v}"
+            );
+        }
+        Graph { n, edges: canon, weights, offsets, adj }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Canonical endpoints `(u, v)` with `u < v` of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e as usize]
+    }
+
+    /// The endpoint of `e` that is not `v`.
+    #[inline]
+    pub fn other(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.endpoints(e);
+        debug_assert!(v == a || v == b, "node {v} not incident to edge {e}");
+        if v == a {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Weight of edge `e`.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> f64 {
+        self.weights[e as usize]
+    }
+
+    /// All edges with their canonical endpoints.
+    #[inline]
+    pub fn edge_list(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// All edge weights (indexed by [`EdgeId`]).
+    #[inline]
+    pub fn weight_list(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Incidence list of `v`: `(neighbor, edge_id)` sorted by neighbor.
+    #[inline]
+    pub fn incident(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+    }
+
+    /// Edge id between `u` and `v`, if present.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let inc = self.incident(u);
+        inc.binary_search_by_key(&v, |&(nb, _)| nb).ok().map(|i| inc[i].1)
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Restrict to the edges for which `keep` returns true. Node ids are
+    /// preserved; dropped edges simply disappear. Returns the subgraph
+    /// and a map `new edge id -> original edge id`.
+    pub fn edge_subgraph(&self, mut keep: impl FnMut(EdgeId) -> bool) -> (Graph, Vec<EdgeId>) {
+        let mut edges = Vec::new();
+        let mut weights = Vec::new();
+        let mut back = Vec::new();
+        for e in 0..self.m() as EdgeId {
+            if keep(e) {
+                edges.push(self.edges[e as usize]);
+                weights.push(self.weights[e as usize]);
+                back.push(e);
+            }
+        }
+        (Graph::with_weights(self.n, edges, weights), back)
+    }
+
+    /// Replace all weights (e.g. with derived gains `w_M`). Length must
+    /// match the edge count; weights must be finite and non-negative.
+    pub fn reweighted(&self, weights: Vec<f64>) -> Graph {
+        Graph::with_weights(self.n, self.edges.clone(), weights)
+    }
+
+    /// Number of connected components.
+    pub fn components(&self) -> usize {
+        let mut seen = vec![false; self.n];
+        let mut stack = Vec::new();
+        let mut comps = 0;
+        for s in 0..self.n {
+            if seen[s] {
+                continue;
+            }
+            comps += 1;
+            seen[s] = true;
+            stack.push(s as NodeId);
+            while let Some(v) = stack.pop() {
+                for &(u, _) in self.incident(v) {
+                    if !seen[u as usize] {
+                        seen[u as usize] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        comps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn house() -> Graph {
+        // A 4-cycle with a diagonal and a pendant.
+        Graph::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (3, 4)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = house();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.endpoints(0), (0, 1));
+    }
+
+    #[test]
+    fn incidence_is_sorted_and_consistent() {
+        let g = house();
+        for v in 0..5u32 {
+            let inc = g.incident(v);
+            assert!(inc.windows(2).all(|w| w[0].0 < w[1].0));
+            for &(u, e) in inc {
+                assert_eq!(g.other(e, v), u);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_between_works_both_ways() {
+        let g = house();
+        let e = g.edge_between(2, 0).expect("diagonal");
+        assert_eq!(g.endpoints(e), (0, 2));
+        assert_eq!(g.edge_between(0, 2), Some(e));
+        assert_eq!(g.edge_between(1, 3), None);
+    }
+
+    #[test]
+    fn weights_default_to_one() {
+        let g = house();
+        assert_eq!(g.total_weight(), 6.0);
+        assert_eq!(g.weight(3), 1.0);
+    }
+
+    #[test]
+    fn edge_subgraph_preserves_ids() {
+        let g = house();
+        let (sub, back) = g.edge_subgraph(|e| e % 2 == 0);
+        assert_eq!(sub.m(), 3);
+        assert_eq!(sub.n(), 5);
+        for (new_e, &old_e) in back.iter().enumerate() {
+            assert_eq!(sub.endpoints(new_e as EdgeId), g.endpoints(old_e));
+        }
+    }
+
+    #[test]
+    fn reweighted_replaces_weights() {
+        let g = house();
+        let g2 = g.reweighted(vec![2.0; 6]);
+        assert_eq!(g2.total_weight(), 12.0);
+        assert_eq!(g2.endpoints(5), g.endpoints(5));
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = Graph::new(6, vec![(0, 1), (2, 3), (3, 4)]);
+        assert_eq!(g.components(), 3); // {0,1}, {2,3,4}, {5}
+        assert_eq!(house().components(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        Graph::new(2, vec![(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_parallel_edges() {
+        Graph::new(3, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weights() {
+        Graph::with_weights(2, vec![(0, 1)], vec![-1.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0, vec![]);
+        assert!(g.is_empty());
+        assert_eq!(g.components(), 0);
+    }
+}

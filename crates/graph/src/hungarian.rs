@@ -1,0 +1,218 @@
+//! Hungarian algorithm (Jonker–Volgenant potentials form, `O(n³)`):
+//! exact **maximum-weight bipartite matching**.
+//!
+//! Exact baseline for the weighted experiments on bipartite inputs.
+//! Non-edges are modelled as weight-0 dummy pairs, so the matching is
+//! not forced to be perfect: leaving a vertex unmatched is always an
+//! option and zero/dummy pairs are dropped from the result.
+
+use crate::graph::{Graph, NodeId};
+use crate::matching::Matching;
+
+/// Solve the square min-cost assignment problem; `cost[i][j]` is the
+/// cost of assigning row `i` to column `j`. Returns the column assigned
+/// to each row.
+///
+/// Classic shortest-augmenting-path formulation with row/column
+/// potentials (1-indexed internally).
+pub fn assignment(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(cost.iter().all(|row| row.len() == n), "cost matrix must be square");
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut row_to_col = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    row_to_col
+}
+
+/// Exact maximum-weight matching of a bipartite graph
+/// (`sides[v] == false` = X side). Not necessarily perfect: only real
+/// edges with positive weight are kept.
+pub fn max_weight_matching(g: &Graph, sides: &[bool]) -> Matching {
+    assert!(
+        crate::bipartite::is_valid_bipartition(g, sides),
+        "hungarian requires a valid bipartition"
+    );
+    let left: Vec<NodeId> = (0..g.n() as NodeId).filter(|&v| !sides[v as usize]).collect();
+    let right: Vec<NodeId> = (0..g.n() as NodeId).filter(|&v| sides[v as usize]).collect();
+    let k = left.len().max(right.len());
+    if k == 0 {
+        return Matching::new(g.n());
+    }
+    let mut right_index = vec![usize::MAX; g.n()];
+    for (j, &r) in right.iter().enumerate() {
+        right_index[r as usize] = j;
+    }
+    // Min-cost = −weight for real edges, 0 for dummy pairs.
+    let mut cost = vec![vec![0.0f64; k]; k];
+    for (i, &l) in left.iter().enumerate() {
+        for &(nb, e) in g.incident(l) {
+            cost[i][right_index[nb as usize]] = -g.weight(e);
+        }
+    }
+    let row_to_col = assignment(&cost);
+    let mut m = Matching::new(g.n());
+    for (i, &j) in row_to_col.iter().enumerate() {
+        if i < left.len() && j < right.len() {
+            if let Some(e) = g.edge_between(left[i], right[j]) {
+                if g.weight(e) > 0.0 {
+                    m.add(g, e);
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::two_color;
+
+    #[test]
+    fn assignment_small() {
+        // Classic 3×3 instance; optimum picks the anti-diagonal-ish.
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let cols = assignment(&cost);
+        let total: f64 = cols.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+        assert_eq!(total, 5.0); // 1 + 2 + 2
+    }
+
+    #[test]
+    fn assignment_empty() {
+        assert!(assignment(&[]).is_empty());
+    }
+
+    #[test]
+    fn mwm_prefers_heavy_pair() {
+        // X = {0,1}, Y = {2,3}. Edge (0,2)=10 beats (0,3)+(1,2)=2+3.
+        let g = Graph::with_weights(
+            4,
+            vec![(0, 2), (0, 3), (1, 2)],
+            vec![10.0, 2.0, 3.0],
+        );
+        let sides = vec![false, false, true, true];
+        let m = max_weight_matching(&g, &sides);
+        assert_eq!(m.weight(&g), 10.0);
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn mwm_picks_two_light_over_one_heavy_when_better() {
+        // (0,3)+(1,2) = 6+7 = 13 > (0,2) = 10.
+        let g = Graph::with_weights(
+            4,
+            vec![(0, 2), (0, 3), (1, 2)],
+            vec![10.0, 6.0, 7.0],
+        );
+        let sides = vec![false, false, true, true];
+        let m = max_weight_matching(&g, &sides);
+        assert_eq!(m.weight(&g), 13.0);
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn unbalanced_and_sparse() {
+        let g = Graph::with_weights(5, vec![(0, 4), (1, 4)], vec![3.0, 8.0]);
+        let sides = vec![false, false, false, false, true];
+        let m = max_weight_matching(&g, &sides);
+        assert_eq!(m.weight(&g), 8.0);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        use crate::generators::random::bipartite_gnp;
+        use crate::generators::weights::{apply_weights, WeightModel};
+        for seed in 0..6 {
+            let (g0, sides) = bipartite_gnp(5, 5, 0.5, seed);
+            let g = apply_weights(&g0, WeightModel::Integer(1, 20), seed * 3 + 1);
+            let hung = max_weight_matching(&g, &sides);
+            let exact = crate::mwm_exact::max_weight_matching_exact(&g);
+            assert!(
+                (hung.weight(&g) - exact.weight(&g)).abs() < 1e-9,
+                "seed {seed}: hungarian {} vs exact {}",
+                hung.weight(&g),
+                exact.weight(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn unit_weights_recover_maximum_cardinality() {
+        use crate::generators::random::bipartite_gnp;
+        for seed in 0..5 {
+            let (g, sides) = bipartite_gnp(8, 8, 0.3, 40 + seed);
+            let mwm = max_weight_matching(&g, &sides);
+            let hk = crate::hopcroft_karp::max_matching(&g, &sides);
+            assert_eq!(mwm.size(), hk.size(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn path_weighted() {
+        // Path 0-1-2-3 with weights 1, 10, 1: optimum is the middle edge.
+        let g = Graph::with_weights(4, vec![(0, 1), (1, 2), (2, 3)], vec![1.0, 10.0, 1.0]);
+        let sides = two_color(&g).unwrap();
+        let m = max_weight_matching(&g, &sides);
+        assert_eq!(m.weight(&g), 10.0);
+    }
+}

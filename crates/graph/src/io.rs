@@ -1,0 +1,163 @@
+//! Plain-text graph serialization (DIMACS-like edge-list format).
+//!
+//! Lets experiments pin down workloads as files and makes the library
+//! usable on external graphs. Format:
+//!
+//! ```text
+//! c any number of comment lines
+//! p edge <n> <m>
+//! e <u> <v> [weight]       (1-based endpoints, weight defaults to 1)
+//! ```
+
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// Serialize a graph to DIMACS-like text (weights included whenever
+/// any edge weight differs from 1).
+pub fn to_dimacs(g: &Graph) -> String {
+    let weighted = g.weight_list().iter().any(|&w| w != 1.0);
+    let mut s = String::new();
+    let _ = writeln!(s, "c distributed-matching graph");
+    let _ = writeln!(s, "p edge {} {}", g.n(), g.m());
+    for e in 0..g.m() as u32 {
+        let (u, v) = g.endpoints(e);
+        if weighted {
+            let _ = writeln!(s, "e {} {} {}", u + 1, v + 1, g.weight(e));
+        } else {
+            let _ = writeln!(s, "e {} {}", u + 1, v + 1);
+        }
+    }
+    s
+}
+
+/// Parse errors for [`from_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse<T: FromStr>(line: usize, tok: Option<&str>, what: &str) -> Result<T, ParseError> {
+    tok.ok_or_else(|| err(line, format!("missing {what}")))?
+        .parse::<T>()
+        .map_err(|_| err(line, format!("invalid {what}")))
+}
+
+/// Parse DIMACS-like text into a [`Graph`].
+///
+/// ```
+/// let g = dgraph::io::from_dimacs("p edge 3 2\ne 1 2\ne 2 3 2.5\n").unwrap();
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.total_weight(), 3.5);
+/// ```
+pub fn from_dimacs(text: &str) -> Result<Graph, ParseError> {
+    let mut n: Option<usize> = None;
+    let mut declared_m = 0usize;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("p") => {
+                if n.is_some() {
+                    return Err(err(lineno, "duplicate problem line"));
+                }
+                let kind = toks.next().unwrap_or("");
+                if kind != "edge" {
+                    return Err(err(lineno, format!("unsupported problem kind '{kind}'")));
+                }
+                n = Some(parse(lineno, toks.next(), "node count")?);
+                declared_m = parse(lineno, toks.next(), "edge count")?;
+            }
+            Some("e") => {
+                let n = n.ok_or_else(|| err(lineno, "edge before problem line"))?;
+                let u: usize = parse(lineno, toks.next(), "endpoint")?;
+                let v: usize = parse(lineno, toks.next(), "endpoint")?;
+                if u == 0 || v == 0 || u > n || v > n {
+                    return Err(err(lineno, format!("endpoint out of range 1..={n}")));
+                }
+                let w = match toks.next() {
+                    Some(t) => t.parse::<f64>().map_err(|_| err(lineno, "invalid weight"))?,
+                    None => 1.0,
+                };
+                edges.push(((u - 1) as NodeId, (v - 1) as NodeId));
+                weights.push(w);
+            }
+            Some(other) => return Err(err(lineno, format!("unknown record '{other}'"))),
+            None => unreachable!("empty lines were skipped"),
+        }
+    }
+    let n = n.ok_or_else(|| err(0, "no problem line"))?;
+    if edges.len() != declared_m {
+        return Err(err(0, format!("declared {declared_m} edges, found {}", edges.len())));
+    }
+    Ok(Graph::with_weights(n, edges, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::gnp;
+    use crate::generators::weights::{apply_weights, WeightModel};
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = gnp(20, 0.2, 3);
+        let text = to_dimacs(&g);
+        let g2 = from_dimacs(&text).expect("parse");
+        assert_eq!(g.n(), g2.n());
+        assert_eq!(g.edge_list(), g2.edge_list());
+        assert!(!text.contains("e 1 2 1\n"), "unit weights omitted");
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let g = apply_weights(&gnp(15, 0.25, 4), WeightModel::Uniform(0.5, 3.0), 5);
+        let g2 = from_dimacs(&to_dimacs(&g)).expect("parse");
+        assert_eq!(g.edge_list(), g2.edge_list());
+        for e in 0..g.m() as u32 {
+            assert!((g.weight(e) - g2.weight(e)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = from_dimacs("c hello\n\np edge 3 2\nc mid\ne 1 2\ne 2 3 4.5\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.weight(g.edge_between(1, 2).unwrap()), 4.5);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(from_dimacs("e 1 2\n").is_err(), "edge before p line");
+        assert!(from_dimacs("p edge 2 1\ne 1 3\n").is_err(), "out of range");
+        assert!(from_dimacs("p edge 2 2\ne 1 2\n").is_err(), "count mismatch");
+        assert!(from_dimacs("p foo 2 1\ne 1 2\n").is_err(), "bad kind");
+        assert!(from_dimacs("p edge 2 1\nx 1 2\n").is_err(), "bad record");
+        assert!(from_dimacs("").is_err(), "empty input");
+        let e = from_dimacs("p edge 2 1\ne 1 zz\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+}

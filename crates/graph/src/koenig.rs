@@ -1,0 +1,136 @@
+//! König duality: minimum vertex cover from a maximum bipartite
+//! matching.
+//!
+//! König's theorem: in bipartite graphs, the minimum vertex cover and
+//! the maximum matching have the same size. Constructing the cover
+//! gives an **independent optimality certificate** for Hopcroft–Karp:
+//! a vertex cover of size `|M|` proves no matching can exceed `|M|`.
+//! The property tests certify every HK run this way.
+
+use crate::graph::{Graph, NodeId};
+use crate::matching::Matching;
+
+/// Compute a minimum vertex cover of a bipartite graph from a
+/// **maximum** matching (König's construction): let `Z` be the set of
+/// vertices reachable from free X vertices by alternating paths; the
+/// cover is `(X \ Z) ∪ (Y ∩ Z)`.
+///
+/// The result is only guaranteed to be a cover of size `|M|` when `m`
+/// is maximum; [`verify_cover`] checks both properties.
+pub fn min_vertex_cover(g: &Graph, sides: &[bool], m: &Matching) -> Vec<NodeId> {
+    assert!(
+        crate::bipartite::is_valid_bipartition(g, sides),
+        "König requires a bipartition"
+    );
+    let n = g.n();
+    let mut reach = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for v in 0..n as NodeId {
+        if !sides[v as usize] && m.is_free(v) {
+            reach[v as usize] = true;
+            queue.push_back(v);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let from_x = !sides[v as usize];
+        for &(u, e) in g.incident(v) {
+            let matched = m.contains(g, e);
+            // Alternate: unmatched edges leave X, matched edges leave Y.
+            if from_x == matched || reach[u as usize] {
+                continue;
+            }
+            reach[u as usize] = true;
+            queue.push_back(u);
+        }
+    }
+    (0..n as NodeId)
+        .filter(|&v| {
+            let x_side = !sides[v as usize];
+            if x_side {
+                !reach[v as usize]
+            } else {
+                reach[v as usize]
+            }
+        })
+        .collect()
+}
+
+/// Check that `cover` covers every edge of `g`.
+pub fn verify_cover(g: &Graph, cover: &[NodeId]) -> bool {
+    let mut in_cover = vec![false; g.n()];
+    for &v in cover {
+        in_cover[v as usize] = true;
+    }
+    g.edge_list()
+        .iter()
+        .all(|&(u, v)| in_cover[u as usize] || in_cover[v as usize])
+}
+
+/// Maximum independent set of a bipartite graph (Gallai: the
+/// complement of a minimum vertex cover).
+pub fn max_independent_set(g: &Graph, sides: &[bool], m: &Matching) -> Vec<NodeId> {
+    let cover = min_vertex_cover(g, sides, m);
+    let mut in_cover = vec![false; g.n()];
+    for &v in &cover {
+        in_cover[v as usize] = true;
+    }
+    (0..g.n() as NodeId).filter(|&v| !in_cover[v as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::bipartite_gnp;
+    use crate::generators::structured::complete_bipartite;
+    use crate::hopcroft_karp;
+
+    #[test]
+    fn koenig_certifies_hopcroft_karp() {
+        for seed in 0..20 {
+            let (g, sides) = bipartite_gnp(12, 14, 0.2, seed);
+            let m = hopcroft_karp::max_matching(&g, &sides);
+            let cover = min_vertex_cover(&g, &sides, &m);
+            assert!(verify_cover(&g, &cover), "seed {seed}: not a cover");
+            assert_eq!(
+                cover.len(),
+                m.size(),
+                "seed {seed}: König size mismatch — HK not maximum or cover not minimum"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_cover_is_smaller_side() {
+        let (g, sides) = complete_bipartite(4, 9);
+        let m = hopcroft_karp::max_matching(&g, &sides);
+        let cover = min_vertex_cover(&g, &sides, &m);
+        assert_eq!(cover.len(), 4);
+        assert!(verify_cover(&g, &cover));
+    }
+
+    #[test]
+    fn independent_set_complements_cover() {
+        let (g, sides) = bipartite_gnp(8, 8, 0.3, 3);
+        let m = hopcroft_karp::max_matching(&g, &sides);
+        let is = max_independent_set(&g, &sides, &m);
+        assert_eq!(is.len(), g.n() - m.size(), "Gallai identity");
+        // No edge inside the independent set.
+        let mut in_set = vec![false; g.n()];
+        for &v in &is {
+            in_set[v as usize] = true;
+        }
+        assert!(g
+            .edge_list()
+            .iter()
+            .all(|&(u, v)| !(in_set[u as usize] && in_set[v as usize])));
+    }
+
+    #[test]
+    fn edgeless_graph_has_empty_cover() {
+        let g = Graph::new(5, vec![]);
+        let sides = vec![false; 5];
+        let m = Matching::new(5);
+        assert!(min_vertex_cover(&g, &sides, &m).is_empty());
+        assert_eq!(max_independent_set(&g, &sides, &m).len(), 5);
+    }
+}

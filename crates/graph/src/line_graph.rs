@@ -1,0 +1,91 @@
+//! Line graphs: the classic matching ↔ independent-set reduction.
+//!
+//! `L(G)` has one node per edge of `G`, adjacent iff the edges share an
+//! endpoint. A matching in `G` is exactly an independent set in `L(G)`,
+//! and a *maximal* matching is a *maximal* independent set — the
+//! reduction that lets Luby's MIS (Section 3's workhorse) compute
+//! maximal matchings, and the lens through which the paper's conflict
+//! graph `C_M(ℓ)` generalizes `L(G)` from edges to augmenting paths.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::matching::Matching;
+
+/// Build the line graph `L(G)`. Node `e` of the result corresponds to
+/// edge `e` of `g` (same index). Weights carry over.
+pub fn line_graph(g: &Graph) -> Graph {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    // Two edges are adjacent iff they appear together in some
+    // incidence list; enumerate per vertex to avoid O(m²).
+    for v in 0..g.n() as NodeId {
+        let inc = g.incident(v);
+        for i in 0..inc.len() {
+            for j in i + 1..inc.len() {
+                let (a, b) = (inc[i].1.min(inc[j].1), inc[i].1.max(inc[j].1));
+                edges.push((a, b));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let mut weights = Vec::with_capacity(edges.len());
+    weights.resize(edges.len(), 1.0);
+    Graph::with_weights(g.m(), edges, weights)
+}
+
+/// Interpret an independent set of `L(G)` (indicator per edge of `G`)
+/// as a matching of `G`. Panics if the set was not independent.
+pub fn matching_from_independent_set(g: &Graph, independent: &[bool]) -> Matching {
+    let edges: Vec<EdgeId> = (0..g.m() as EdgeId)
+        .filter(|&e| independent[e as usize])
+        .collect();
+    Matching::from_edges(g, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::gnp;
+    use crate::generators::structured::{path, star, complete};
+
+    #[test]
+    fn line_graph_shapes() {
+        // L(P4) = P3; L(K3) = K3; L(star_n) = K_{n-1}.
+        assert_eq!(line_graph(&path(4)).edge_list(), &[(0, 1), (1, 2)]);
+        assert_eq!(line_graph(&complete(3)).m(), 3);
+        let ls = line_graph(&star(5));
+        assert_eq!(ls.n(), 4);
+        assert_eq!(ls.m(), 6); // K4
+    }
+
+    #[test]
+    fn independent_sets_are_matchings() {
+        for seed in 0..10 {
+            let g = gnp(14, 0.25, seed);
+            let lg = line_graph(&g);
+            // Any maximal independent set of L(G), greedily.
+            let mut indep = vec![false; lg.n()];
+            let mut blocked = vec![false; lg.n()];
+            for v in 0..lg.n() {
+                if !blocked[v] {
+                    indep[v] = true;
+                    for &(u, _) in lg.incident(v as NodeId) {
+                        blocked[u as usize] = true;
+                    }
+                }
+            }
+            let m = matching_from_independent_set(&g, &indep);
+            assert!(m.validate(&g).is_ok(), "seed {seed}");
+            assert!(m.is_maximal(&g), "seed {seed}: maximal IS must give maximal matching");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        let g = Graph::new(3, vec![]);
+        assert_eq!(line_graph(&g).n(), 0);
+        let g = Graph::new(2, vec![(0, 1)]);
+        let lg = line_graph(&g);
+        assert_eq!(lg.n(), 1);
+        assert_eq!(lg.m(), 0);
+    }
+}

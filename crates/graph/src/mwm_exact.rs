@@ -1,0 +1,166 @@
+//! Exact maximum-weight matching on **small general graphs** by bitmask
+//! dynamic programming — `O(2ⁿ · Δ)` time, `O(2ⁿ)` space, `n ≤ 22`.
+//!
+//! The only exact general-graph MWM oracle in the workspace (weighted
+//! blossom is out of scope); experiments on larger general weighted
+//! graphs fall back to the bipartite Hungarian baseline or to certified
+//! upper bounds.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::matching::Matching;
+
+/// Largest `n` accepted by [`max_weight_matching_exact`].
+pub const MAX_EXACT_NODES: usize = 22;
+
+/// Exact maximum-weight matching by DP over vertex subsets.
+///
+/// Panics if `g.n() > MAX_EXACT_NODES`.
+pub fn max_weight_matching_exact(g: &Graph) -> Matching {
+    let n = g.n();
+    assert!(
+        n <= MAX_EXACT_NODES,
+        "exact MWM limited to {MAX_EXACT_NODES} nodes, got {n}"
+    );
+    if n == 0 {
+        return Matching::new(0);
+    }
+    let full = 1usize << n;
+    // best[mask] = max weight matching using only vertices in mask.
+    let mut best = vec![0.0f64; full];
+    // choice[mask] = edge matched at the lowest set bit, or NONE.
+    const NONE: EdgeId = EdgeId::MAX;
+    let mut choice = vec![NONE; full];
+    for mask in 1..full {
+        let v = mask.trailing_zeros() as NodeId;
+        // Option 1: leave v unmatched.
+        let without = mask & (mask - 1);
+        best[mask] = best[without];
+        choice[mask] = NONE;
+        // Option 2: match v to a neighbor in the mask.
+        for &(u, e) in g.incident(v) {
+            let ub = 1usize << u;
+            if mask & ub != 0 {
+                let rest = mask & !(1usize << v) & !ub;
+                let cand = best[rest] + g.weight(e);
+                if cand > best[mask] {
+                    best[mask] = cand;
+                    choice[mask] = e;
+                }
+            }
+        }
+    }
+    // Reconstruct.
+    let mut m = Matching::new(n);
+    let mut mask = full - 1;
+    while mask != 0 {
+        let e = choice[mask];
+        let v = mask.trailing_zeros() as usize;
+        if e == NONE {
+            mask &= mask - 1;
+        } else {
+            if g.weight(e) > 0.0 {
+                m.add(g, e);
+            }
+            let (a, b) = g.endpoints(e);
+            debug_assert!(a as usize == v || b as usize == v);
+            mask &= !(1usize << a);
+            mask &= !(1usize << b);
+        }
+    }
+    m
+}
+
+/// Exact maximum weight (scalar only), for assertions.
+pub fn max_weight_exact(g: &Graph) -> f64 {
+    max_weight_matching_exact(g).weight(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::gnp;
+    use crate::generators::structured::{complete, cycle};
+    use crate::generators::weights::{apply_weights, WeightModel};
+
+    /// Brute force over all subsets of edges (tiny graphs only).
+    fn brute_force(g: &Graph) -> f64 {
+        let m = g.m();
+        assert!(m <= 20);
+        let mut best = 0.0f64;
+        'outer: for mask in 0..(1usize << m) {
+            let mut usedv = 0u64;
+            let mut w = 0.0;
+            for e in 0..m {
+                if mask & (1 << e) != 0 {
+                    let (a, b) = g.endpoints(e as EdgeId);
+                    let bits = (1u64 << a) | (1u64 << b);
+                    if usedv & bits != 0 {
+                        continue 'outer;
+                    }
+                    usedv |= bits;
+                    w += g.weight(e as EdgeId);
+                }
+            }
+            best = best.max(w);
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..8 {
+            let g0 = gnp(7, 0.4, seed);
+            if g0.m() > 20 {
+                continue;
+            }
+            let g = apply_weights(&g0, WeightModel::Uniform(0.5, 4.0), seed + 100);
+            let dp = max_weight_exact(&g);
+            let bf = brute_force(&g);
+            assert!((dp - bf).abs() < 1e-9, "seed {seed}: dp={dp} bf={bf}");
+        }
+    }
+
+    #[test]
+    fn unit_weights_give_maximum_cardinality() {
+        for seed in 0..5 {
+            let g = gnp(10, 0.3, 50 + seed);
+            let dp = max_weight_matching_exact(&g);
+            let bl = crate::blossom::max_matching(&g);
+            assert_eq!(dp.size(), bl.size(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn odd_cycle_weighted() {
+        // C5 with one heavy edge: optimum takes the heavy edge plus the
+        // best disjoint one.
+        let g = Graph::with_weights(
+            5,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+            vec![10.0, 1.0, 2.0, 1.0, 1.0],
+        );
+        assert_eq!(max_weight_exact(&g), 12.0);
+        let _ = cycle(5); // family sanity
+    }
+
+    #[test]
+    fn result_is_valid_matching() {
+        let g = apply_weights(&complete(8), WeightModel::Integer(1, 9), 3);
+        let m = max_weight_matching_exact(&g);
+        assert!(m.validate(&g).is_ok());
+        assert_eq!(m.size(), 4, "complete graph with positive weights matches perfectly");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(max_weight_exact(&Graph::new(0, vec![])), 0.0);
+        assert_eq!(max_weight_exact(&Graph::new(1, vec![])), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn rejects_large_graphs() {
+        let g = Graph::new(23, vec![]);
+        max_weight_matching_exact(&g);
+    }
+}

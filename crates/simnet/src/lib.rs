@@ -1,0 +1,89 @@
+//! # simnet — a synchronous message-passing network simulator
+//!
+//! This crate implements the execution model of Peleg-style distributed
+//! graph algorithms (the model of Section 2 of *Improved Distributed
+//! Approximate Matching*, SPAA'08): computation proceeds in synchronous
+//! rounds; in each round every processor sends (possibly different)
+//! messages to each of its neighbors, receives the messages sent to it,
+//! and performs local computation.
+//!
+//! The simulator accounts for
+//!
+//! * the number of **rounds** executed,
+//! * the number of **messages** and total **bits** sent, and
+//! * the **maximum message size in bits** (to check CONGEST compliance:
+//!   `O(log n)`-bit messages vs. the LOCAL model's unbounded messages).
+//!
+//! Protocols implement [`Protocol`]; a [`Network`] couples one protocol
+//! state per node with a [`Topology`] and drives rounds until all nodes
+//! halt. Determinism is guaranteed: per-node RNG streams are derived from
+//! a master seed with SplitMix64, and inboxes are delivered in a fixed
+//! port order, so sequential and parallel execution produce identical
+//! results.
+//!
+//! ```
+//! use simnet::{Network, Protocol, Ctx, Envelope, Topology};
+//!
+//! /// Every node learns the minimum id in its connected component.
+//! struct MinId { known: u32, changed: bool }
+//! impl Protocol for MinId {
+//!     type Msg = u32;
+//!     fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Envelope<u32>]) {
+//!         for env in inbox {
+//!             if env.msg < self.known { self.known = env.msg; self.changed = true; }
+//!         }
+//!         if self.changed || ctx.round() == 0 {
+//!             ctx.send_all(self.known);
+//!             self.changed = false;
+//!         }
+//!     }
+//! }
+//!
+//! let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+//! let nodes = (0..4).map(|v| MinId { known: v, changed: false }).collect();
+//! let mut net = Network::new(topo, nodes, 42);
+//! net.run_until_quiet(100);
+//! assert!(net.nodes().iter().all(|n| n.known == 0));
+//! ```
+
+pub mod message;
+pub mod network;
+pub mod parallel;
+pub mod rng;
+pub mod stats;
+pub mod topology;
+pub mod tree;
+
+pub use message::{BitSize, Envelope};
+pub use network::{Ctx, Network, Protocol, RunOutcome};
+pub use rng::SplitMix64;
+pub use stats::{NetStats, RoundTrace};
+pub use topology::{NodeId, Port, Topology};
+
+/// The number of bits needed to write ids in a network of `n` nodes,
+/// i.e. `ceil(log2 n)` (at least 1). This is the CONGEST yardstick: a
+/// message of `O(log n)` bits is a constant number of id-sized words.
+pub fn id_bits(n: usize) -> u64 {
+    (usize::BITS - n.max(2).saturating_sub(1).leading_zeros()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_bits_matches_ceil_log2() {
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(4), 2);
+        assert_eq!(id_bits(5), 3);
+        assert_eq!(id_bits(1024), 10);
+        assert_eq!(id_bits(1025), 11);
+    }
+
+    #[test]
+    fn id_bits_small_inputs_do_not_panic() {
+        assert_eq!(id_bits(0), 1);
+        assert_eq!(id_bits(1), 1);
+    }
+}

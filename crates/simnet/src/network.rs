@@ -1,0 +1,471 @@
+//! The synchronous round loop.
+//!
+//! A [`Network`] owns one [`Protocol`] state per node plus the
+//! [`Topology`]. Each call to [`Network::step`] executes one synchronous
+//! round: every live node receives the messages addressed to it in the
+//! previous round, runs its local computation, and emits messages for
+//! the next round. All accounting (rounds, messages, bits) happens here.
+
+use crate::message::{BitSize, Envelope};
+use crate::rng::SplitMix64;
+use crate::stats::NetStats;
+use crate::topology::{NodeId, Port, Topology};
+
+/// A distributed algorithm, from the point of view of a single node.
+///
+/// The same `Protocol` value is stepped once per round. State lives in
+/// the implementing struct; randomness comes from the per-node stream in
+/// [`Ctx::rng`]; communication goes through [`Ctx::send`].
+pub trait Protocol: Send {
+    /// The message type this protocol puts on wires.
+    type Msg: Clone + Send + Sync + BitSize;
+
+    /// Execute one synchronous round.
+    ///
+    /// `inbox` holds the messages sent to this node in the previous
+    /// round, ordered by the local port they arrived on (hence by sender
+    /// id, since neighbor lists are sorted). Round 0 has an empty inbox.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[Envelope<Self::Msg>]);
+}
+
+/// Per-round, per-node execution context handed to [`Protocol::on_round`].
+pub struct Ctx<'a, M> {
+    id: NodeId,
+    round: u64,
+    topo: &'a Topology,
+    rng: &'a mut SplitMix64,
+    out: &'a mut Vec<(Port, M)>,
+    halted: &'a mut bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Internal constructor used by the sequential and parallel executors.
+    pub(crate) fn new(
+        id: NodeId,
+        round: u64,
+        topo: &'a Topology,
+        rng: &'a mut SplitMix64,
+        out: &'a mut Vec<(Port, M)>,
+        halted: &'a mut bool,
+    ) -> Self {
+        Ctx { id, round, topo, rng, out, halted }
+    }
+
+    /// This node's id.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The current round number (0-based).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Degree of this node.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.topo.degree(self.id)
+    }
+
+    /// Sorted neighbor ids.
+    #[inline]
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.topo.neighbors(self.id)
+    }
+
+    /// Neighbor on `port`.
+    #[inline]
+    pub fn neighbor(&self, port: Port) -> NodeId {
+        self.topo.neighbor(self.id, port)
+    }
+
+    /// Port leading to neighbor `u`, if adjacent.
+    #[inline]
+    pub fn port_to(&self, u: NodeId) -> Option<Port> {
+        self.topo.port_to(self.id, u)
+    }
+
+    /// This node's deterministic RNG stream.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        self.rng
+    }
+
+    /// Send `msg` to the neighbor on `port`; delivered next round.
+    #[inline]
+    pub fn send(&mut self, port: Port, msg: M) {
+        debug_assert!(port < self.topo.degree(self.id), "send on invalid port");
+        self.out.push((port, msg));
+    }
+
+    /// Send a copy of `msg` to every neighbor.
+    pub fn send_all(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for port in 0..self.degree() {
+            self.out.push((port, msg.clone()));
+        }
+    }
+
+    /// Stop participating: this node will not be stepped again and
+    /// messages sent to it are dropped. Messages it sent *this* round
+    /// are still delivered.
+    #[inline]
+    pub fn halt(&mut self) {
+        *self.halted = true;
+    }
+}
+
+/// Result of driving a network with one of the `run_*` methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Rounds executed by this call (not cumulative).
+    pub rounds: u64,
+    /// True if every node halted.
+    pub all_halted: bool,
+    /// True if the run ended because the network went quiet (no
+    /// messages in flight and none produced).
+    pub quiescent: bool,
+}
+
+/// A synchronous network: topology + per-node protocol state.
+pub struct Network<P: Protocol> {
+    pub(crate) topo: Topology,
+    pub(crate) nodes: Vec<P>,
+    pub(crate) halted: Vec<bool>,
+    pub(crate) rngs: Vec<SplitMix64>,
+    pub(crate) inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    pub(crate) stats: NetStats,
+    pub(crate) round: u64,
+    /// Number of worker threads for node stepping (1 = sequential).
+    pub(crate) threads: usize,
+    /// Message-loss probability (fault injection; 0.0 = reliable).
+    pub(crate) loss: f64,
+    /// RNG stream deciding drops (independent of node streams so that
+    /// enabling faults does not perturb node randomness).
+    pub(crate) loss_rng: SplitMix64,
+    /// Messages dropped by fault injection.
+    pub(crate) dropped: u64,
+}
+
+impl<P: Protocol> Network<P> {
+    /// Create a network. `nodes[v]` is the protocol state of node `v`;
+    /// its RNG stream is derived from `seed` and `v`.
+    pub fn new(topo: Topology, nodes: Vec<P>, seed: u64) -> Self {
+        assert_eq!(topo.len(), nodes.len(), "one protocol state per node");
+        let n = topo.len();
+        let rngs = (0..n).map(|v| SplitMix64::for_node(seed, v as u64)).collect();
+        Network {
+            topo,
+            nodes,
+            halted: vec![false; n],
+            rngs,
+            inboxes: vec![Vec::new(); n],
+            stats: NetStats::default(),
+            round: 0,
+            threads: 1,
+            loss: 0.0,
+            loss_rng: SplitMix64::for_node(seed, u64::MAX),
+            dropped: 0,
+        }
+    }
+
+    /// Use `threads` worker threads to step nodes (results are identical
+    /// to sequential execution; see `parallel.rs`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Inject message loss: every message is independently dropped with
+    /// probability `p` **after** being charged to the statistics (the
+    /// sender paid for it). The paper's model is fault-free; this knob
+    /// exists for robustness testing — protocols are expected to keep
+    /// their *safety* properties but may lose liveness.
+    pub fn with_message_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.loss = p;
+        self
+    }
+
+    /// Messages dropped by fault injection so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The communication graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Immutable view of all node states.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Mutable view of all node states (for harness-level phase changes).
+    pub fn nodes_mut(&mut self) -> &mut [P] {
+        &mut self.nodes
+    }
+
+    /// Consume the network, returning node states and statistics.
+    pub fn into_parts(self) -> (Vec<P>, NetStats) {
+        (self.nodes, self.stats)
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// True when every node has halted.
+    pub fn all_halted(&self) -> bool {
+        self.halted.iter().all(|&h| h)
+    }
+
+    /// Execute one synchronous round. Returns the number of messages
+    /// sent during the round.
+    pub fn step(&mut self) -> u64 {
+        if self.threads > 1 {
+            return crate::parallel::step_parallel(self);
+        }
+        let n = self.topo.len();
+        let mut sent: Vec<(NodeId, Port, P::Msg)> = Vec::new();
+        let mut out: Vec<(Port, P::Msg)> = Vec::new();
+        for v in 0..n {
+            if self.halted[v] {
+                continue;
+            }
+            let inbox = std::mem::take(&mut self.inboxes[v]);
+            let mut ctx = Ctx {
+                id: v as NodeId,
+                round: self.round,
+                topo: &self.topo,
+                rng: &mut self.rngs[v],
+                out: &mut out,
+                halted: &mut self.halted[v],
+            };
+            self.nodes[v].on_round(&mut ctx, &inbox);
+            for (port, msg) in out.drain(..) {
+                sent.push((v as NodeId, port, msg));
+            }
+        }
+        let count = self.deliver(sent);
+        self.round += 1;
+        self.stats.record_round(count);
+        count
+    }
+
+    /// Route raw `(from, port, msg)` triples into inboxes, updating
+    /// message/bit statistics. Inboxes are kept sorted by arrival port
+    /// so delivery order is deterministic and scheduler-independent.
+    pub(crate) fn deliver(&mut self, sent: Vec<(NodeId, Port, P::Msg)>) -> u64 {
+        let mut count = 0u64;
+        for (from, port, msg) in sent {
+            let to = self.topo.neighbor(from, port);
+            let bits = msg.bit_size();
+            self.stats.record_message(bits);
+            count += 1;
+            if self.loss > 0.0 && self.loss_rng.bernoulli(self.loss) {
+                self.dropped += 1;
+                continue; // fault injection ate it
+            }
+            if self.halted[to as usize] {
+                continue; // dropped on the floor
+            }
+            let rev = self.topo.reverse_port(from, port);
+            self.inboxes[to as usize].push(Envelope { from, port: rev, msg });
+        }
+        for inbox in &mut self.inboxes {
+            inbox.sort_by_key(|e| e.port);
+        }
+        count
+    }
+
+    /// Run until every node halts, or `max_rounds` elapse. Panics if the
+    /// round budget is exhausted — a protocol that fails to halt within
+    /// its theoretical bound is a bug we want loudly.
+    pub fn run_until_halt(&mut self, max_rounds: u64) -> RunOutcome {
+        let start = self.round;
+        while !self.all_halted() {
+            assert!(
+                self.round - start < max_rounds,
+                "protocol did not halt within {max_rounds} rounds"
+            );
+            self.step();
+        }
+        RunOutcome { rounds: self.round - start, all_halted: true, quiescent: false }
+    }
+
+    /// Run until the network goes quiet: a round in which no messages
+    /// were sent and none were in flight. Suitable for message-driven
+    /// protocols. Stops early if all nodes halt.
+    pub fn run_until_quiet(&mut self, max_rounds: u64) -> RunOutcome {
+        let start = self.round;
+        loop {
+            if self.all_halted() {
+                return RunOutcome { rounds: self.round - start, all_halted: true, quiescent: false };
+            }
+            assert!(
+                self.round - start < max_rounds,
+                "network not quiet within {max_rounds} rounds"
+            );
+            let in_flight: usize = self.inboxes.iter().map(Vec::len).sum();
+            let sent = self.step();
+            if sent == 0 && in_flight == 0 && self.round - start > 1 {
+                return RunOutcome {
+                    rounds: self.round - start,
+                    all_halted: self.all_halted(),
+                    quiescent: true,
+                };
+            }
+        }
+    }
+
+    /// Run exactly `rounds` rounds (or until all nodes halt).
+    pub fn run_rounds(&mut self, rounds: u64) -> RunOutcome {
+        let start = self.round;
+        for _ in 0..rounds {
+            if self.all_halted() {
+                break;
+            }
+            self.step();
+        }
+        RunOutcome {
+            rounds: self.round - start,
+            all_halted: self.all_halted(),
+            quiescent: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flood the maximum id; halt when stable for 2 rounds.
+    struct MaxFlood {
+        best: u32,
+        quiet: u32,
+    }
+    impl Protocol for MaxFlood {
+        type Msg = u32;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Envelope<u32>]) {
+            let before = self.best;
+            for e in inbox {
+                self.best = self.best.max(e.msg);
+            }
+            if ctx.round() == 0 || self.best > before {
+                ctx.send_all(self.best);
+                self.quiet = 0;
+            } else {
+                self.quiet += 1;
+                if self.quiet >= 2 {
+                    ctx.halt();
+                }
+            }
+        }
+    }
+
+    fn path_net(n: usize) -> Network<MaxFlood> {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let topo = Topology::from_edges(n, &edges);
+        let nodes = (0..n as u32).map(|v| MaxFlood { best: v, quiet: 0 }).collect();
+        Network::new(topo, nodes, 1)
+    }
+
+    #[test]
+    fn max_flood_converges_on_path() {
+        let mut net = path_net(10);
+        let out = net.run_until_halt(100);
+        assert!(out.all_halted);
+        assert!(net.nodes().iter().all(|s| s.best == 9));
+        // Information must travel the diameter: at least n-1 rounds.
+        assert!(out.rounds >= 9);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bits() {
+        let mut net = path_net(4);
+        net.run_until_halt(100);
+        let s = net.stats();
+        assert!(s.messages > 0);
+        assert_eq!(s.bits, s.messages * 32, "every message is one u32");
+        assert_eq!(s.max_msg_bits, 32);
+    }
+
+    #[test]
+    fn run_rounds_is_exact() {
+        let mut net = path_net(6);
+        let out = net.run_rounds(3);
+        assert_eq!(out.rounds, 3);
+        assert_eq!(net.round(), 3);
+    }
+
+    #[test]
+    fn quiet_detection() {
+        // Nodes that send only in round 0 and never halt.
+        struct OneShot;
+        impl Protocol for OneShot {
+            type Msg = u8;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u8>, _inbox: &[Envelope<u8>]) {
+                if ctx.round() == 0 {
+                    ctx.send_all(1);
+                }
+            }
+        }
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut net = Network::new(topo, vec![OneShot, OneShot, OneShot], 0);
+        let out = net.run_until_quiet(50);
+        assert!(out.quiescent);
+        assert!(out.rounds <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not halt")]
+    fn halting_budget_enforced() {
+        struct Chatty;
+        impl Protocol for Chatty {
+            type Msg = u8;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u8>, _inbox: &[Envelope<u8>]) {
+                ctx.send_all(0);
+            }
+        }
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let mut net = Network::new(topo, vec![Chatty, Chatty], 0);
+        net.run_until_halt(10);
+    }
+
+    #[test]
+    fn halted_nodes_drop_mail() {
+        struct HaltFirst {
+            got: u64,
+        }
+        impl Protocol for HaltFirst {
+            type Msg = u8;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u8>, inbox: &[Envelope<u8>]) {
+                self.got += inbox.len() as u64;
+                if ctx.id() == 0 {
+                    ctx.halt();
+                } else if ctx.round() < 3 {
+                    ctx.send_all(7);
+                } else {
+                    ctx.halt();
+                }
+            }
+        }
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let mut net = Network::new(topo, vec![HaltFirst { got: 0 }, HaltFirst { got: 0 }], 0);
+        net.run_until_halt(20);
+        // Node 0 halted in round 0 and never received node 1's messages.
+        assert_eq!(net.nodes()[0].got, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Round / message / bit accounting.
+//!
+//! The statistics collected here are the quantities the paper's theorems
+//! bound: total rounds, messages, bits, and — crucially for the CONGEST
+//! results (Theorems 3.8, 3.11, 4.5) — the maximum size of any single
+//! message.
+
+/// Per-round record (messages sent and their total size).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// Messages sent in this round.
+    pub messages: u64,
+}
+
+/// Cumulative network statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Total synchronous rounds executed.
+    pub rounds: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total bits sent.
+    pub bits: u64,
+    /// Largest single message, in bits.
+    pub max_msg_bits: u64,
+    /// Messages per round, in order.
+    pub per_round: Vec<RoundTrace>,
+}
+
+impl NetStats {
+    /// Record one message of `bits` bits.
+    #[inline]
+    pub fn record_message(&mut self, bits: u64) {
+        self.messages += 1;
+        self.bits += bits;
+        if bits > self.max_msg_bits {
+            self.max_msg_bits = bits;
+        }
+    }
+
+    /// Record `count` messages of `bits` bits each in one step (used by
+    /// harnesses that charge emulated traffic in bulk).
+    #[inline]
+    pub fn record_messages(&mut self, count: u64, bits: u64) {
+        self.messages += count;
+        self.bits += count * bits;
+        if count > 0 && bits > self.max_msg_bits {
+            self.max_msg_bits = bits;
+        }
+    }
+
+    /// Close out a round in which `messages` messages were sent.
+    #[inline]
+    pub fn record_round(&mut self, messages: u64) {
+        self.rounds += 1;
+        self.per_round.push(RoundTrace { messages });
+    }
+
+    /// Fold another stats block into this one (used when an algorithm is
+    /// composed of phases, each run as its own network execution).
+    pub fn absorb(&mut self, other: &NetStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.max_msg_bits = self.max_msg_bits.max(other.max_msg_bits);
+        self.per_round.extend_from_slice(&other.per_round);
+    }
+
+    /// Mean messages per round.
+    pub fn avg_messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_absorb() {
+        let mut a = NetStats::default();
+        a.record_message(10);
+        a.record_message(30);
+        a.record_round(2);
+        assert_eq!(a.rounds, 1);
+        assert_eq!(a.messages, 2);
+        assert_eq!(a.bits, 40);
+        assert_eq!(a.max_msg_bits, 30);
+
+        let mut b = NetStats::default();
+        b.record_message(50);
+        b.record_round(1);
+        a.absorb(&b);
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.bits, 90);
+        assert_eq!(a.max_msg_bits, 50);
+        assert_eq!(a.per_round.len(), 2);
+    }
+
+    #[test]
+    fn avg_messages_per_round_handles_zero() {
+        let s = NetStats::default();
+        assert_eq!(s.avg_messages_per_round(), 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Network topology: the communication graph in CSR form.
+//!
+//! The topology is immutable for the lifetime of a [`crate::Network`].
+//! Each undirected edge `{u, v}` appears as a *port* at both endpoints;
+//! `rev_port` maps a port at `u` to the corresponding port at `v` so
+//! that message delivery is O(1) and inbox ordering is deterministic.
+
+/// Node identifier. `u32` keeps per-edge bookkeeping compact (see the
+/// type-size guidance of the Rust Performance Book); networks of up to
+/// 4 billion nodes are far beyond what a round simulator needs.
+pub type NodeId = u32;
+
+/// A port is an index into a node's neighbor list.
+pub type Port = usize;
+
+/// Immutable communication graph in compressed sparse row form.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// CSR row offsets; `offsets[v]..offsets[v+1]` indexes `neighbors`.
+    offsets: Vec<usize>,
+    /// Flattened neighbor lists (sorted per node).
+    neighbors: Vec<NodeId>,
+    /// `rev_port[i]` is the port at `neighbors[i]` that leads back to
+    /// the owner of port `i`.
+    rev_port: Vec<Port>,
+}
+
+impl Topology {
+    /// Build a topology on `n` nodes from an undirected edge list.
+    ///
+    /// Self-loops and duplicate edges are rejected with a panic: both
+    /// are modelling errors for a communication graph.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(u != v, "self-loop {u} in topology");
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for (v, list) in adj.iter_mut().enumerate() {
+            list.sort_unstable();
+            assert!(
+                list.windows(2).all(|w| w[0] != w[1]),
+                "duplicate edge at node {v}"
+            );
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::with_capacity(2 * edges.len());
+        for list in &adj {
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        // Compute reverse ports: for port i at u pointing to v, find the
+        // index of u within v's (sorted) neighbor slice.
+        let mut rev_port = vec![0usize; neighbors.len()];
+        for u in 0..n {
+            for i in offsets[u]..offsets[u + 1] {
+                let v = neighbors[i] as usize;
+                let slice = &neighbors[offsets[v]..offsets[v + 1]];
+                let j = slice
+                    .binary_search(&(u as NodeId))
+                    .expect("asymmetric adjacency");
+                rev_port[i] = j;
+            }
+        }
+        Topology { offsets, neighbors, rev_port }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the topology has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Neighbor list of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Maximum degree Δ of the topology.
+    pub fn max_degree(&self) -> usize {
+        (0..self.len()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+    }
+
+    /// The neighbor reached from `v` through `port`.
+    #[inline]
+    pub fn neighbor(&self, v: NodeId, port: Port) -> NodeId {
+        self.neighbors[self.offsets[v as usize] + port]
+    }
+
+    /// The port at `neighbor(v, port)` that leads back to `v`.
+    #[inline]
+    pub fn reverse_port(&self, v: NodeId, port: Port) -> Port {
+        self.rev_port[self.offsets[v as usize] + port]
+    }
+
+    /// Port of `v` leading to `u`, if `{v, u}` is an edge.
+    pub fn port_to(&self, v: NodeId, u: NodeId) -> Option<Port> {
+        self.neighbors(v).binary_search(&u).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        Topology::from_edges(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = triangle();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.neighbors(0), &[1, 2]);
+        assert_eq!(t.degree(1), 2);
+        assert_eq!(t.max_degree(), 2);
+    }
+
+    #[test]
+    fn reverse_ports_are_involutive() {
+        let t = Topology::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        for v in 0..5u32 {
+            for p in 0..t.degree(v) {
+                let u = t.neighbor(v, p);
+                let q = t.reverse_port(v, p);
+                assert_eq!(t.neighbor(u, q), v);
+                assert_eq!(t.reverse_port(u, q), p);
+            }
+        }
+    }
+
+    #[test]
+    fn port_to_finds_edges() {
+        let t = triangle();
+        assert_eq!(t.port_to(0, 1), Some(0));
+        assert_eq!(t.port_to(0, 2), Some(1));
+        assert_eq!(t.port_to(1, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        Topology::from_edges(2, &[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicates() {
+        Topology::from_edges(2, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn empty_topology() {
+        let t = Topology::from_edges(0, &[]);
+        assert!(t.is_empty());
+        assert_eq!(t.max_degree(), 0);
+    }
+}

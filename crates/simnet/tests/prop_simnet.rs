@@ -1,0 +1,99 @@
+//! Property-based tests for the simulator core: delivery symmetry,
+//! aggregate correctness, and sequential/parallel equivalence on
+//! randomized topologies.
+
+use proptest::prelude::*;
+use simnet::tree::{aggregate, AggOp};
+use simnet::{Ctx, Envelope, Network, Protocol, SplitMix64, Topology};
+
+/// Random connected topology: a path backbone plus random chords.
+fn random_connected(n: usize, chords: usize, seed: u64) -> Topology {
+    let mut rng = SplitMix64::new(seed);
+    let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    for _ in 0..chords {
+        let u = rng.below(n as u64) as u32;
+        let v = rng.below(n as u64) as u32;
+        let (a, b) = (u.min(v), u.max(v));
+        if a != b && b != a + 1 && !edges.contains(&(a, b)) {
+            edges.push((a, b));
+        }
+    }
+    Topology::from_edges(n, &edges)
+}
+
+/// Echo protocol: every node sends its id for `ttl` rounds and records
+/// a rolling hash of everything it hears, with RNG salt.
+struct Echo {
+    acc: u64,
+    ttl: u64,
+}
+impl Protocol for Echo {
+    type Msg = u64;
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Envelope<u64>]) {
+        for e in inbox {
+            self.acc = self.acc.rotate_left(9) ^ e.msg ^ (e.port as u64);
+        }
+        if ctx.round() < self.ttl {
+            let salt = ctx.rng().next();
+            ctx.send_all(self.acc ^ salt);
+        } else {
+            ctx.halt();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn aggregate_sum_and_max_are_exact(n in 2usize..40, chords in 0usize..20, seed in 0u64..1000) {
+        let topo = random_connected(n, chords, seed);
+        let values: Vec<u64> = (0..n as u64).map(|i| (i * 37 + seed) % 1000).collect();
+        let (sum, _) = aggregate(&topo, &values, AggOp::Sum);
+        prop_assert_eq!(sum, values.iter().sum::<u64>());
+        let (max, stats) = aggregate(&topo, &values, AggOp::Max);
+        prop_assert_eq!(max, *values.iter().max().unwrap());
+        // O(D) ≤ O(n) rounds with a small constant.
+        prop_assert!(stats.rounds <= 3 * n as u64 + 8);
+    }
+
+    #[test]
+    fn parallel_stepping_is_bit_identical(n in 4usize..60, chords in 0usize..30, seed in 0u64..1000, threads in 2usize..6) {
+        let topo = random_connected(n, chords, seed);
+        let mk = || (0..n).map(|_| Echo { acc: 0, ttl: 12 }).collect::<Vec<_>>();
+        let mut seq = Network::new(topo.clone(), mk(), seed);
+        seq.run_until_halt(64);
+        let mut par = Network::new(topo, mk(), seed).with_threads(threads);
+        par.run_until_halt(64);
+        for (a, b) in seq.nodes().iter().zip(par.nodes()) {
+            prop_assert_eq!(a.acc, b.acc);
+        }
+        prop_assert_eq!(seq.stats().messages, par.stats().messages);
+        prop_assert_eq!(seq.stats().bits, par.stats().bits);
+        prop_assert_eq!(seq.stats().rounds, par.stats().rounds);
+    }
+
+    #[test]
+    fn message_conservation(n in 2usize..40, chords in 0usize..20, seed in 0u64..1000) {
+        // With no halting, every sent message is delivered exactly once:
+        // per-round trace sums equal the total.
+        let topo = random_connected(n, chords, seed);
+        let mk = || (0..n).map(|_| Echo { acc: 1, ttl: 6 }).collect::<Vec<_>>();
+        let mut net = Network::new(topo, mk(), seed);
+        net.run_until_halt(64);
+        let traced: u64 = net.stats().per_round.iter().map(|r| r.messages).sum();
+        prop_assert_eq!(traced, net.stats().messages);
+    }
+
+    #[test]
+    fn reverse_ports_consistent(n in 2usize..50, chords in 0usize..40, seed in 0u64..1000) {
+        let topo = random_connected(n, chords, seed);
+        for v in 0..n as u32 {
+            for p in 0..topo.degree(v) {
+                let u = topo.neighbor(v, p);
+                let q = topo.reverse_port(v, p);
+                prop_assert_eq!(topo.neighbor(u, q), v);
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Admissible traffic models for switch experiments.
+//!
+//! All models are parameterized by the offered load `ρ ∈ [0, 1]`: the
+//! probability a given input receives a cell in a given cycle. No input
+//! or output is oversubscribed, so a good scheduler should sustain any
+//! `ρ < 1` (MWM does; maximal-matching schedulers saturate earlier
+//! under skewed patterns — exactly what experiment E8 shows).
+
+use simnet::SplitMix64;
+
+/// Destination pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficModel {
+    /// Each arrival picks a uniformly random output.
+    Uniform { load: f64 },
+    /// "Diagonal" skew: input `i` sends to output `i` with probability
+    /// 2/3 and to `i+1 (mod N)` with probability 1/3 — the classic
+    /// pattern on which maximal matchings underperform.
+    Diagonal { load: f64 },
+    /// Bursty on/off: arrivals come in geometric bursts (mean length
+    /// `mean_burst`) all addressed to one output; the on/off duty cycle
+    /// realizes load `ρ`.
+    Bursty { load: f64, mean_burst: f64 },
+    /// Hotspot: a `frac` fraction of arrivals target output 0, the
+    /// rest are uniform. For `ρ·N·frac > 1` output 0 is oversubscribed
+    /// (inadmissible) — no scheduler can deliver everything, which
+    /// bounds the model-sanity tests.
+    Hotspot { load: f64, frac: f64 },
+}
+
+impl TrafficModel {
+    /// The offered load ρ.
+    pub fn load(&self) -> f64 {
+        match *self {
+            TrafficModel::Uniform { load }
+            | TrafficModel::Diagonal { load }
+            | TrafficModel::Bursty { load, .. }
+            | TrafficModel::Hotspot { load, .. } => load,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficModel::Uniform { .. } => "uniform",
+            TrafficModel::Diagonal { .. } => "diagonal",
+            TrafficModel::Bursty { .. } => "bursty",
+            TrafficModel::Hotspot { .. } => "hotspot",
+        }
+    }
+}
+
+/// Per-input burst state.
+#[derive(Debug, Clone, Copy)]
+struct Burst {
+    /// Remaining cells of the current burst, and its destination.
+    remaining: u64,
+    dest: usize,
+}
+
+/// Stateful traffic generator for an `N`-port switch.
+#[derive(Debug)]
+pub struct TrafficGen {
+    model: TrafficModel,
+    n: usize,
+    rng: SplitMix64,
+    bursts: Vec<Burst>,
+}
+
+impl TrafficGen {
+    /// Create a generator.
+    pub fn new(model: TrafficModel, n: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&model.load()), "load must be in [0,1]");
+        TrafficGen {
+            model,
+            n,
+            rng: SplitMix64::for_node(seed, 0x7AFF),
+            bursts: vec![Burst { remaining: 0, dest: 0 }; n],
+        }
+    }
+
+    /// Arrivals for one cycle: `Some(output)` per input.
+    pub fn arrivals(&mut self) -> Vec<Option<usize>> {
+        let n = self.n;
+        (0..n)
+            .map(|i| match self.model {
+                TrafficModel::Uniform { load } => self
+                    .rng
+                    .bernoulli(load)
+                    .then(|| self.rng.below(n as u64) as usize),
+                TrafficModel::Diagonal { load } => self.rng.bernoulli(load).then(|| {
+                    if self.rng.bernoulli(2.0 / 3.0) {
+                        i
+                    } else {
+                        (i + 1) % n
+                    }
+                }),
+                TrafficModel::Hotspot { load, frac } => self.rng.bernoulli(load).then(|| {
+                    if self.rng.bernoulli(frac) {
+                        0
+                    } else {
+                        self.rng.below(n as u64) as usize
+                    }
+                }),
+                TrafficModel::Bursty { load, mean_burst } => {
+                    let b = &mut self.bursts[i];
+                    if b.remaining == 0 {
+                        // Start a new burst with probability chosen so
+                        // the long-run load is ρ: the on/off renewal has
+                        // mean on-time B and mean off-time 1/p_on, so
+                        // ρ = B / (B + 1/p_on) ⇒ p_on = ρ / (B(1-ρ)).
+                        let p_on = if load >= 1.0 {
+                            1.0
+                        } else {
+                            (load / (mean_burst * (1.0 - load))).min(1.0)
+                        };
+                        if self.rng.bernoulli(p_on) {
+                            // Geometric burst length with the given mean.
+                            let mut len = 1u64;
+                            while self.rng.bernoulli(1.0 - 1.0 / mean_burst) {
+                                len += 1;
+                            }
+                            b.remaining = len;
+                            b.dest = self.rng.below(n as u64) as usize;
+                        }
+                    }
+                    if b.remaining > 0 {
+                        b.remaining -= 1;
+                        Some(b.dest)
+                    } else {
+                        None
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured_load(model: TrafficModel, n: usize, cycles: u64) -> f64 {
+        let mut gen = TrafficGen::new(model, n, 1);
+        let mut arrivals = 0u64;
+        for _ in 0..cycles {
+            arrivals += gen.arrivals().iter().flatten().count() as u64;
+        }
+        arrivals as f64 / (cycles * n as u64) as f64
+    }
+
+    #[test]
+    fn uniform_load_is_calibrated() {
+        let rho = measured_load(TrafficModel::Uniform { load: 0.6 }, 8, 20_000);
+        assert!((rho - 0.6).abs() < 0.02, "measured {rho}");
+    }
+
+    #[test]
+    fn diagonal_targets_two_outputs() {
+        let mut gen = TrafficGen::new(TrafficModel::Diagonal { load: 1.0 }, 4, 2);
+        for _ in 0..200 {
+            for (i, d) in gen.arrivals().into_iter().enumerate() {
+                let d = d.expect("load 1.0 always arrives");
+                assert!(d == i || d == (i + 1) % 4);
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_load_is_roughly_calibrated() {
+        let rho = measured_load(
+            TrafficModel::Bursty { load: 0.5, mean_burst: 8.0 },
+            8,
+            40_000,
+        );
+        assert!((rho - 0.5).abs() < 0.08, "measured {rho}");
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_output_zero() {
+        let mut gen = TrafficGen::new(TrafficModel::Hotspot { load: 1.0, frac: 0.5 }, 8, 5);
+        let mut zero = 0usize;
+        let mut total = 0usize;
+        for _ in 0..2000 {
+            for d in gen.arrivals().into_iter().flatten() {
+                total += 1;
+                if d == 0 {
+                    zero += 1;
+                }
+            }
+        }
+        let frac = zero as f64 / total as f64;
+        // 0.5 direct + 0.5/8 uniform spill ≈ 0.5625.
+        assert!((frac - 0.5625).abs() < 0.04, "hotspot fraction {frac}");
+    }
+
+    #[test]
+    fn zero_load_generates_nothing() {
+        assert_eq!(measured_load(TrafficModel::Uniform { load: 0.0 }, 4, 100), 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Virtual output queues.
+//!
+//! An `N × N` input-queued switch keeps, at every input port, one FIFO
+//! per output port ("VOQ") — the architecture PIM and iSLIP assume.
+//! Cells carry their arrival cycle so delay can be measured.
+
+use std::collections::VecDeque;
+
+/// One cell (fixed-size packet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Cycle in which the cell arrived at the input.
+    pub arrived: u64,
+}
+
+/// The VOQ state of an `N`-port switch.
+#[derive(Debug, Clone)]
+pub struct Voqs {
+    n: usize,
+    queues: Vec<VecDeque<Cell>>, // index = input * n + output
+}
+
+impl Voqs {
+    /// Empty queues for an `n`-port switch.
+    pub fn new(n: usize) -> Self {
+        Voqs { n, queues: vec![VecDeque::new(); n * n] }
+    }
+
+    /// Port count.
+    pub fn ports(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn idx(&self, input: usize, output: usize) -> usize {
+        debug_assert!(input < self.n && output < self.n);
+        input * self.n + output
+    }
+
+    /// Enqueue a cell at `(input, output)`.
+    pub fn push(&mut self, input: usize, output: usize, cell: Cell) {
+        let i = self.idx(input, output);
+        self.queues[i].push_back(cell);
+    }
+
+    /// Dequeue the head-of-line cell at `(input, output)`.
+    pub fn pop(&mut self, input: usize, output: usize) -> Option<Cell> {
+        let i = self.idx(input, output);
+        self.queues[i].pop_front()
+    }
+
+    /// Queue length at `(input, output)`.
+    pub fn len(&self, input: usize, output: usize) -> usize {
+        self.queues[self.idx(input, output)].len()
+    }
+
+    /// True when every queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Total buffered cells.
+    pub fn total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Occupancy matrix (`occ[input][output]`), the scheduler's input.
+    pub fn occupancy(&self) -> Vec<Vec<usize>> {
+        (0..self.n)
+            .map(|i| (0..self.n).map(|o| self.len(i, o)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut v = Voqs::new(2);
+        v.push(0, 1, Cell { arrived: 1 });
+        v.push(0, 1, Cell { arrived: 2 });
+        assert_eq!(v.len(0, 1), 2);
+        assert_eq!(v.pop(0, 1), Some(Cell { arrived: 1 }));
+        assert_eq!(v.pop(0, 1), Some(Cell { arrived: 2 }));
+        assert_eq!(v.pop(0, 1), None);
+    }
+
+    #[test]
+    fn occupancy_matrix() {
+        let mut v = Voqs::new(3);
+        v.push(2, 0, Cell { arrived: 0 });
+        v.push(2, 0, Cell { arrived: 1 });
+        v.push(1, 2, Cell { arrived: 0 });
+        let occ = v.occupancy();
+        assert_eq!(occ[2][0], 2);
+        assert_eq!(occ[1][2], 1);
+        assert_eq!(occ[0][0], 0);
+        assert_eq!(v.total(), 3);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the switch simulator: decision validity
+//! for every scheduler on arbitrary occupancy, cell conservation, and
+//! work conservation at saturation.
+
+use proptest::prelude::*;
+use switchsim::sched::{is_valid_decision, SchedulerKind};
+use switchsim::{SimConfig, Simulator, TrafficModel};
+
+fn occ_strategy(n: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(proptest::collection::vec(0usize..5, n), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_scheduler_emits_partial_permutations(occ in occ_strategy(5), seed in 0u64..500) {
+        for kind in [
+            SchedulerKind::Pim { iterations: 2 },
+            SchedulerKind::Islip { iterations: 2 },
+            SchedulerKind::DistMaximal,
+            SchedulerKind::LpsBipartite { k: 2 },
+            SchedulerKind::MaxCardinality,
+            SchedulerKind::MaxWeight,
+        ] {
+            let mut s = kind.build(5, seed);
+            for _ in 0..3 {
+                let d = s.schedule(&occ);
+                prop_assert!(is_valid_decision(&occ, &d), "{} invalid", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_schedulers_leave_no_free_pair(occ in occ_strategy(5), seed in 0u64..500) {
+        // Israeli–Itai is maximal: no (input, output) pair with traffic
+        // can be left with both sides unmatched.
+        let mut s = SchedulerKind::DistMaximal.build(5, seed);
+        let d = s.schedule(&occ);
+        let mut out_used = [false; 5];
+        for o in d.iter().flatten() {
+            out_used[*o] = true;
+        }
+        for (i, &di) in d.iter().enumerate() {
+            if di.is_none() {
+                for (o, &used) in out_used.iter().enumerate() {
+                    prop_assert!(
+                        occ[i][o] == 0 || used,
+                        "input {} and output {} both idle despite occupancy", i, o
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cells_are_conserved(load_pct in 10u32..95, cycles in 50u64..300, seed in 0u64..500) {
+        let cfg = SimConfig {
+            ports: 4,
+            cycles,
+            warmup: 0,
+            traffic: TrafficModel::Uniform { load: load_pct as f64 / 100.0 },
+            seed,
+        };
+        let r = Simulator::new(cfg, SchedulerKind::Islip { iterations: 1 }).run();
+        prop_assert_eq!(r.offered, r.delivered + r.final_backlog as u64);
+    }
+
+    #[test]
+    fn oracle_dominates_single_iteration_pim(seed in 0u64..200) {
+        let mk = |kind| {
+            Simulator::new(
+                SimConfig {
+                    ports: 6,
+                    cycles: 800,
+                    warmup: 100,
+                    traffic: TrafficModel::Uniform { load: 0.95 },
+                    seed,
+                },
+                kind,
+            )
+            .run()
+        };
+        let pim = mk(SchedulerKind::Pim { iterations: 1 });
+        let orc = mk(SchedulerKind::MaxCardinality);
+        // With identical arrivals, the maximum matching can only move
+        // at least as many cells (allow small slack for tie-breaking
+        // effects on queue states over time).
+        prop_assert!(
+            orc.delivered + orc.final_backlog as u64 == orc.offered
+                && orc.delivered as f64 >= 0.95 * pim.delivered as f64
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Fault injection demo: what happens to Israeli–Itai when the network
+//! drops messages.
+//!
+//! The paper's model is synchronous and fault-free. This example shows
+//! the separation the robustness tests verify: under message loss the
+//! protocol keeps *safety* (agreed pairs always form a valid matching)
+//! while *liveness* (maximality, size) degrades gracefully with the
+//! loss rate.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use distributed_matching::dgraph::blossom;
+use distributed_matching::dgraph::generators::random::gnp;
+use distributed_matching::dmatch::israeli_itai;
+
+fn main() {
+    let g = gnp(300, 0.03, 5);
+    let opt = blossom::max_matching(&g).size();
+    println!(
+        "graph: n = {}, m = {}; maximum matching = {opt}\n",
+        g.n(),
+        g.m()
+    );
+    println!(
+        "{:>10} {:>14} {:>12} {:>12}",
+        "loss", "agreed pairs", "% of opt", "dropped msgs"
+    );
+    for &loss in &[0.0, 0.05, 0.1, 0.25, 0.5, 0.75] {
+        let mut pairs = 0usize;
+        let mut dropped = 0u64;
+        let runs = 5;
+        for seed in 0..runs {
+            let (m, d) = israeli_itai::lossy_matching(&g, seed, 120, loss);
+            // Validity of the agreed matching is asserted inside; this
+            // is the safety property.
+            pairs += m.size();
+            dropped += d;
+        }
+        println!(
+            "{:>10.2} {:>14.1} {:>12.1} {:>12}",
+            loss,
+            pairs as f64 / runs as f64,
+            100.0 * pairs as f64 / (runs as usize * opt) as f64,
+            dropped / runs
+        );
+    }
+    println!(
+        "\nReading: safety never breaks (every run produced a valid matching);\n\
+         the matched fraction decays smoothly as loss increases — and the paper's\n\
+         fault-free guarantees are recovered exactly at loss = 0."
+    );
+}

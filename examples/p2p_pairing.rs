@@ -1,0 +1,62 @@
+//! Peer-to-peer conversation pairing on a general (non-bipartite)
+//! overlay.
+//!
+//! The paper's opening motivation: *"a node may be engaged in a
+//! 'conversation' with only one other node at a time, and having a
+//! large cardinality matching increases overall communication
+//! throughput."* Overlay networks are not bipartite, so this exercises
+//! Algorithm 4 (Theorem 3.11): random red/blue bipartization plus the
+//! small-message bipartite machinery.
+//!
+//! ```sh
+//! cargo run --release --example p2p_pairing
+//! ```
+
+use distributed_matching::dgraph::blossom;
+use distributed_matching::dgraph::generators::random::barabasi_albert;
+use distributed_matching::dmatch::{general, israeli_itai};
+
+fn main() {
+    // A scale-free overlay (Barabási–Albert): hubs plus a long tail —
+    // the hard case for pairing, because hubs exhaust their neighbors.
+    let g = barabasi_albert(400, 2, 11);
+    println!(
+        "overlay: n = {}, m = {}, Δ = {} (scale-free, non-bipartite)\n",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
+    let opt = blossom::max_matching(&g).size();
+    println!("maximum pairing (centralized blossom): {opt} conversations\n");
+
+    // Baseline: Israeli–Itai maximal matching — the 1986 answer.
+    let (m, stats) = israeli_itai::maximal_matching(&g, 5);
+    println!(
+        "Israeli–Itai  (½ guarantee):   {:>3} conversations ({:>5.1}% of optimum), {:>4} rounds",
+        m.size(),
+        100.0 * m.size() as f64 / opt as f64,
+        stats.rounds
+    );
+
+    // The paper's Algorithm 4 at increasing quality targets.
+    for k in [2usize, 3, 4] {
+        let r = general::run_with(
+            &g,
+            k,
+            13 + k as u64,
+            general::GeneralOpts { iterations: None, early_stop_after: Some(25) },
+        );
+        println!(
+            "Algorithm 4   (1-1/{k} whp):   {:>3} conversations ({:>5.1}% of optimum), {:>4} rounds, {} sampling iterations",
+            r.matching.size(),
+            100.0 * r.matching.size() as f64 / opt as f64,
+            r.stats.rounds,
+            r.iterations,
+        );
+        assert!(r.matching.validate(&g).is_ok());
+    }
+    println!(
+        "\nEach extra unit of k squeezes out longer augmenting paths (length ≤ 2k-1),\n\
+         trading rounds for conversations — with messages that never exceed ~100 bits."
+    );
+}

@@ -1,0 +1,54 @@
+//! Switch scheduling — the application from the paper's introduction.
+//!
+//! An 8-port input-queued switch under skewed ("diagonal") traffic at
+//! 90% load: PIM and iSLIP (the industrial descendants of
+//! Israeli–Itai's maximal matching) against the paper's near-maximum
+//! bipartite matching used as the crossbar scheduler.
+//!
+//! ```sh
+//! cargo run --release --example switch_scheduling
+//! ```
+
+use distributed_matching::switchsim::{SchedulerKind, SimConfig, Simulator, TrafficModel};
+
+fn main() {
+    let cfg = SimConfig {
+        ports: 8,
+        cycles: 4000,
+        warmup: 800,
+        traffic: TrafficModel::Diagonal { load: 0.9 },
+        seed: 2024,
+    };
+    println!(
+        "8-port input-queued switch, diagonal traffic at ρ = 0.9, {} cycles\n",
+        cfg.cycles
+    );
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>14}",
+        "scheduler", "delivered", "ratio", "mean delay", "mean backlog"
+    );
+    for kind in [
+        SchedulerKind::Pim { iterations: 1 },
+        SchedulerKind::Islip { iterations: 1 },
+        SchedulerKind::Islip { iterations: 3 },
+        SchedulerKind::DistMaximal,
+        SchedulerKind::LpsBipartite { k: 2 },
+        SchedulerKind::LpsWeighted { epsilon: 0.2 },
+        SchedulerKind::MaxWeight,
+    ] {
+        let r = Simulator::new(cfg, kind).run();
+        println!(
+            "{:<18} {:>10} {:>12.3} {:>12.2} {:>14.1}",
+            r.scheduler,
+            r.delivered,
+            r.delivery_ratio(),
+            r.mean_delay,
+            r.mean_backlog
+        );
+    }
+    println!(
+        "\nReading: a bigger matching per cycle means more cells cross the fabric.\n\
+         The (1-1/k)-MCM and (½-ε)-MWM schedulers (Theorems 3.8 / 4.5) close most of\n\
+         the gap to the centralized max-weight oracle while remaining distributed."
+    );
+}

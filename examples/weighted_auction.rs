@@ -1,0 +1,66 @@
+//! Weighted matching as a decentralized assignment market.
+//!
+//! A classic use of `(½-ε)`-MWM: `n` workers and `n` tasks, each
+//! worker values a handful of tasks (sparse bipartite utilities), and
+//! no central coordinator exists. Algorithm 5 computes an assignment
+//! whose utility provably exceeds `(½-ε)` of the optimum while
+//! exchanging only small messages between acquainted pairs.
+//!
+//! ```sh
+//! cargo run --release --example weighted_auction
+//! ```
+
+use distributed_matching::dgraph::generators::random::bipartite_gnp;
+use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
+use distributed_matching::dgraph::hungarian;
+use distributed_matching::dmatch::weighted::{self, MwmBox};
+
+fn main() {
+    let workers = 50;
+    let tasks = 50;
+    // Each worker knows ~6 tasks; utilities are heavy-tailed (a few
+    // dream jobs, many mediocre fits).
+    let (g0, sides) = bipartite_gnp(workers, tasks, 6.0 / tasks as f64, 3);
+    let g = apply_weights(&g0, WeightModel::PowerLaw { lo: 1.0, alpha: 1.5 }, 4);
+    println!(
+        "market: {workers} workers × {tasks} tasks, {} utility edges\n",
+        g.m()
+    );
+
+    // Centralized optimum (needs global knowledge — the thing we avoid).
+    let opt = hungarian::max_weight_matching(&g, &sides);
+    println!("centralized optimum (Hungarian): total utility {:.2}", opt.weight(&g));
+
+    for eps in [0.3, 0.1, 0.02] {
+        let r = weighted::run(&g, eps, MwmBox::SeqClass, 99);
+        println!(
+            "Algorithm 5, ε = {:<4}: utility {:>8.2} ({:>5.1}% of optimum, guarantee ≥ {:>4.1}%) — {} assignments, {} rounds, {} iterations",
+            eps,
+            r.matching.weight(&g),
+            100.0 * r.matching.weight(&g) / opt.weight(&g),
+            100.0 * (0.5 - eps),
+            r.matching.size(),
+            r.stats.rounds,
+            r.iterations,
+        );
+    }
+
+    // Show a few concrete assignments.
+    let r = weighted::run(&g, 0.1, MwmBox::SeqClass, 99);
+    println!("\nsample assignments (worker → task @ utility):");
+    let mut shown = 0;
+    for w in 0..workers as u32 {
+        if let Some(t) = r.matching.mate(w) {
+            let e = g.edge_between(w, t).unwrap();
+            println!("  worker {:>2} → task {:>2}  @ {:.2}", w, t - workers as u32, g.weight(e));
+            shown += 1;
+            if shown == 8 {
+                break;
+            }
+        }
+    }
+    println!(
+        "\nEvery step was message-passing between worker/task pairs that share an edge —\n\
+         no auctioneer, no global state, O(log n)-bit messages."
+    );
+}

@@ -1,0 +1,31 @@
+//! # distributed-matching
+//!
+//! A full reproduction of **"Improved Distributed Approximate Matching"**
+//! (Zvi Lotker, Boaz Patt-Shamir, Seth Pettie; SPAA 2008) as a Rust
+//! workspace, including the synchronous network model the paper assumes,
+//! the exact reference solvers it compares against, all four algorithm
+//! families it contributes, and the switch-scheduling application its
+//! introduction motivates.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`simnet`] — synchronous LOCAL/CONGEST round simulator with message
+//!   bit accounting.
+//! * [`dgraph`] — graph substrate: generators and exact matching solvers
+//!   (Hopcroft–Karp, Edmonds blossom, Hungarian, exact MWM).
+//! * [`dmatch`] — the paper's algorithms: the generic `(1-ε)`-MCM
+//!   (Theorem 3.1), the bipartite small-message algorithm (Theorem 3.8),
+//!   the red/blue reduction for general graphs (Theorem 3.11), and the
+//!   weighted `(½-ε)`-MWM reduction (Theorem 4.5), plus the
+//!   Israeli–Itai and weighted baselines.
+//! * [`switchsim`] — input-queued switch simulator with PIM, iSLIP and a
+//!   matching-based scheduler.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the experiment
+//! index mapping every theorem and figure of the paper to a reproducible
+//! measurement.
+
+pub use dgraph;
+pub use dmatch;
+pub use simnet;
+pub use switchsim;

@@ -1,0 +1,75 @@
+//! Large-scale stress tests — run explicitly with
+//! `cargo test --release --test stress -- --ignored`.
+//!
+//! These verify the guarantees at sizes beyond the default CI budget
+//! and exercise the parallel stepping path under load.
+
+use distributed_matching::dgraph::generators::random::{bipartite_regular, gnp};
+use distributed_matching::dmatch;
+
+#[test]
+#[ignore = "large: ~seconds in release, minutes in debug"]
+fn israeli_itai_at_sixty_five_thousand_nodes() {
+    let n = 1 << 16;
+    let g = gnp(n, 8.0 / n as f64, 1);
+    let (m, stats) = dmatch::israeli_itai::maximal_matching(&g, 2);
+    assert!(m.is_maximal(&g));
+    // O(log n) iterations: 16·3·constant rounds is plenty.
+    assert!(stats.rounds <= 3 * 250, "{} rounds", stats.rounds);
+}
+
+#[test]
+#[ignore = "large"]
+fn bipartite_theorem_38_at_scale() {
+    let (g, sides) = bipartite_regular(1 << 13, 3, 3);
+    let out = dmatch::bipartite::run(&g, &sides, 4, 5);
+    assert!(out.matching.validate(&g).is_ok());
+    let opt = distributed_matching::dgraph::hopcroft_karp::max_matching(&g, &sides).size();
+    assert!(out.matching.size() as f64 >= 0.75 * opt as f64);
+    assert!(out.stats.max_msg_bits <= 128);
+}
+
+#[test]
+#[ignore = "large"]
+fn parallel_stepping_agrees_at_scale() {
+    use simnet::{Ctx, Envelope, Network, Protocol};
+    struct Gossip(u64);
+    impl Protocol for Gossip {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Envelope<u64>]) {
+            for e in inbox {
+                self.0 = self.0.rotate_left(13) ^ e.msg;
+            }
+            if ctx.round() < 16 {
+                let r = ctx.rng().next();
+                ctx.send_all(self.0 ^ r);
+            } else {
+                ctx.halt();
+            }
+        }
+    }
+    let n = 1 << 14;
+    let g = gnp(n, 10.0 / n as f64, 7);
+    let topo = dmatch::topology_of(&g);
+    let mk = || (0..n as u64).map(Gossip).collect::<Vec<_>>();
+    let mut seq = Network::new(topo.clone(), mk(), 9);
+    seq.run_until_halt(64);
+    let mut par = Network::new(topo, mk(), 9).with_threads(8);
+    par.run_until_halt(64);
+    for (a, b) in seq.nodes().iter().zip(par.nodes()) {
+        assert_eq!(a.0, b.0);
+    }
+}
+
+#[test]
+#[ignore = "large"]
+fn weighted_reduction_at_four_thousand_nodes() {
+    use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
+    let n = 4096;
+    let g = apply_weights(&gnp(n, 6.0 / n as f64, 11), WeightModel::Exponential(1.0), 12);
+    let r = dmatch::weighted::run(&g, 0.2, dmatch::weighted::MwmBox::SeqClass, 13);
+    assert!(r.matching.validate(&g).is_ok());
+    // Certified bound: the result must clear (½-ε) of ½·Σ max-incident.
+    let ub = dmatch::runner::mwm_upper_bound(&g);
+    assert!(r.matching.weight(&g) >= 0.3 * 0.5 * ub, "too far below the certified bound");
+}
