@@ -1,88 +1,100 @@
-//! Criterion wall-clock benchmarks.
+//! Wall-clock benchmarks (plain `harness = false` binary; the
+//! workspace carries no external bench framework).
 //!
 //! One group per experiment family: the distributed algorithms (their
 //! full simulated executions), the exact reference solvers, and the
 //! switch schedulers. These measure *simulator* wall-clock — the
 //! theorem-level metrics (rounds, bits) come from the `exp_*` binaries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_harness::timing::bench;
 use dgraph::generators::random::{bipartite_gnp, bipartite_regular, gnp};
 use dgraph::generators::weights::{apply_weights, WeightModel};
 use dmatch::weighted::MwmBox;
 use std::hint::black_box;
 
-fn bench_distributed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("distributed");
-    group.sample_size(10);
+fn report(group: &str, name: &str, runs: u32, f: impl FnMut()) {
+    let s = bench(runs, f);
+    println!("{group:<16} {name:<24} {}", s.display());
+}
+
+fn bench_distributed() {
     for &n in &[256usize, 1024] {
         let g = gnp(n, 6.0 / n as f64, 1);
-        group.bench_with_input(BenchmarkId::new("israeli_itai", n), &g, |b, g| {
-            b.iter(|| dmatch::israeli_itai::maximal_matching(black_box(g), 7))
+        report("distributed", &format!("israeli_itai/{n}"), 10, || {
+            black_box(dmatch::israeli_itai::maximal_matching(black_box(&g), 7));
         });
         let (bg, sides) = bipartite_regular(n / 2, 3, 2);
-        group.bench_with_input(BenchmarkId::new("bipartite_k3", n), &bg, |b, bg| {
-            b.iter(|| dmatch::bipartite::run(black_box(bg), &sides, 3, 5))
+        report("distributed", &format!("bipartite_k3/{n}"), 10, || {
+            black_box(dmatch::bipartite::run(black_box(&bg), &sides, 3, 5));
         });
     }
     let g = gnp(96, 0.06, 3);
-    group.bench_function("generic_k2_n96", |b| {
-        b.iter(|| dmatch::generic::run(black_box(&g), 2, 9))
+    report("distributed", "generic_k2_n96", 10, || {
+        black_box(dmatch::generic::run(black_box(&g), 2, 9));
     });
-    group.bench_function("general_k2_n96", |b| {
-        b.iter(|| {
-            dmatch::general::run_with(
-                black_box(&g),
-                2,
-                9,
-                dmatch::general::GeneralOpts { iterations: None, early_stop_after: Some(8) },
-            )
-        })
+    report("distributed", "general_k2_n96", 10, || {
+        black_box(dmatch::general::run_with(
+            black_box(&g),
+            2,
+            9,
+            dmatch::general::GeneralOpts {
+                iterations: None,
+                early_stop_after: Some(8),
+            },
+        ));
     });
     let wg = apply_weights(&gnp(256, 0.03, 4), WeightModel::Exponential(1.0), 5);
-    group.bench_function("weighted_eps02_n256", |b| {
-        b.iter(|| dmatch::weighted::run(black_box(&wg), 0.2, MwmBox::SeqClass, 3))
+    report("distributed", "weighted_eps02_n256", 10, || {
+        black_box(dmatch::weighted::run(
+            black_box(&wg),
+            0.2,
+            MwmBox::SeqClass,
+            3,
+        ));
     });
-    group.finish();
 }
 
-fn bench_exact_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exact");
-    group.sample_size(10);
+fn bench_exact_solvers() {
     for &n in &[256usize, 1024] {
         let (bg, sides) = bipartite_gnp(n / 2, n / 2, 8.0 / (n / 2) as f64, 6);
-        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &bg, |b, bg| {
-            b.iter(|| dgraph::hopcroft_karp::max_matching(black_box(bg), &sides))
+        report("exact", &format!("hopcroft_karp/{n}"), 10, || {
+            black_box(dgraph::hopcroft_karp::max_matching(black_box(&bg), &sides));
         });
         let g = gnp(n, 8.0 / n as f64, 7);
-        group.bench_with_input(BenchmarkId::new("blossom", n), &g, |b, g| {
-            b.iter(|| dgraph::blossom::max_matching(black_box(g)))
+        report("exact", &format!("blossom/{n}"), 10, || {
+            black_box(dgraph::blossom::max_matching(black_box(&g)));
         });
     }
     let (bg, sides) = bipartite_gnp(64, 64, 0.2, 8);
     let wg = apply_weights(&bg, WeightModel::Uniform(0.1, 5.0), 9);
-    group.bench_function("hungarian_128", |b| {
-        b.iter(|| dgraph::hungarian::max_weight_matching(black_box(&wg), &sides))
+    report("exact", "hungarian_128", 10, || {
+        black_box(dgraph::hungarian::max_weight_matching(
+            black_box(&wg),
+            &sides,
+        ));
     });
     let small = apply_weights(&gnp(18, 0.4, 10), WeightModel::Integer(1, 9), 11);
-    group.bench_function("mwm_exact_dp_18", |b| {
-        b.iter(|| dgraph::mwm_exact::max_weight_exact(black_box(&small)))
+    report("exact", "mwm_exact_dp_18", 10, || {
+        black_box(dgraph::mwm_exact::max_weight_exact(black_box(&small)));
     });
-    group.finish();
 }
 
-fn bench_parallel_stepping(c: &mut Criterion) {
+fn bench_parallel_stepping() {
     // Ablation: sequential vs parallel node stepping in the simulator.
-    use simnet::{Network, Protocol};
+    use simnet::{Inbox, Network, Protocol};
     struct Spin(u64);
     impl Protocol for Spin {
         type Msg = u64;
-        fn on_round(&mut self, ctx: &mut simnet::Ctx<'_, u64>, inbox: &[simnet::Envelope<u64>]) {
-            for e in inbox {
-                self.0 = self.0.wrapping_add(e.msg);
+        fn on_round(&mut self, ctx: &mut simnet::Ctx<'_, u64>, inbox: Inbox<'_, u64>) {
+            for e in inbox.iter() {
+                self.0 = self.0.wrapping_add(*e.msg);
             }
             // Busy local computation plus gossip.
             for _ in 0..200 {
-                self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                self.0 = self
+                    .0
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
             }
             if ctx.round() < 10 {
                 ctx.send_all(self.0);
@@ -94,25 +106,18 @@ fn bench_parallel_stepping(c: &mut Criterion) {
     let n = 2048usize;
     let g = gnp(n, 8.0 / n as f64, 12);
     let topo = dmatch::topology_of(&g);
-    let mut group = c.benchmark_group("simnet_stepping");
-    group.sample_size(10);
     for &threads in &[1usize, 4] {
-        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let nodes = (0..n as u64).map(Spin).collect();
-                let mut net = Network::new(topo.clone(), nodes, 3).with_threads(threads);
-                net.run_until_halt(64);
-                black_box(net.stats().messages)
-            })
+        report("simnet_stepping", &format!("threads/{threads}"), 10, || {
+            let nodes = (0..n as u64).map(Spin).collect();
+            let mut net = Network::new(topo.clone(), nodes, 3).with_threads(threads);
+            net.run_until_halt(64);
+            black_box(net.stats().messages);
         });
     }
-    group.finish();
 }
 
-fn bench_switch(c: &mut Criterion) {
+fn bench_switch() {
     use switchsim::{SchedulerKind, SimConfig, Simulator, TrafficModel};
-    let mut group = c.benchmark_group("switch");
-    group.sample_size(10);
     for kind in [
         SchedulerKind::Pim { iterations: 1 },
         SchedulerKind::Islip { iterations: 1 },
@@ -126,24 +131,20 @@ fn bench_switch(c: &mut Criterion) {
             traffic: TrafficModel::Uniform { load: 0.8 },
             seed: 5,
         };
-        let name = Simulator::new(
-            SimConfig { cycles: 1, ..cfg },
-            kind,
-        )
-        .run()
-        .scheduler;
-        group.bench_function(format!("200cycles_{name}"), |b| {
-            b.iter(|| Simulator::new(black_box(cfg), kind).run())
+        let name = Simulator::new(SimConfig { cycles: 1, ..cfg }, kind)
+            .run()
+            .scheduler;
+        report("switch", &format!("200cycles_{name}"), 10, || {
+            black_box(Simulator::new(black_box(cfg), kind).run());
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_distributed,
-    bench_exact_solvers,
-    bench_parallel_stepping,
-    bench_switch
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<16} {:<24} timing", "group", "benchmark");
+    println!("{}", "-".repeat(80));
+    bench_distributed();
+    bench_exact_solvers();
+    bench_parallel_stepping();
+    bench_switch();
+}

@@ -19,13 +19,32 @@ fn main() {
     let g = gnp(512, 6.0 / 512.0, 99);
     let opt = dgraph::blossom::max_matching(&g).size();
     println!("    blossom optimum = {opt} edges\n");
-    let mut t = Table::new(vec!["algorithm", "guarantee", "ratio", "rounds", "messages", "maxmsg(bits)"]);
+    let mut t = Table::new(vec![
+        "algorithm",
+        "guarantee",
+        "ratio",
+        "rounds",
+        "messages",
+        "maxmsg(bits)",
+    ]);
     for (alg, bound) in [
         (Algorithm::IsraeliItai, "1/2".to_string()),
         (Algorithm::Generic { k: 2 }, "2/3".to_string()),
         (Algorithm::Generic { k: 3 }, "3/4".to_string()),
-        (Algorithm::General { k: 2, early_stop: Some(15) }, "1/2 whp".to_string()),
-        (Algorithm::General { k: 3, early_stop: Some(15) }, "2/3 whp".to_string()),
+        (
+            Algorithm::General {
+                k: 2,
+                early_stop: Some(15),
+            },
+            "1/2 whp".to_string(),
+        ),
+        (
+            Algorithm::General {
+                k: 3,
+                early_stop: Some(15),
+            },
+            "2/3 whp".to_string(),
+        ),
     ] {
         let r = runner::run(&g, None, alg, 5, TerminationMode::Oracle);
         t.row(vec![
@@ -43,9 +62,22 @@ fn main() {
     let (bg, sides) = bipartite_regular(512, 3, 7);
     let bopt = dgraph::hopcroft_karp::max_matching(&bg, &sides).size();
     println!("    Hopcroft–Karp optimum = {bopt} edges\n");
-    let mut t = Table::new(vec!["algorithm", "guarantee", "ratio", "rounds", "messages", "maxmsg(bits)"]);
+    let mut t = Table::new(vec![
+        "algorithm",
+        "guarantee",
+        "ratio",
+        "rounds",
+        "messages",
+        "maxmsg(bits)",
+    ]);
     for k in [2usize, 3, 5] {
-        let r = runner::run(&bg, Some(&sides), Algorithm::Bipartite { k }, 3, TerminationMode::Oracle);
+        let r = runner::run(
+            &bg,
+            Some(&sides),
+            Algorithm::Bipartite { k },
+            3,
+            TerminationMode::Oracle,
+        );
         t.row(vec![
             r.name.clone(),
             format!("1-1/{k}"),
@@ -58,15 +90,48 @@ fn main() {
     t.print();
 
     println!("\n--- weighted, general graph: G(n=256, d̄=6), exponential weights");
-    let wg = apply_weights(&gnp(256, 6.0 / 256.0, 42), WeightModel::Exponential(2.0), 43);
+    let wg = apply_weights(
+        &gnp(256, 6.0 / 256.0, 42),
+        WeightModel::Exponential(2.0),
+        43,
+    );
     let wref = runner::mwm_reference(&wg, None);
     println!("    reference optimum/bound = {wref:.2}\n");
-    let mut t = Table::new(vec!["algorithm", "guarantee", "ratio", "rounds", "messages", "maxmsg(bits)"]);
+    let mut t = Table::new(vec![
+        "algorithm",
+        "guarantee",
+        "ratio",
+        "rounds",
+        "messages",
+        "maxmsg(bits)",
+    ]);
     for (alg, bound) in [
-        (Algorithm::DeltaMwm { mwm_box: MwmBox::LocalDominant }, "1/2 (O(n) rds)".to_string()),
-        (Algorithm::DeltaMwm { mwm_box: MwmBox::SeqClass }, "1/4".to_string()),
-        (Algorithm::Weighted { epsilon: 0.2, mwm_box: MwmBox::SeqClass }, "1/2-0.2".to_string()),
-        (Algorithm::Weighted { epsilon: 0.05, mwm_box: MwmBox::SeqClass }, "1/2-0.05".to_string()),
+        (
+            Algorithm::DeltaMwm {
+                mwm_box: MwmBox::LocalDominant,
+            },
+            "1/2 (O(n) rds)".to_string(),
+        ),
+        (
+            Algorithm::DeltaMwm {
+                mwm_box: MwmBox::SeqClass,
+            },
+            "1/4".to_string(),
+        ),
+        (
+            Algorithm::Weighted {
+                epsilon: 0.2,
+                mwm_box: MwmBox::SeqClass,
+            },
+            "1/2-0.2".to_string(),
+        ),
+        (
+            Algorithm::Weighted {
+                epsilon: 0.05,
+                mwm_box: MwmBox::SeqClass,
+            },
+            "1/2-0.05".to_string(),
+        ),
     ] {
         let r = runner::run(&wg, None, alg, 9, TerminationMode::Oracle);
         t.row(vec![

@@ -9,10 +9,20 @@ use bench_harness::{banner, Table};
 use dgraph::generators::random::{bipartite_regular, gnp};
 
 fn main() {
-    banner("E10", "max message bits vs n and Δ", "Thm 3.1 (large) vs Thms 3.8/3.11 (small)");
+    banner(
+        "E10",
+        "max message bits vs n and Δ",
+        "Thm 3.1 (large) vs Thms 3.8/3.11 (small)",
+    );
 
     println!("--- growing n (Δ ≈ const): bits of the largest message");
-    let mut t = Table::new(vec!["n", "generic k=2", "bipartite k=3", "general k=2", "II"]);
+    let mut t = Table::new(vec![
+        "n",
+        "generic k=2",
+        "bipartite k=3",
+        "general k=2",
+        "II",
+    ]);
     for &exp in &[6u32, 7, 8] {
         let n = 1usize << exp;
         let g = gnp(n, 5.0 / n as f64, exp as u64);
@@ -23,7 +33,10 @@ fn main() {
             &g,
             2,
             3,
-            dmatch::general::GeneralOpts { iterations: None, early_stop_after: Some(8) },
+            dmatch::general::GeneralOpts {
+                iterations: None,
+                early_stop_after: Some(8),
+            },
         );
         let (_, ii) = dmatch::israeli_itai::maximal_matching(&g, 4);
         t.row(vec![

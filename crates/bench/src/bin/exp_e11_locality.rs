@@ -11,10 +11,18 @@ use bench_harness::{banner, f2, f3, Table};
 use dgraph::generators::random::gnp;
 
 fn main() {
-    banner("E11", "approximation/locality frontier", "Algorithm 1 phases + Kuhn et al. [17]");
+    banner(
+        "E11",
+        "approximation/locality frontier",
+        "Algorithm 1 phases + Kuhn et al. [17]",
+    );
 
     let mut t = Table::new(vec![
-        "n", "phase ℓ", "guarantee", "ratio(mean)", "cum. rounds(mean)",
+        "n",
+        "phase ℓ",
+        "guarantee",
+        "ratio(mean)",
+        "cum. rounds(mean)",
     ]);
     for &n in &[128usize, 512] {
         let p = 4.0 / n as f64;

@@ -10,22 +10,41 @@ use dgraph::generators::random::gnp;
 use dmatch::runner::{self, Algorithm, TerminationMode};
 
 fn main() {
-    banner("E12", "termination detection: oracle vs honest convergecast", "Section 2 conventions (ablation)");
+    banner(
+        "E12",
+        "termination detection: oracle vs honest convergecast",
+        "Section 2 conventions (ablation)",
+    );
 
     let mut t = Table::new(vec![
-        "n", "algorithm", "checks", "oracle rounds", "honest rounds", "overhead×",
+        "n",
+        "algorithm",
+        "checks",
+        "oracle rounds",
+        "honest rounds",
+        "overhead×",
     ]);
     for &n in &[64usize, 256, 1024] {
         // Dense enough to be connected (honest mode needs connectivity).
         let g = gnp(n, (2.5 * (n as f64).ln()) / n as f64, 3);
         assert_eq!(g.components(), 1, "test graph must be connected");
         for alg in [
-            Algorithm::General { k: 2, early_stop: Some(10) },
-            Algorithm::Weighted { epsilon: 0.2, mwm_box: dmatch::weighted::MwmBox::SeqClass },
+            Algorithm::General {
+                k: 2,
+                early_stop: Some(10),
+            },
+            Algorithm::Weighted {
+                epsilon: 0.2,
+                mwm_box: dmatch::weighted::MwmBox::SeqClass,
+            },
         ] {
             let o = runner::run(&g, None, alg, 5, TerminationMode::Oracle);
             let h = runner::run(&g, None, alg, 5, TerminationMode::Honest);
-            assert_eq!(o.matching.size(), h.matching.size(), "modes must agree on output");
+            assert_eq!(
+                o.matching.size(),
+                h.matching.size(),
+                "modes must agree on output"
+            );
             t.row(vec![
                 n.to_string(),
                 o.name.clone(),

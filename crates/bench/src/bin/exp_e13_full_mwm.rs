@@ -13,10 +13,19 @@ use dgraph::generators::weights::{apply_weights, WeightModel};
 use dmatch::weighted::{self, full_approx, MwmBox};
 
 fn main() {
-    banner("E13", "(1-ε)-MWM extension (Remark, Section 4)", "Hougardy–Vinkemeier [14] + Algorithm 2");
+    banner(
+        "E13",
+        "(1-ε)-MWM extension (Remark, Section 4)",
+        "Hougardy–Vinkemeier [14] + Algorithm 2",
+    );
 
     let mut t = Table::new(vec![
-        "k", "target k/(k+1)", "ratio(min/mean)", "alg5 ½-ε ratio(mean)", "iters(mean)", "rounds(mean)",
+        "k",
+        "target k/(k+1)",
+        "ratio(min/mean)",
+        "alg5 ½-ε ratio(mean)",
+        "iters(mean)",
+        "rounds(mean)",
     ]);
     for k in [1usize, 2, 3, 4] {
         let mut ratios = Vec::new();
@@ -24,7 +33,11 @@ fn main() {
         let mut iters = Vec::new();
         let mut rounds = Vec::new();
         for seed in 0..5u64 {
-            let g = apply_weights(&gnp(16, 0.3, 700 + seed), WeightModel::Uniform(0.5, 4.0), seed);
+            let g = apply_weights(
+                &gnp(16, 0.3, 700 + seed),
+                WeightModel::Uniform(0.5, 4.0),
+                seed,
+            );
             let opt = dgraph::mwm_exact::max_weight_exact(&g);
             if opt <= 0.0 {
                 continue;

@@ -12,7 +12,11 @@ use dgraph::generators::random::random_tree;
 use dmatch::israeli_itai;
 
 fn main() {
-    banner("E14", "constant-round matching on trees", "Hoepman–Kutten–Lotker [12] (related work)");
+    banner(
+        "E14",
+        "constant-round matching on trees",
+        "Hoepman–Kutten–Lotker [12] (related work)",
+    );
 
     let mut t = Table::new(vec![
         "n", "iters=1", "iters=2", "iters=3", "iters=5", "iters=8",

@@ -17,7 +17,13 @@ fn main() {
         "Theorem 3.1 / Algorithms 1+2",
     );
     let mut t = Table::new(vec![
-        "n", "k", "bound 1-1/(k+1)", "ratio(min/mean)", "rounds", "rounds/log2(n)", "maxmsg(bits)",
+        "n",
+        "k",
+        "bound 1-1/(k+1)",
+        "ratio(min/mean)",
+        "rounds",
+        "rounds/log2(n)",
+        "maxmsg(bits)",
     ]);
     for &n in &[64usize, 128, 256, 512] {
         let p = 4.0 / n as f64;
@@ -29,8 +35,11 @@ fn main() {
                 let g = gnp(n, p, 1000 + seed);
                 let r = dmatch::generic::run(&g, k, seed);
                 let opt = dgraph::blossom::max_matching(&g).size();
-                let ratio =
-                    if opt == 0 { 1.0 } else { r.matching.size() as f64 / opt as f64 };
+                let ratio = if opt == 0 {
+                    1.0
+                } else {
+                    r.matching.size() as f64 / opt as f64
+                };
                 ratios.push(ratio);
                 rounds.push(r.stats.rounds as f64);
                 maxmsg = maxmsg.max(r.stats.max_msg_bits);

@@ -14,16 +14,27 @@ use dgraph::{Graph, Matching};
 use dmatch::bipartite::{count, SubgraphSpec};
 
 fn main() {
-    banner("E2", "Algorithm 3 counting BFS, layer by layer", "Figure 1 + Lemma 3.6");
+    banner(
+        "E2",
+        "Algorithm 3 counting BFS, layer by layer",
+        "Figure 1 + Lemma 3.6",
+    );
 
     // A bipartite graph with X = {0..4}, Y = {5..9}:
     // free X = {0, 1}; matched pairs (2,6), (3,7), (4,8); free Y = {5, 9}.
     let edges = vec![
-        (0u32, 5u32), (0, 6), (0, 7), // free X 0 fans out
-        (1, 6), (1, 7),               // free X 1
-        (2, 6), (3, 7), (4, 8),       // matching edges
-        (2, 9), (3, 9),               // matched X nodes reach free Y 9
-        (2, 8), (4, 9),               // a longer detour via (4,8)
+        (0u32, 5u32),
+        (0, 6),
+        (0, 7), // free X 0 fans out
+        (1, 6),
+        (1, 7), // free X 1
+        (2, 6),
+        (3, 7),
+        (4, 8), // matching edges
+        (2, 9),
+        (3, 9), // matched X nodes reach free Y 9
+        (2, 8),
+        (4, 9), // a longer detour via (4,8)
     ];
     let g = Graph::new(10, edges);
     let sides: Vec<bool> = (0..10).map(|v| v >= 5).collect();
@@ -45,8 +56,18 @@ fn main() {
     for d in 0..=ell as u64 {
         let layer: Vec<String> = (0..g.n() as u32)
             .filter(|&v| pass.dist[v as usize] == Some(d))
-            .map(|v| format!("{}{}={}", if sides[v as usize] { "Y" } else { "X" }, v,
-                             if d == 0 { 1 } else { pass.total[v as usize] as u64 }))
+            .map(|v| {
+                format!(
+                    "{}{}={}",
+                    if sides[v as usize] { "Y" } else { "X" },
+                    v,
+                    if d == 0 {
+                        1
+                    } else {
+                        pass.total[v as usize] as u64
+                    }
+                )
+            })
             .collect();
         if !layer.is_empty() {
             println!("layer d={d}:  {}", layer.join("   "));
@@ -65,11 +86,17 @@ fn main() {
             println!(
                 "  free Y {y}: d = {d}, counted n_y = {}, enumerated shortest paths = {expect}  {}",
                 pass.total[y as usize],
-                if pass.total[y as usize] == expect as u128 { "✓" } else { "✗ MISMATCH" }
+                if pass.total[y as usize] == expect as u128 {
+                    "✓"
+                } else {
+                    "✗ MISMATCH"
+                }
             );
             assert_eq!(pass.total[y as usize], expect as u128);
         }
     }
-    println!("\ncounting messages: {} total, largest {} bits (Lemma 3.6: n_v ≤ Δ^⌈d/2⌉)",
-             pass.stats.messages, pass.stats.max_msg_bits);
+    println!(
+        "\ncounting messages: {} total, largest {} bits (Lemma 3.6: n_v ≤ Δ^⌈d/2⌉)",
+        pass.stats.messages, pass.stats.max_msg_bits
+    );
 }

@@ -11,15 +11,31 @@ use bench_harness::{banner, f2, f3, Table};
 use dgraph::generators::random::{bipartite_gnp, bipartite_regular};
 
 fn main() {
-    banner("E3", "bipartite small-message algorithm", "Theorem 3.8 / Section 3.2");
+    banner(
+        "E3",
+        "bipartite small-message algorithm",
+        "Theorem 3.8 / Section 3.2",
+    );
 
     let mut t = Table::new(vec![
-        "graph", "n", "Δ", "k", "bound", "ratio", "rounds", "rounds/norm", "maxmsg(bits)",
+        "graph",
+        "n",
+        "Δ",
+        "k",
+        "bound",
+        "ratio",
+        "rounds",
+        "rounds/norm",
+        "maxmsg(bits)",
     ]);
     let mut run_case = |label: &str, g: &dgraph::Graph, sides: &[bool], k: usize, seed: u64| {
         let out = dmatch::bipartite::run(g, sides, k, seed);
         let opt = dgraph::hopcroft_karp::max_matching(g, sides).size();
-        let ratio = if opt == 0 { 1.0 } else { out.matching.size() as f64 / opt as f64 };
+        let ratio = if opt == 0 {
+            1.0
+        } else {
+            out.matching.size() as f64 / opt as f64
+        };
         let delta = g.max_degree().max(2) as f64;
         let norm = (k as f64).powi(3) * delta.log2() + (k as f64).powi(2) * (g.n() as f64).log2();
         t.row(vec![

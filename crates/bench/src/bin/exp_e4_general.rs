@@ -13,10 +13,22 @@ use dgraph::generators::structured::cycle;
 use dmatch::general::{self, GeneralOpts};
 
 fn main() {
-    banner("E4", "general graphs via random bipartization", "Theorem 3.11 / Algorithm 4");
+    banner(
+        "E4",
+        "general graphs via random bipartization",
+        "Theorem 3.11 / Algorithm 4",
+    );
 
     let mut t = Table::new(vec![
-        "graph", "n", "k", "bound", "ratio", "paper iters", "used iters", "applied", "rounds",
+        "graph",
+        "n",
+        "k",
+        "bound",
+        "ratio",
+        "paper iters",
+        "used iters",
+        "applied",
+        "rounds",
     ]);
     let cases: Vec<(&str, dgraph::Graph)> = vec![
         ("gnp(0.1)", gnp(60, 0.1, 5)),
@@ -26,10 +38,17 @@ fn main() {
     ];
     for (label, g) in &cases {
         for k in [2usize, 3] {
-            let opts = GeneralOpts { iterations: None, early_stop_after: Some(25) };
+            let opts = GeneralOpts {
+                iterations: None,
+                early_stop_after: Some(25),
+            };
             let r = general::run_with(g, k, 17 + k as u64, opts);
             let opt = dgraph::blossom::max_matching(g).size();
-            let ratio = if opt == 0 { 1.0 } else { r.matching.size() as f64 / opt as f64 };
+            let ratio = if opt == 0 {
+                1.0
+            } else {
+                r.matching.size() as f64 / opt as f64
+            };
             t.row(vec![
                 label.to_string(),
                 g.n().to_string(),

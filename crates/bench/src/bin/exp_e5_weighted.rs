@@ -21,16 +21,29 @@ use dmatch::weighted::{self, MwmBox};
 
 fn weighted_case(n: usize, seed: u64) -> (Graph, Vec<bool>) {
     let (g0, sides) = bipartite_gnp(n / 2, n / 2, 6.0 / (n / 2) as f64, seed);
-    (apply_weights(&g0, WeightModel::Exponential(2.0), seed + 1), sides)
+    (
+        apply_weights(&g0, WeightModel::Exponential(2.0), seed + 1),
+        sides,
+    )
 }
 
 fn main() {
-    banner("E5", "(½-ε)-MWM reduction and its black boxes", "Theorem 4.5 / Algorithm 5, Lemma 4.3");
+    banner(
+        "E5",
+        "(½-ε)-MWM reduction and its black boxes",
+        "Theorem 4.5 / Algorithm 5, Lemma 4.3",
+    );
 
     // ---- E5a: ε sweep --------------------------------------------------
     println!("--- E5a: ε sweep (bipartite, exponential weights, n = 64; exact = Hungarian)");
     let mut t = Table::new(vec![
-        "ε", "bound ½-ε", "ratio(min/mean)", "lemma4.3 pred", "iters", "rounds", "rounds/log(1/ε)",
+        "ε",
+        "bound ½-ε",
+        "ratio(min/mean)",
+        "lemma4.3 pred",
+        "iters",
+        "rounds",
+        "rounds/log(1/ε)",
     ]);
     for &eps in &[0.3, 0.2, 0.1, 0.05] {
         let mut ratios = Vec::new();
@@ -40,7 +53,11 @@ fn main() {
             let (g, sides) = weighted_case(64, 100 + seed);
             let r = weighted::run(&g, eps, MwmBox::SeqClass, seed);
             let opt = dgraph::hungarian::max_weight_matching(&g, &sides).weight(&g);
-            ratios.push(if opt <= 0.0 { 1.0 } else { r.matching.weight(&g) / opt });
+            ratios.push(if opt <= 0.0 {
+                1.0
+            } else {
+                r.matching.weight(&g) / opt
+            });
             rounds.push(r.stats.rounds as f64);
             iters = r.iterations;
         }
@@ -50,7 +67,11 @@ fn main() {
         t.row(vec![
             f2(eps),
             f3(0.5 - eps),
-            format!("{}/{}", f3(ratios.iter().cloned().fold(f64::INFINITY, f64::min)), f3(mean(&ratios))),
+            format!(
+                "{}/{}",
+                f3(ratios.iter().cloned().fold(f64::INFINITY, f64::min)),
+                f3(mean(&ratios))
+            ),
             f3(pred),
             iters.to_string(),
             f2(rmean),
@@ -62,14 +83,25 @@ fn main() {
     // ---- E5b: black-box ablation ---------------------------------------
     println!("\n--- E5b: δ-MWM black boxes, standalone and inside Algorithm 5 (n = 18 general, exact = DP)");
     let mut t = Table::new(vec![
-        "box", "nominal δ", "standalone δ(min)", "alg5 ratio(min)", "alg5 rounds(mean)",
+        "box",
+        "nominal δ",
+        "standalone δ(min)",
+        "alg5 ratio(min)",
+        "alg5 rounds(mean)",
     ]);
     for &mwm_box in &[MwmBox::SeqClass, MwmBox::ParClass, MwmBox::LocalDominant] {
         let mut standalone = Vec::new();
         let mut alg5 = Vec::new();
         let mut rounds = Vec::new();
         for seed in 0..6u64 {
-            let g = apply_weights(&gnp(18, 0.25, 200 + seed), WeightModel::PowerLaw { lo: 1.0, alpha: 1.1 }, seed);
+            let g = apply_weights(
+                &gnp(18, 0.25, 200 + seed),
+                WeightModel::PowerLaw {
+                    lo: 1.0,
+                    alpha: 1.1,
+                },
+                seed,
+            );
             let opt = dgraph::mwm_exact::max_weight_exact(&g);
             if opt <= 0.0 {
                 continue;
@@ -100,9 +132,17 @@ fn main() {
     let opt = dgraph::hungarian::max_weight_matching(&g, &sides).weight(&g);
     let mut t = Table::new(vec!["algorithm", "ratio", "rounds"]);
     let (ld, ld_stats) = dmatch::weighted::local_dominant::run(&g, 1);
-    t.row(vec!["local-dominant (½, Hoepman-style)".to_string(), f3(ld.weight(&g) / opt), ld_stats.rounds.to_string()]);
+    t.row(vec![
+        "local-dominant (½, Hoepman-style)".to_string(),
+        f3(ld.weight(&g) / opt),
+        ld_stats.rounds.to_string(),
+    ]);
     let r = weighted::run(&g, 0.1, MwmBox::SeqClass, 2);
-    t.row(vec!["Algorithm 5 (SeqClass box)".to_string(), f3(r.matching.weight(&g) / opt), r.stats.rounds.to_string()]);
+    t.row(vec![
+        "Algorithm 5 (SeqClass box)".to_string(),
+        f3(r.matching.weight(&g) / opt),
+        r.stats.rounds.to_string(),
+    ]);
     t.print();
     println!(
         "\nExpected shape: E5a ratios ≥ ½-ε and tracking the Lemma 4.3 prediction;\n\

@@ -18,7 +18,11 @@ use dgraph::{EdgeId, Graph, Matching};
 use dmatch::weighted::{apply_wraps, derived_weight};
 
 fn main() {
-    banner("E6", "derived gains and wrap augmentation", "Figure 2 + Lemma 4.1");
+    banner(
+        "E6",
+        "derived gains and wrap augmentation",
+        "Figure 2 + Lemma 4.1",
+    );
 
     // Nodes: x=0, a=1, b=2, y=3, c=4, d=5.
     // M = {(a,b) w=2, (c,d) w=12}  →  w(M) = 14 (the figure's top panel).
@@ -31,13 +35,19 @@ fn main() {
         vec![2.0, 12.0, 6.0, 8.0],
     );
     let m = Matching::from_edges(&g, &[0, 1]);
-    println!("M = {{(a,b) w=2, (c,d) w=12}}          w(M)  = {}", m.weight(&g));
+    println!(
+        "M = {{(a,b) w=2, (c,d) w=12}}          w(M)  = {}",
+        m.weight(&g)
+    );
 
     let f1: EdgeId = 2;
     let f2: EdgeId = 3;
     let wm1 = derived_weight(&g, &m, f1);
     let wm2 = derived_weight(&g, &m, f2);
-    println!("w_M(x,a) = {wm1},  w_M(y,b) = {wm2}         w_M(M') = {}", wm1 + wm2);
+    println!(
+        "w_M(x,a) = {wm1},  w_M(y,b) = {wm2}         w_M(M') = {}",
+        wm1 + wm2
+    );
 
     let (m2, realized) = apply_wraps(&g, &m, &[f1, f2]);
     println!(

@@ -10,7 +10,11 @@ use bench_harness::{banner, f2, f3, Table};
 use switchsim::{SchedulerKind, SimConfig, Simulator, TrafficModel};
 
 fn main() {
-    banner("E8", "switch scheduling: throughput & delay under load", "Introduction ¶2 + [3], [23]");
+    banner(
+        "E8",
+        "switch scheduling: throughput & delay under load",
+        "Introduction ¶2 + [3], [23]",
+    );
 
     let ports = 8usize;
     let cycles = 3000u64;
@@ -27,9 +31,17 @@ fn main() {
     for traffic in [
         TrafficModel::Uniform { load: 0.0 },
         TrafficModel::Diagonal { load: 0.0 },
-        TrafficModel::Bursty { load: 0.0, mean_burst: 16.0 },
+        TrafficModel::Bursty {
+            load: 0.0,
+            mean_burst: 16.0,
+        },
     ] {
-        println!("\n--- traffic: {} ({} ports, {} cycles) — delivery ratio | mean delay", traffic.label(), ports, cycles);
+        println!(
+            "\n--- traffic: {} ({} ports, {} cycles) — delivery ratio | mean delay",
+            traffic.label(),
+            ports,
+            cycles
+        );
         let mut t = Table::new(vec!["scheduler", "ρ=0.5", "ρ=0.7", "ρ=0.85", "ρ=0.95"]);
         for kind in schedulers {
             let mut cells = Vec::new();
@@ -42,7 +54,13 @@ fn main() {
                     }
                     TrafficModel::Hotspot { frac, .. } => TrafficModel::Hotspot { load, frac },
                 };
-                let cfg = SimConfig { ports, cycles, warmup: cycles / 5, traffic: model, seed: 11 };
+                let cfg = SimConfig {
+                    ports,
+                    cycles,
+                    warmup: cycles / 5,
+                    traffic: model,
+                    seed: 11,
+                };
                 let r = Simulator::new(cfg, kind).run();
                 cells.push(format!("{}|{}", f3(r.delivery_ratio()), f2(r.mean_delay)));
             }

@@ -11,10 +11,22 @@ use dgraph::generators::weights::{apply_weights, WeightModel};
 use dmatch::weighted::MwmBox;
 
 fn main() {
-    banner("E9", "rounds vs log n (fixed k / ε)", "Theorems 3.1, 3.8, 3.11, 4.5");
+    banner(
+        "E9",
+        "rounds vs log n (fixed k / ε)",
+        "Theorems 3.1, 3.8, 3.11, 4.5",
+    );
 
     let mut t = Table::new(vec![
-        "n", "II rounds", "II/logn", "bip(k=3)", "bip/logn", "gen(k=2)", "gen/logn", "mwm(ε=.2)", "mwm/log²n",
+        "n",
+        "II rounds",
+        "II/logn",
+        "bip(k=3)",
+        "bip/logn",
+        "gen(k=2)",
+        "gen/logn",
+        "mwm(ε=.2)",
+        "mwm/log²n",
     ]);
     for &exp in &[7u32, 8, 9, 10, 11, 12] {
         let n = 1usize << exp;
@@ -34,7 +46,10 @@ fn main() {
             &g,
             2,
             exp as u64,
-            dmatch::general::GeneralOpts { iterations: None, early_stop_after: Some(10) },
+            dmatch::general::GeneralOpts {
+                iterations: None,
+                early_stop_after: Some(10),
+            },
         );
 
         // Weighted Algorithm 5 (SeqClass box is O(log² n) itself).

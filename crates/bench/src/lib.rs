@@ -13,7 +13,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).
@@ -73,6 +76,54 @@ pub fn mean(xs: &[f64]) -> f64 {
         0.0
     } else {
         xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Minimal wall-clock micro-benchmark support for the `benches/`
+/// targets (the workspace is dependency-free, so the benches are plain
+/// `harness = false` binaries rather than criterion suites).
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Timing summary over the measured samples.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Sample {
+        /// Fastest observed run.
+        pub min: Duration,
+        /// Arithmetic mean of the runs.
+        pub mean: Duration,
+        /// Number of measured runs.
+        pub runs: u32,
+    }
+
+    impl Sample {
+        /// `"min 12.3ms / mean 13.1ms (10 runs)"`.
+        pub fn display(&self) -> String {
+            format!(
+                "min {:>9.3?} / mean {:>9.3?} ({} runs)",
+                self.min, self.mean, self.runs
+            )
+        }
+    }
+
+    /// Run `f` once for warmup, then `runs` measured times.
+    pub fn bench<F: FnMut()>(runs: u32, mut f: F) -> Sample {
+        assert!(runs > 0);
+        f(); // warmup
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..runs {
+            let t = Instant::now();
+            f();
+            let d = t.elapsed();
+            min = min.min(d);
+            total += d;
+        }
+        Sample {
+            min,
+            mean: total / runs,
+            runs,
+        }
     }
 }
 

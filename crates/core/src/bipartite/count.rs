@@ -19,7 +19,7 @@
 use super::{Role, SubgraphSpec};
 use crate::state;
 use dgraph::{Graph, Matching, NodeId};
-use simnet::{BitSize, Ctx, Envelope, NetStats, Network, Protocol};
+use simnet::{BitSize, Ctx, ExecCfg, Inbox, NetStats, Network, Protocol};
 
 /// A path-count message.
 #[derive(Debug, Clone, Copy)]
@@ -61,7 +61,7 @@ struct CountNode {
 impl Protocol for CountNode {
     type Msg = CountMsg;
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, CountMsg>, inbox: &[Envelope<CountMsg>]) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, CountMsg>, inbox: Inbox<'_, CountMsg>) {
         let r = ctx.round();
         if self.role == Role::Out {
             return;
@@ -82,7 +82,7 @@ impl Protocol for CountNode {
             return; // visited: later messages are discarded (Algorithm 3)
         }
         let mut got = false;
-        for env in inbox {
+        for env in inbox.iter() {
             if self.active[env.port] {
                 self.counts[env.port] = self.counts[env.port].saturating_add(env.msg.0);
                 self.total = self.total.saturating_add(env.msg.0);
@@ -127,6 +127,18 @@ impl Protocol for CountNode {
 
 /// Execute one counting pass of `ell + 1` rounds on the subgraph.
 pub fn run(g: &Graph, m: &Matching, spec: &SubgraphSpec, ell: usize, seed: u64) -> CountPass {
+    run_cfg(g, m, spec, ell, seed, ExecCfg::default())
+}
+
+/// [`run`] under explicit execution knobs.
+pub fn run_cfg(
+    g: &Graph,
+    m: &Matching,
+    spec: &SubgraphSpec,
+    ell: usize,
+    seed: u64,
+    cfg: ExecCfg,
+) -> CountPass {
     let mate_ports = super::mate_ports(g, m);
     let nodes: Vec<CountNode> = (0..g.n() as NodeId)
         .map(|v| CountNode {
@@ -139,7 +151,7 @@ pub fn run(g: &Graph, m: &Matching, spec: &SubgraphSpec, ell: usize, seed: u64) 
             total: 0,
         })
         .collect();
-    let mut net = Network::new(state::topology_of(g), nodes, seed);
+    let mut net = Network::new(state::topology_of(g), nodes, seed).with_cfg(cfg);
     net.run_rounds(ell as u64 + 1);
     let (nodes, stats) = net.into_parts();
     let mut leaders = 0usize;
@@ -177,7 +189,10 @@ mod tests {
         assert_eq!(pass.leaders, 4, "every free Y is reached at distance 1");
         for y in 3..7u32 {
             assert_eq!(pass.dist[y as usize], Some(1));
-            assert_eq!(pass.total[y as usize], 3, "three free X sources reach each Y");
+            assert_eq!(
+                pass.total[y as usize], 3,
+                "three free X sources reach each Y"
+            );
         }
     }
 
@@ -237,8 +252,7 @@ mod tests {
             // Build some matching via greedy to have interesting paths.
             let m = dgraph::greedy::greedy_maximal(&g);
             // Shortest augmenting length, if any.
-            let sl =
-                dgraph::augmenting::shortest_augmenting_path_len_bipartite(&g, &sides, &m);
+            let sl = dgraph::augmenting::shortest_augmenting_path_len_bipartite(&g, &sides, &m);
             let Some(ell) = sl else { continue };
             let pass = run(&g, &m, &spec, ell, seed);
             // For each reached free Y at distance exactly ell, the count
@@ -246,13 +260,10 @@ mod tests {
             // there.
             let all = enumerate_augmenting_paths(&g, &m, ell);
             for y in 0..g.n() as NodeId {
-                if sides[y as usize] && m.is_free(y) && pass.dist[y as usize] == Some(ell as u64)
-                {
+                if sides[y as usize] && m.is_free(y) && pass.dist[y as usize] == Some(ell as u64) {
                     let expected = all
                         .iter()
-                        .filter(|p| {
-                            p.len() == ell + 1 && (p[0] == y || *p.last().unwrap() == y)
-                        })
+                        .filter(|p| p.len() == ell + 1 && (p[0] == y || *p.last().unwrap() == y))
                         .count() as u128;
                     assert_eq!(
                         pass.total[y as usize], expected,

@@ -30,7 +30,7 @@ pub mod token;
 
 use crate::state;
 use dgraph::{EdgeId, Graph, Matching, NodeId};
-use simnet::NetStats;
+use simnet::{ExecCfg, NetStats};
 
 /// Role of a node within the (sub)graph the pass operates on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,7 +60,10 @@ impl SubgraphSpec {
             "full_bipartite requires a valid bipartition"
         );
         SubgraphSpec {
-            role: sides.iter().map(|&s| if s { Role::Y } else { Role::X }).collect(),
+            role: sides
+                .iter()
+                .map(|&s| if s { Role::Y } else { Role::X })
+                .collect(),
             active: vec![true; g.m()],
         }
     }
@@ -101,7 +104,10 @@ impl SubgraphSpec {
     /// Per-port activity for node `v`: a port is usable iff its edge is
     /// active (which implies the far endpoint participates).
     pub fn active_ports(&self, g: &Graph, v: NodeId) -> Vec<bool> {
-        g.incident(v).iter().map(|&(_, e)| self.active[e as usize]).collect()
+        g.incident(v)
+            .iter()
+            .map(|&(_, e)| self.active[e as usize])
+            .collect()
     }
 }
 
@@ -134,6 +140,18 @@ pub fn aug_until_maximal(
     ell: usize,
     seed: u64,
 ) -> AugOutcome {
+    aug_until_maximal_cfg(g, m0, spec, ell, seed, ExecCfg::default())
+}
+
+/// [`aug_until_maximal`] under explicit execution knobs.
+pub fn aug_until_maximal_cfg(
+    g: &Graph,
+    m0: &Matching,
+    spec: &SubgraphSpec,
+    ell: usize,
+    seed: u64,
+    cfg: ExecCfg,
+) -> AugOutcome {
     assert!(ell % 2 == 1, "augmenting path lengths are odd");
     let mut m = m0.clone();
     let mut stats = NetStats::default();
@@ -141,20 +159,36 @@ pub fn aug_until_maximal(
     let mut iterations = 0u64;
     let cap = 4 * g.n() as u64 + 16;
     loop {
-        let pass = count::run(g, &m, spec, ell, seed.wrapping_add(iterations * 2));
+        let pass = count::run_cfg(g, &m, spec, ell, seed.wrapping_add(iterations * 2), cfg);
         stats.absorb(&pass.stats);
         if pass.leaders == 0 {
             break; // no augmenting path of length ≤ ℓ remains
         }
-        let tok = token::run(g, &m, spec, ell, &pass, seed.wrapping_add(iterations * 2 + 1));
+        let tok = token::run_cfg(
+            g,
+            &m,
+            spec,
+            ell,
+            &pass,
+            seed.wrapping_add(iterations * 2 + 1),
+            cfg,
+        );
         stats.absorb(&tok.stats);
-        assert!(tok.applied > 0, "a reached leader must yield at least one augmentation");
+        assert!(
+            tok.applied > 0,
+            "a reached leader must yield at least one augmentation"
+        );
         applied += tok.applied;
         m = tok.matching;
         iterations += 1;
         assert!(iterations < cap, "augmentation loop failed to converge");
     }
-    AugOutcome { matching: m, applied, iterations, stats }
+    AugOutcome {
+        matching: m,
+        applied,
+        iterations,
+        stats,
+    }
 }
 
 /// Per-phase details of [`run_phased`].
@@ -186,9 +220,30 @@ pub fn run(g: &Graph, sides: &[bool], k: usize, seed: u64) -> AugOutcome {
     run_phased(g, sides, k, seed).0
 }
 
+/// [`run`] under explicit execution knobs.
+pub fn run_cfg(g: &Graph, sides: &[bool], k: usize, seed: u64, cfg: ExecCfg) -> AugOutcome {
+    run_phased_cfg(g, sides, k, seed, cfg).0
+}
+
 /// Like [`run`], additionally returning a per-phase log (used by the
 /// E3 experiment and the phase-invariant tests).
-pub fn run_phased(g: &Graph, sides: &[bool], k: usize, seed: u64) -> (AugOutcome, Vec<PhaseOutcome>) {
+pub fn run_phased(
+    g: &Graph,
+    sides: &[bool],
+    k: usize,
+    seed: u64,
+) -> (AugOutcome, Vec<PhaseOutcome>) {
+    run_phased_cfg(g, sides, k, seed, ExecCfg::default())
+}
+
+/// [`run_phased`] under explicit execution knobs.
+pub fn run_phased_cfg(
+    g: &Graph,
+    sides: &[bool],
+    k: usize,
+    seed: u64,
+    cfg: ExecCfg,
+) -> (AugOutcome, Vec<PhaseOutcome>) {
     assert!(k >= 1);
     let spec = SubgraphSpec::full_bipartite(g, sides);
     let mut m = Matching::new(g.n());
@@ -198,7 +253,14 @@ pub fn run_phased(g: &Graph, sides: &[bool], k: usize, seed: u64) -> (AugOutcome
     let mut phases = Vec::with_capacity(k);
     for phase in 0..k {
         let ell = 2 * phase + 1;
-        let out = aug_until_maximal(g, &m, &spec, ell, seed.wrapping_add(0x1000 * ell as u64));
+        let out = aug_until_maximal_cfg(
+            g,
+            &m,
+            &spec,
+            ell,
+            seed.wrapping_add(0x1000 * ell as u64),
+            cfg,
+        );
         m = out.matching;
         stats.absorb(&out.stats);
         applied += out.applied;
@@ -211,7 +273,15 @@ pub fn run_phased(g: &Graph, sides: &[bool], k: usize, seed: u64) -> (AugOutcome
             matching_size: m.size(),
         });
     }
-    (AugOutcome { matching: m, applied, iterations, stats }, phases)
+    (
+        AugOutcome {
+            matching: m,
+            applied,
+            iterations,
+            stats,
+        },
+        phases,
+    )
 }
 
 /// Run phases with growing `ℓ` until **no augmenting path of any
@@ -241,12 +311,20 @@ pub fn run_to_optimal(g: &Graph, sides: &[bool], seed: u64) -> AugOutcome {
             }
         }
     }
-    AugOutcome { matching: m, applied, iterations, stats }
+    AugOutcome {
+        matching: m,
+        applied,
+        iterations,
+        stats,
+    }
 }
 
 /// Fresh mate-port view of a matching (shared by the pass protocols).
 pub(crate) fn mate_ports(g: &Graph, m: &Matching) -> Vec<Option<usize>> {
-    state::node_inits(g, m).into_iter().map(|i| i.mate_port).collect()
+    state::node_inits(g, m)
+        .into_iter()
+        .map(|i| i.mate_port)
+        .collect()
 }
 
 #[cfg(test)]
@@ -261,8 +339,16 @@ mod tests {
         assert!(out.matching.validate(g).is_ok());
         let opt = hopcroft_karp::max_matching(g, sides).size();
         let bound = 1.0 - 1.0 / k as f64;
-        let got = if opt == 0 { 1.0 } else { out.matching.size() as f64 / opt as f64 };
-        assert!(got >= bound - 1e-9, "k={k} seed={seed}: ratio {got} < {bound} (|M|={}, opt={opt})", out.matching.size());
+        let got = if opt == 0 {
+            1.0
+        } else {
+            out.matching.size() as f64 / opt as f64
+        };
+        assert!(
+            got >= bound - 1e-9,
+            "k={k} seed={seed}: ratio {got} < {bound} (|M|={}, opt={opt})",
+            out.matching.size()
+        );
         // The theorem's postcondition: no augmenting path of length ≤ 2k-1.
         assert!(
             dgraph::augmenting::shortest_augmenting_path_len_bipartite(g, sides, &out.matching)
@@ -330,7 +416,10 @@ mod tests {
         assert_eq!(spec.role[1], Role::Out);
         assert_eq!(spec.role[2], Role::Out);
         assert_eq!(spec.role[3], Role::X);
-        assert!(spec.active.iter().all(|&a| !a), "all edges touch Out or monochromatic nodes");
+        assert!(
+            spec.active.iter().all(|&a| !a),
+            "all edges touch Out or monochromatic nodes"
+        );
 
         // Colors R,B,R,B: pair (1,2) bichromatic → all in V̂.
         let colors = vec![false, true, false, true];
@@ -371,7 +460,10 @@ mod tests {
         for w in phases.windows(2) {
             assert!(w[1].matching_size >= w[0].matching_size);
         }
-        assert_eq!(phases.iter().map(|p| p.rounds).sum::<u64>(), out.stats.rounds);
+        assert_eq!(
+            phases.iter().map(|p| p.rounds).sum::<u64>(),
+            out.stats.rounds
+        );
         assert_eq!(phases.iter().map(|p| p.applied).sum::<usize>(), out.applied);
     }
 
@@ -386,7 +478,10 @@ mod tests {
             let out = aug_until_maximal(&g, &m, &spec, ell, 9);
             m = out.matching;
             let sl = dgraph::augmenting::shortest_augmenting_path_len_bipartite(&g, &sides, &m);
-            assert!(sl.is_none_or(|l| l > ell), "phase ℓ={ell} left a path of length {sl:?}");
+            assert!(
+                sl.is_none_or(|l| l > ell),
+                "phase ℓ={ell} left a path of length {sl:?}"
+            );
         }
     }
 }

@@ -24,7 +24,7 @@ use super::count::CountPass;
 use super::{Role, SubgraphSpec};
 use crate::state;
 use dgraph::{Graph, Matching, NodeId, UNMATCHED};
-use simnet::{BitSize, Ctx, Envelope, NetStats, Network, Protocol, SplitMix64};
+use simnet::{BitSize, Ctx, ExecCfg, Inbox, NetStats, Network, Protocol, SplitMix64};
 
 /// Wire messages of the token pass.
 #[derive(Debug, Clone, Copy)]
@@ -96,19 +96,29 @@ impl TokenNode {
 impl Protocol for TokenNode {
     type Msg = TokMsg;
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, TokMsg>, inbox: &[Envelope<TokMsg>]) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, TokMsg>, inbox: Inbox<'_, TokMsg>) {
         if self.role == Role::Out {
             return;
         }
         // --- Flip retrace (traveling free X → leader). ---
         if inbox.iter().any(|e| matches!(e.msg, TokMsg::Flip)) {
             debug_assert_eq!(
-                inbox.iter().filter(|e| matches!(e.msg, TokMsg::Flip)).count(),
+                inbox
+                    .iter()
+                    .filter(|e| matches!(e.msg, TokMsg::Flip))
+                    .count(),
                 1,
                 "flip paths are vertex-disjoint"
             );
-            let env = inbox.iter().find(|e| matches!(e.msg, TokMsg::Flip)).unwrap();
-            debug_assert_eq!(Some(env.port), self.forward_port, "flips retrace the token path");
+            let env = inbox
+                .iter()
+                .find(|e| matches!(e.msg, TokMsg::Flip))
+                .unwrap();
+            debug_assert_eq!(
+                Some(env.port),
+                self.forward_port,
+                "flips retrace the token path"
+            );
             match self.role {
                 Role::Y => {
                     // New mate is the X-side path edge; the old matched
@@ -131,8 +141,8 @@ impl Protocol for TokenNode {
 
         // --- Token arrivals: keep the max, forward or complete. ---
         let mut best: Option<(u64, NodeId, usize)> = None;
-        for env in inbox {
-            if let TokMsg::Token(w, leader) = env.msg {
+        for env in inbox.iter() {
+            if let TokMsg::Token(w, leader) = *env.msg {
                 if best.is_none_or(|(bw, bl, _)| (w, leader) > (bw, bl)) {
                     best = Some((w, leader, env.port));
                 }
@@ -190,6 +200,19 @@ pub fn run(
     pass: &CountPass,
     seed: u64,
 ) -> TokenOutcome {
+    run_cfg(g, m, spec, ell, pass, seed, ExecCfg::default())
+}
+
+/// [`run`] under explicit execution knobs.
+pub fn run_cfg(
+    g: &Graph,
+    m: &Matching,
+    spec: &SubgraphSpec,
+    ell: usize,
+    pass: &CountPass,
+    seed: u64,
+    cfg: ExecCfg,
+) -> TokenOutcome {
     let mate_ports = super::mate_ports(g, m);
     let nodes: Vec<TokenNode> = (0..g.n() as NodeId)
         .map(|v| TokenNode {
@@ -205,7 +228,7 @@ pub fn run(
             initiated: false,
         })
         .collect();
-    let mut net = Network::new(state::topology_of(g), nodes, seed);
+    let mut net = Network::new(state::topology_of(g), nodes, seed).with_cfg(cfg);
     net.run_rounds(2 * ell as u64 + 1);
     let (nodes, stats) = net.into_parts();
     let applied = nodes.iter().filter(|n| n.initiated).count();
@@ -218,7 +241,11 @@ pub fn run(
         })
         .collect();
     let matching = state::matching_from_mates(g, mates);
-    TokenOutcome { matching, applied, stats }
+    TokenOutcome {
+        matching,
+        applied,
+        stats,
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 
 use crate::bipartite::{self, SubgraphSpec};
 use dgraph::{Graph, Matching};
-use simnet::{NetStats, SplitMix64};
+use simnet::{ExecCfg, NetStats, SplitMix64};
 
 /// The paper's iteration count `⌈2^{2k+1} (k+1) ln k⌉` (Line 2 of
 /// Algorithm 4). The analysis assumes `k > 2`; for `k ≤ 2` we
@@ -26,8 +26,7 @@ pub fn iteration_bound(k: usize) -> u64 {
 }
 
 /// Options for [`run_with`].
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct GeneralOpts {
     /// Sampling iterations; `None` uses [`iteration_bound`].
     pub iterations: Option<u64>,
@@ -36,7 +35,6 @@ pub struct GeneralOpts {
     /// the full budget; experiments compare both (E4).
     pub early_stop_after: Option<u64>,
 }
-
 
 /// Outcome of Algorithm 4.
 #[derive(Debug)]
@@ -66,6 +64,11 @@ pub fn run(g: &Graph, k: usize, seed: u64) -> GeneralRun {
 
 /// Run Algorithm 4 with explicit options.
 pub fn run_with(g: &Graph, k: usize, seed: u64, opts: GeneralOpts) -> GeneralRun {
+    run_with_cfg(g, k, seed, opts, ExecCfg::default())
+}
+
+/// [`run_with`] under explicit execution knobs.
+pub fn run_with_cfg(g: &Graph, k: usize, seed: u64, opts: GeneralOpts, cfg: ExecCfg) -> GeneralRun {
     assert!(k >= 1, "k must be positive");
     let budget = opts.iterations.unwrap_or_else(|| iteration_bound(k));
     let ell = 2 * k - 1;
@@ -86,7 +89,14 @@ pub fn run_with(g: &Graph, k: usize, seed: u64, opts: GeneralOpts) -> GeneralRun
 
         // Line 4: Ĝ. Line 5: Aug(Ĝ, M, 2k-1). Line 6: M ← M ⊕ P.
         let spec = SubgraphSpec::from_coloring(g, &m, &colors);
-        let out = bipartite::aug_until_maximal(g, &m, &spec, ell, seed ^ (it.wrapping_mul(0x9E37)));
+        let out = bipartite::aug_until_maximal_cfg(
+            g,
+            &m,
+            &spec,
+            ell,
+            seed ^ (it.wrapping_mul(0x9E37)),
+            cfg,
+        );
         stats.absorb(&out.stats);
         applied += out.applied;
         m = out.matching;
@@ -100,7 +110,12 @@ pub fn run_with(g: &Graph, k: usize, seed: u64, opts: GeneralOpts) -> GeneralRun
             idle_streak = 0;
         }
     }
-    GeneralRun { matching: m, iterations, applied, stats }
+    GeneralRun {
+        matching: m,
+        iterations,
+        applied,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +125,10 @@ mod tests {
     use dgraph::generators::structured::{cycle, p4_chain};
 
     fn early(stop: u64) -> GeneralOpts {
-        GeneralOpts { iterations: None, early_stop_after: Some(stop) }
+        GeneralOpts {
+            iterations: None,
+            early_stop_after: Some(stop),
+        }
     }
 
     #[test]
@@ -129,7 +147,11 @@ mod tests {
             assert!(r.matching.validate(&g).is_ok());
             let opt = dgraph::blossom::max_matching(&g).size();
             let bound = 1.0 - 1.0 / k as f64;
-            let got = if opt == 0 { 1.0 } else { r.matching.size() as f64 / opt as f64 };
+            let got = if opt == 0 {
+                1.0
+            } else {
+                r.matching.size() as f64 / opt as f64
+            };
             assert!(got >= bound - 1e-9, "seed {seed}: ratio {got} < {bound}");
         }
     }

@@ -27,7 +27,7 @@
 
 use dgraph::augmenting::{enumerate_augmenting_paths, is_maximal_disjoint};
 use dgraph::{Graph, Matching, NodeId};
-use simnet::{BitSize, Ctx, Envelope, NetStats, Network, Protocol, SplitMix64};
+use simnet::{BitSize, Ctx, ExecCfg, Inbox, NetStats, Network, Protocol, SplitMix64};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -69,10 +69,10 @@ struct GatherNode {
 impl Protocol for GatherNode {
     type Msg = DeltaMsg;
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, DeltaMsg>, inbox: &[Envelope<DeltaMsg>]) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, DeltaMsg>, inbox: Inbox<'_, DeltaMsg>) {
         // Merge what arrived, keeping only genuinely new items.
         let mut learned: Vec<ViewItem> = Vec::new();
-        for env in inbox {
+        for env in inbox.iter() {
             for &item in env.msg.0.iter() {
                 if self.view.insert(item) {
                     learned.push(item);
@@ -104,6 +104,17 @@ pub(crate) fn gather_balls(
     radius: usize,
     seed: u64,
 ) -> (Vec<HashSet<ViewItem>>, NetStats) {
+    gather_balls_cfg(g, m, radius, seed, ExecCfg::default())
+}
+
+/// [`gather_balls`] under explicit execution knobs.
+pub(crate) fn gather_balls_cfg(
+    g: &Graph,
+    m: &Matching,
+    radius: usize,
+    seed: u64,
+    cfg: ExecCfg,
+) -> (Vec<HashSet<ViewItem>>, NetStats) {
     let rounds = radius as u64 + 1;
     let nodes: Vec<GatherNode> = (0..g.n() as NodeId)
         .map(|v| {
@@ -118,7 +129,7 @@ pub(crate) fn gather_balls(
             GatherNode { view, rounds }
         })
         .collect();
-    let mut net = Network::new(crate::state::topology_of(g), nodes, seed);
+    let mut net = Network::new(crate::state::topology_of(g), nodes, seed).with_cfg(cfg);
     net.run_until_halt(rounds + 2);
     let (nodes, stats) = net.into_parts();
     (nodes.into_iter().map(|n| n.view).collect(), stats)
@@ -191,7 +202,11 @@ fn conflict_graph_mis(n: usize, paths: &[Vec<NodeId>], rng: &mut SplitMix64) -> 
             }
         }
     }
-    ConflictMis { chosen, iterations, alive_work }
+    ConflictMis {
+        chosen,
+        iterations,
+        alive_work,
+    }
 }
 
 /// Per-phase log entry.
@@ -224,6 +239,12 @@ pub struct GenericRun {
 /// producing a `(1 - 1/(k+1))`-approximate maximum cardinality
 /// matching of `g`.
 pub fn run(g: &Graph, k: usize, seed: u64) -> GenericRun {
+    run_cfg(g, k, seed, ExecCfg::default())
+}
+
+/// [`run`] under explicit execution knobs (threads / fault injection
+/// apply to the measured ball-gathering phases).
+pub fn run_cfg(g: &Graph, k: usize, seed: u64, cfg: ExecCfg) -> GenericRun {
     assert!(k >= 1, "k must be positive");
     let mut m = Matching::new(g.n());
     let mut stats = NetStats::default();
@@ -237,7 +258,7 @@ pub fn run(g: &Graph, k: usize, seed: u64) -> GenericRun {
             break;
         }
         // Step 4 (Algorithm 2): gather distance-2ℓ balls, real messages.
-        let (views, gstats) = gather_balls(g, &m, 2 * ell, seed.wrapping_add(ell as u64));
+        let (views, gstats) = gather_balls_cfg(g, &m, 2 * ell, seed.wrapping_add(ell as u64), cfg);
         stats.absorb(&gstats);
 
         // Enumerate the conflict-graph nodes. (Each node could do this
@@ -291,7 +312,11 @@ pub fn run(g: &Graph, k: usize, seed: u64) -> GenericRun {
             matching_size: m.size(),
         });
     }
-    GenericRun { matching: m, stats, phases }
+    GenericRun {
+        matching: m,
+        stats,
+        phases,
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 
 use crate::state::{self, NodeInit};
 use dgraph::{Graph, Matching, NodeId, UNMATCHED};
-use simnet::{BitSize, Ctx, Envelope, NetStats, Network, Protocol};
+use simnet::{BitSize, Ctx, ExecCfg, Inbox, NetStats, Network, Protocol};
 
 /// Wire messages (2 bits each).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,11 +70,11 @@ impl IINode {
 impl Protocol for IINode {
     type Msg = IIMsg;
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, IIMsg>, inbox: &[Envelope<IIMsg>]) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, IIMsg>, inbox: Inbox<'_, IIMsg>) {
         let phase = ctx.round() % 3;
         // Dead-port bookkeeping happens in every phase.
-        for env in inbox {
-            if env.msg == IIMsg::Matched {
+        for env in inbox.iter() {
+            if *env.msg == IIMsg::Matched {
                 self.active_port[env.port] = false;
             }
         }
@@ -89,8 +89,7 @@ impl Protocol for IINode {
                     ctx.halt();
                     return;
                 }
-                let live: Vec<usize> =
-                    (0..ctx.degree()).filter(|&p| self.active_port[p]).collect();
+                let live: Vec<usize> = (0..ctx.degree()).filter(|&p| self.active_port[p]).collect();
                 if live.is_empty() {
                     ctx.halt(); // isolated among matched nodes: maximality holds
                     return;
@@ -110,7 +109,7 @@ impl Protocol for IINode {
                 // Accept the lowest-port live proposal.
                 if let Some(env) = inbox
                     .iter()
-                    .find(|e| e.msg == IIMsg::Propose && self.active_port[e.port])
+                    .find(|e| *e.msg == IIMsg::Propose && self.active_port[e.port])
                 {
                     self.mate_port = Some(env.port);
                     ctx.send(env.port, IIMsg::Accept);
@@ -118,7 +117,7 @@ impl Protocol for IINode {
             }
             2 => {
                 if !self.matched() {
-                    if let Some(env) = inbox.iter().find(|e| e.msg == IIMsg::Accept) {
+                    if let Some(env) = inbox.iter().find(|e| *e.msg == IIMsg::Accept) {
                         debug_assert_eq!(Some(env.port), self.proposed_to);
                         self.mate_port = Some(env.port);
                     }
@@ -154,9 +153,21 @@ pub fn round_budget(n: usize) -> u64 {
 /// (pass the empty matching for the classical algorithm). Returns the
 /// resulting *maximal* matching and the network statistics.
 pub fn maximal_matching_from(g: &Graph, initial: &Matching, seed: u64) -> (Matching, NetStats) {
+    maximal_matching_from_cfg(g, initial, seed, ExecCfg::default())
+}
+
+/// [`maximal_matching_from`] under explicit execution knobs (worker
+/// threads / fault injection) — results are bit-identical across
+/// thread counts.
+pub fn maximal_matching_from_cfg(
+    g: &Graph,
+    initial: &Matching,
+    seed: u64,
+    cfg: ExecCfg,
+) -> (Matching, NetStats) {
     let inits = state::node_inits(g, initial);
     let nodes: Vec<IINode> = inits.iter().map(IINode::new).collect();
-    let mut net = Network::new(state::topology_of(g), nodes, seed);
+    let mut net = Network::new(state::topology_of(g), nodes, seed).with_cfg(cfg);
     net.run_until_halt(round_budget(g.n()));
     let (nodes, stats) = net.into_parts();
     let mates: Vec<NodeId> = nodes
@@ -181,6 +192,11 @@ pub fn maximal_matching_from(g: &Graph, initial: &Matching, seed: u64) -> (Match
 /// ```
 pub fn maximal_matching(g: &Graph, seed: u64) -> (Matching, NetStats) {
     maximal_matching_from(g, &Matching::new(g.n()), seed)
+}
+
+/// [`maximal_matching`] under explicit execution knobs.
+pub fn maximal_matching_cfg(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
+    maximal_matching_from_cfg(g, &Matching::new(g.n()), seed, cfg)
 }
 
 /// Run exactly `iterations` Israeli–Itai iterations (3 rounds each) and

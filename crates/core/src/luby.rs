@@ -10,7 +10,7 @@
 //! One iteration spans three rounds: priorities out, winners announce,
 //! losers retire.
 
-use simnet::{BitSize, Ctx, Envelope, NetStats, Network, Protocol, Topology};
+use simnet::{BitSize, Ctx, ExecCfg, Inbox, NetStats, Network, Protocol, Topology};
 
 /// Wire messages.
 #[derive(Debug, Clone, Copy)]
@@ -38,11 +38,10 @@ pub struct LubyNode {
     prio: u64,
 }
 
-
 impl Protocol for LubyNode {
     type Msg = LubyMsg;
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, LubyMsg>, inbox: &[Envelope<LubyMsg>]) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, LubyMsg>, inbox: Inbox<'_, LubyMsg>) {
         match ctx.round() % 3 {
             0 => {
                 self.prio = ctx.rng().next();
@@ -52,7 +51,7 @@ impl Protocol for LubyNode {
                 // Beat every still-active neighbor (ties by id — the
                 // message's sender id is available in the envelope).
                 let me = (self.prio, ctx.id());
-                let wins = inbox.iter().all(|e| match e.msg {
+                let wins = inbox.iter().all(|e| match *e.msg {
                     LubyMsg::Priority(p) => me > (p, e.from),
                     LubyMsg::InMis => true,
                 });
@@ -80,12 +79,17 @@ pub fn round_budget(n: usize) -> u64 {
 
 /// Compute an MIS of `topo`. Returns the indicator vector and stats.
 pub fn mis(topo: &Topology, seed: u64) -> (Vec<bool>, NetStats) {
+    mis_cfg(topo, seed, ExecCfg::default())
+}
+
+/// [`mis`] under explicit execution knobs.
+pub fn mis_cfg(topo: &Topology, seed: u64, cfg: ExecCfg) -> (Vec<bool>, NetStats) {
     let n = topo.len();
     if n == 0 {
         return (Vec::new(), NetStats::default());
     }
     let nodes: Vec<LubyNode> = (0..n).map(|_| LubyNode::default()).collect();
-    let mut net = Network::new(topo.clone(), nodes, seed);
+    let mut net = Network::new(topo.clone(), nodes, seed).with_cfg(cfg);
     net.run_until_halt(round_budget(n));
     let (nodes, stats) = net.into_parts();
     let flags = nodes
@@ -97,12 +101,10 @@ pub fn mis(topo: &Topology, seed: u64) -> (Vec<bool>, NetStats) {
 
 /// Check MIS validity: independent and dominating.
 pub fn is_valid_mis(topo: &Topology, flags: &[bool]) -> bool {
-    let independent = (0..topo.len() as u32).all(|v| {
-        !flags[v as usize] || topo.neighbors(v).iter().all(|&u| !flags[u as usize])
-    });
-    let dominating = (0..topo.len() as u32).all(|v| {
-        flags[v as usize] || topo.neighbors(v).iter().any(|&u| flags[u as usize])
-    });
+    let independent = (0..topo.len() as u32)
+        .all(|v| !flags[v as usize] || topo.neighbors(v).iter().all(|&u| !flags[u as usize]));
+    let dominating = (0..topo.len() as u32)
+        .all(|v| flags[v as usize] || topo.neighbors(v).iter().any(|&u| flags[u as usize]));
     independent && dominating
 }
 
@@ -111,7 +113,10 @@ mod tests {
     use super::*;
 
     fn topo_path(n: usize) -> Topology {
-        Topology::from_edges(n, &(0..n as u32 - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+        Topology::from_edges(
+            n,
+            &(0..n as u32 - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -129,7 +134,11 @@ mod tests {
         let t = Topology::from_edges(10, &edges);
         let (f, _) = mis(&t, 4);
         assert!(is_valid_mis(&t, &f));
-        assert_eq!(f.iter().filter(|&&x| x).count(), 1, "clique MIS is a single node");
+        assert_eq!(
+            f.iter().filter(|&&x| x).count(),
+            1,
+            "clique MIS is a single node"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::{bipartite, general, generic, israeli_itai, weighted};
 use dgraph::{Graph, Matching};
-use simnet::NetStats;
+use simnet::{ExecCfg, NetStats};
 
 /// Which algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,7 +19,10 @@ pub enum Algorithm {
     /// Algorithm 4 (Theorem 3.11): general `(1-1/k)`-MCM whp.
     General { k: usize, early_stop: Option<u64> },
     /// Algorithm 5 (Theorem 4.5): `(½-ε)`-MWM.
-    Weighted { epsilon: f64, mwm_box: weighted::MwmBox },
+    Weighted {
+        epsilon: f64,
+        mwm_box: weighted::MwmBox,
+    },
     /// δ-MWM black box alone (the [18] substitute) — baseline for E5.
     DeltaMwm { mwm_box: weighted::MwmBox },
 }
@@ -115,28 +118,51 @@ pub fn run(
     seed: u64,
     termination: TerminationMode,
 ) -> RunReport {
+    run_cfg(g, sides, alg, seed, termination, ExecCfg::default())
+}
+
+/// [`run`] under explicit execution knobs: every network phase of the
+/// chosen algorithm is stepped with `cfg.threads` workers and
+/// `cfg.loss` fault injection. Results are bit-identical across thread
+/// counts (asserted by the `prop_plane` workspace tests).
+pub fn run_cfg(
+    g: &Graph,
+    sides: Option<&[bool]>,
+    alg: Algorithm,
+    seed: u64,
+    termination: TerminationMode,
+    cfg: ExecCfg,
+) -> RunReport {
     let (name, matching, mut stats, oracle_checks) = match alg {
         Algorithm::IsraeliItai => {
-            let (m, s) = israeli_itai::maximal_matching(g, seed);
+            let (m, s) = israeli_itai::maximal_matching_cfg(g, seed, cfg);
             ("israeli-itai".to_string(), m, s, 0)
         }
         Algorithm::Generic { k } => {
-            let r = generic::run(g, k, seed);
+            let r = generic::run_cfg(g, k, seed, cfg);
             let checks = r.phases.iter().map(|p| p.mis_iterations).sum();
             (format!("generic(k={k})"), r.matching, r.stats, checks)
         }
         Algorithm::Bipartite { k } => {
             let sides = sides.expect("Bipartite algorithm requires sides");
-            let r = bipartite::run(g, sides, k, seed);
-            (format!("bipartite(k={k})"), r.matching, r.stats, r.iterations + k as u64)
+            let r = bipartite::run_cfg(g, sides, k, seed, cfg);
+            (
+                format!("bipartite(k={k})"),
+                r.matching,
+                r.stats,
+                r.iterations + k as u64,
+            )
         }
         Algorithm::General { k, early_stop } => {
-            let opts = general::GeneralOpts { iterations: None, early_stop_after: early_stop };
-            let r = general::run_with(g, k, seed, opts);
+            let opts = general::GeneralOpts {
+                iterations: None,
+                early_stop_after: early_stop,
+            };
+            let r = general::run_with_cfg(g, k, seed, opts, cfg);
             (format!("general(k={k})"), r.matching, r.stats, r.iterations)
         }
         Algorithm::Weighted { epsilon, mwm_box } => {
-            let r = weighted::run(g, epsilon, mwm_box, seed);
+            let r = weighted::run_cfg(g, epsilon, mwm_box, seed, cfg);
             (
                 format!("weighted(ε={epsilon}, box={mwm_box:?})"),
                 r.matching,
@@ -145,7 +171,7 @@ pub fn run(
             )
         }
         Algorithm::DeltaMwm { mwm_box } => {
-            let (m, s) = mwm_box.run(g, seed);
+            let (m, s) = mwm_box.run_cfg(g, seed, cfg);
             (format!("delta-mwm({mwm_box:?})"), m, s, 0)
         }
     };
@@ -156,7 +182,12 @@ pub fn run(
             stats.absorb(&agg);
         }
     }
-    RunReport { name, matching, stats, oracle_checks }
+    RunReport {
+        name,
+        matching,
+        stats,
+        oracle_checks,
+    }
 }
 
 #[cfg(test)]
@@ -171,9 +202,17 @@ mod tests {
         for alg in [
             Algorithm::IsraeliItai,
             Algorithm::Generic { k: 2 },
-            Algorithm::General { k: 2, early_stop: Some(15) },
-            Algorithm::Weighted { epsilon: 0.2, mwm_box: weighted::MwmBox::SeqClass },
-            Algorithm::DeltaMwm { mwm_box: weighted::MwmBox::LocalDominant },
+            Algorithm::General {
+                k: 2,
+                early_stop: Some(15),
+            },
+            Algorithm::Weighted {
+                epsilon: 0.2,
+                mwm_box: weighted::MwmBox::SeqClass,
+            },
+            Algorithm::DeltaMwm {
+                mwm_box: weighted::MwmBox::LocalDominant,
+            },
         ] {
             let r = run(&g, None, alg, 7, TerminationMode::Oracle);
             assert!(r.matching.validate(&g).is_ok(), "{}", r.name);
@@ -184,7 +223,13 @@ mod tests {
     #[test]
     fn bipartite_through_runner() {
         let (g, sides) = bipartite_gnp(15, 15, 0.2, 2);
-        let r = run(&g, Some(&sides), Algorithm::Bipartite { k: 3 }, 5, TerminationMode::Oracle);
+        let r = run(
+            &g,
+            Some(&sides),
+            Algorithm::Bipartite { k: 3 },
+            5,
+            TerminationMode::Oracle,
+        );
         assert!(r.mcm_ratio(&g) >= 2.0 / 3.0 - 1e-9);
     }
 
@@ -192,7 +237,10 @@ mod tests {
     fn honest_mode_charges_more_rounds() {
         let g = gnp(20, 0.3, 3); // dense ⇒ connected whp
         assert_eq!(g.components(), 1, "test needs a connected graph");
-        let alg = Algorithm::General { k: 2, early_stop: Some(10) };
+        let alg = Algorithm::General {
+            k: 2,
+            early_stop: Some(10),
+        };
         let oracle = run(&g, None, alg, 9, TerminationMode::Oracle);
         let honest = run(&g, None, alg, 9, TerminationMode::Honest);
         assert!(honest.stats.rounds > oracle.stats.rounds);

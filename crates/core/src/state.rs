@@ -58,7 +58,10 @@ pub fn node_inits(g: &Graph, m: &Matching) -> Vec<NodeInit> {
 /// symmetry. `mates[v]` is what node `v` believes its mate is.
 pub fn matching_from_mates(g: &Graph, mates: Vec<NodeId>) -> Matching {
     let m = Matching::from_mates(mates);
-    debug_assert!(m.validate(g).is_ok(), "protocol produced an invalid matching");
+    debug_assert!(
+        m.validate(g).is_ok(),
+        "protocol produced an invalid matching"
+    );
     m
 }
 

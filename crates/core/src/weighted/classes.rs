@@ -24,7 +24,7 @@
 
 use crate::israeli_itai;
 use dgraph::{EdgeId, Graph, Matching};
-use simnet::NetStats;
+use simnet::{ExecCfg, NetStats};
 
 /// Number of retained classes for a graph on `n` nodes: weights below
 /// `W/n³` cannot matter (see module docs).
@@ -51,6 +51,11 @@ pub fn class_of(w: f64, wmax: f64, classes: u32) -> Option<u32> {
 /// Sequential-class δ-MWM (δ = ¼ up to the dropped tail): heaviest
 /// class first, Israeli–Itai maximal matching per class.
 pub fn run(g: &Graph, seed: u64) -> (Matching, NetStats) {
+    run_cfg(g, seed, ExecCfg::default())
+}
+
+/// [`run`] under explicit execution knobs.
+pub fn run_cfg(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
     let mut stats = NetStats::default();
     let mut m = Matching::new(g.n());
     if g.m() == 0 {
@@ -69,7 +74,8 @@ pub fn run(g: &Graph, seed: u64) -> (Matching, NetStats) {
         if sub.m() == 0 {
             continue;
         }
-        let (cm, cstats) = israeli_itai::maximal_matching(&sub, seed.wrapping_add(j as u64));
+        let (cm, cstats) =
+            israeli_itai::maximal_matching_cfg(&sub, seed.wrapping_add(j as u64), cfg);
         stats.absorb(&cstats);
         for e in cm.edge_ids(&sub) {
             m.add(g, back[e as usize]);
@@ -84,6 +90,11 @@ pub fn run(g: &Graph, seed: u64) -> (Matching, NetStats) {
 /// must agree). Fewer rounds, larger (batched) messages; the measured δ
 /// is compared against the sequential variant in E5b.
 pub fn run_parallel(g: &Graph, seed: u64) -> (Matching, NetStats) {
+    run_parallel_cfg(g, seed, ExecCfg::default())
+}
+
+/// [`run_parallel`] under explicit execution knobs.
+pub fn run_parallel_cfg(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
     let mut stats = NetStats::default();
     if g.m() == 0 {
         return (Matching::new(g.n()), stats);
@@ -97,12 +108,12 @@ pub fn run_parallel(g: &Graph, seed: u64) -> (Matching, NetStats) {
     let mut per_class: Vec<Matching> = Vec::new();
     let mut max_rounds = 0u64;
     for j in 0..classes {
-        let (sub, _back) =
-            g.edge_subgraph(|e| class_of(g.weight(e), wmax, classes) == Some(j));
+        let (sub, _back) = g.edge_subgraph(|e| class_of(g.weight(e), wmax, classes) == Some(j));
         if sub.m() == 0 {
             continue;
         }
-        let (cm, cstats) = israeli_itai::maximal_matching(&sub, seed.wrapping_add(999 + j as u64));
+        let (cm, cstats) =
+            israeli_itai::maximal_matching_cfg(&sub, seed.wrapping_add(999 + j as u64), cfg);
         max_rounds = max_rounds.max(cstats.rounds);
         let tag_bits = simnet::id_bits(classes as usize);
         stats.record_messages(cstats.messages, 2 + tag_bits);
@@ -181,7 +192,14 @@ mod tests {
     #[test]
     fn parallel_variant_is_constant_factor() {
         for seed in 0..8 {
-            let g = apply_weights(&gnp(14, 0.3, 40 + seed), WeightModel::PowerLaw { lo: 1.0, alpha: 1.2 }, seed);
+            let g = apply_weights(
+                &gnp(14, 0.3, 40 + seed),
+                WeightModel::PowerLaw {
+                    lo: 1.0,
+                    alpha: 1.2,
+                },
+                seed,
+            );
             let (m, _) = run_parallel(&g, seed);
             assert!(m.validate(&g).is_ok());
             let opt = max_weight_exact(&g);
@@ -198,11 +216,7 @@ mod tests {
     #[test]
     fn heavy_tail_prefers_heavy_edges() {
         // One huge edge must always be matched (class 0 goes first).
-        let g = Graph::with_weights(
-            4,
-            vec![(0, 1), (1, 2), (2, 3)],
-            vec![1.0, 1000.0, 1.0],
-        );
+        let g = Graph::with_weights(4, vec![(0, 1), (1, 2), (2, 3)], vec![1.0, 1000.0, 1.0]);
         let (m, _) = run(&g, 0);
         assert!(m.contains(&g, 1));
     }
@@ -216,7 +230,14 @@ mod tests {
 
     #[test]
     fn sequential_rounds_exceed_parallel_charged_rounds() {
-        let g = apply_weights(&gnp(40, 0.15, 9), WeightModel::PowerLaw { lo: 1.0, alpha: 0.8 }, 2);
+        let g = apply_weights(
+            &gnp(40, 0.15, 9),
+            WeightModel::PowerLaw {
+                lo: 1.0,
+                alpha: 0.8,
+            },
+            2,
+        );
         let (_, s_seq) = run(&g, 3);
         let (_, s_par) = run_parallel(&g, 3);
         assert!(

@@ -84,7 +84,12 @@ pub fn run(g: &Graph, k: usize, delta: f64, _seed: u64) -> FullApproxRun {
         stats.record_messages(chosen.len() as u64 * ell as u64, id_bits + 64);
         weights.push(m.weight(g));
     }
-    FullApproxRun { matching: m, iterations, weights, stats }
+    FullApproxRun {
+        matching: m,
+        iterations,
+        weights,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -103,7 +108,11 @@ mod tests {
     #[test]
     fn near_optimal_on_small_general_graphs() {
         for seed in 0..6 {
-            let g = apply_weights(&gnp(12, 0.3, seed), WeightModel::Uniform(0.5, 4.0), seed + 2);
+            let g = apply_weights(
+                &gnp(12, 0.3, seed),
+                WeightModel::Uniform(0.5, 4.0),
+                seed + 2,
+            );
             let k = 3;
             let r = run(&g, k, 0.02, seed);
             assert!(r.matching.validate(&g).is_ok());

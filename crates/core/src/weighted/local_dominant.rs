@@ -11,7 +11,7 @@
 
 use crate::state::{self, NodeInit};
 use dgraph::{Graph, Matching, NodeId, UNMATCHED};
-use simnet::{BitSize, Ctx, Envelope, NetStats, Network, Protocol};
+use simnet::{BitSize, Ctx, ExecCfg, Inbox, NetStats, Network, Protocol};
 
 /// Wire messages.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +61,8 @@ impl LdNode {
                 Some(b) => {
                     let key = (self.weights[p], std::cmp::Reverse(self.edge_ids[p]));
                     let bkey = (self.weights[b], std::cmp::Reverse(self.edge_ids[b]));
-                    if key.partial_cmp(&bkey).expect("finite weights") == std::cmp::Ordering::Greater
+                    if key.partial_cmp(&bkey).expect("finite weights")
+                        == std::cmp::Ordering::Greater
                     {
                         Some(p)
                     } else {
@@ -77,9 +78,9 @@ impl LdNode {
 impl Protocol for LdNode {
     type Msg = LdMsg;
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, LdMsg>, inbox: &[Envelope<LdMsg>]) {
-        for env in inbox {
-            if env.msg == LdMsg::Matched {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, LdMsg>, inbox: Inbox<'_, LdMsg>) {
+        for env in inbox.iter() {
+            if *env.msg == LdMsg::Matched {
                 self.active[env.port] = false;
             }
         }
@@ -112,8 +113,9 @@ impl Protocol for LdNode {
                     return;
                 }
                 if let Some(p) = self.pointed {
-                    // Mutual pointing ⇒ the edge is locally dominant.
-                    if inbox.iter().any(|e| e.msg == LdMsg::Point && e.port == p) {
+                    // Mutual pointing ⇒ the edge is locally dominant
+                    // (O(1) port-indexed inbox lookup).
+                    if inbox.get(p) == Some(&LdMsg::Point) {
                         self.mate_port = Some(p);
                     }
                 }
@@ -133,9 +135,19 @@ pub fn round_budget(n: usize) -> u64 {
 /// Run local-dominant matching from `initial` (empty for the classic
 /// algorithm). Returns a maximal-by-weight ½-MWM.
 pub fn run_from(g: &Graph, initial: &Matching, seed: u64) -> (Matching, NetStats) {
+    run_from_cfg(g, initial, seed, ExecCfg::default())
+}
+
+/// [`run_from`] under explicit execution knobs.
+pub fn run_from_cfg(
+    g: &Graph,
+    initial: &Matching,
+    seed: u64,
+    cfg: ExecCfg,
+) -> (Matching, NetStats) {
     let inits = state::node_inits(g, initial);
     let nodes: Vec<LdNode> = inits.iter().map(LdNode::new).collect();
-    let mut net = Network::new(state::topology_of(g), nodes, seed);
+    let mut net = Network::new(state::topology_of(g), nodes, seed).with_cfg(cfg);
     net.run_until_halt(round_budget(g.n()));
     let (nodes, stats) = net.into_parts();
     let mates: Vec<NodeId> = nodes
@@ -154,6 +166,11 @@ pub fn run(g: &Graph, seed: u64) -> (Matching, NetStats) {
     run_from(g, &Matching::new(g.n()), seed)
 }
 
+/// [`run`] under explicit execution knobs.
+pub fn run_cfg(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
+    run_from_cfg(g, &Matching::new(g.n()), seed, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,7 +181,11 @@ mod tests {
     #[test]
     fn half_approximation_on_random_weighted_graphs() {
         for seed in 0..8 {
-            let g = apply_weights(&gnp(14, 0.3, seed), WeightModel::Uniform(0.5, 5.0), seed + 9);
+            let g = apply_weights(
+                &gnp(14, 0.3, seed),
+                WeightModel::Uniform(0.5, 5.0),
+                seed + 9,
+            );
             let (m, _) = run(&g, seed);
             assert!(m.validate(&g).is_ok());
             let opt = max_weight_exact(&g);
@@ -180,7 +201,11 @@ mod tests {
     #[test]
     fn result_is_maximal() {
         for seed in 0..5 {
-            let g = apply_weights(&gnp(20, 0.2, 50 + seed), WeightModel::Exponential(1.0), seed);
+            let g = apply_weights(
+                &gnp(20, 0.2, 50 + seed),
+                WeightModel::Exponential(1.0),
+                seed,
+            );
             let (m, _) = run(&g, seed);
             assert!(m.is_maximal(&g), "seed {seed}");
         }
@@ -190,7 +215,10 @@ mod tests {
     fn takes_globally_heaviest_edge() {
         let g = Graph::with_weights(4, vec![(0, 1), (1, 2), (2, 3)], vec![1.0, 10.0, 1.0]);
         let (m, _) = run(&g, 0);
-        assert!(m.contains(&g, 1), "heaviest edge is always locally dominant");
+        assert!(
+            m.contains(&g, 1),
+            "heaviest edge is always locally dominant"
+        );
         assert_eq!(m.size(), 1);
     }
 
@@ -200,7 +228,8 @@ mod tests {
         // sweep; rounds grow linearly — the worst case the paper
         // escapes.
         let n = 22;
-        let edges: Vec<(NodeId, NodeId)> = (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1)).collect();
         let weights: Vec<f64> = (0..n - 1).map(|i| (i + 1) as f64).collect();
         let g = Graph::with_weights(n, edges, weights);
         let (m, stats) = run(&g, 3);

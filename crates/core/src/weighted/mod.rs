@@ -27,7 +27,7 @@ pub mod full_approx;
 pub mod local_dominant;
 
 use dgraph::{EdgeId, Graph, Matching};
-use simnet::NetStats;
+use simnet::{ExecCfg, NetStats};
 use std::collections::HashSet;
 
 /// The δ-MWM black box plugged into Algorithm 5.
@@ -54,10 +54,15 @@ impl MwmBox {
 
     /// Run the box on `g` (weights already derived).
     pub fn run(self, g: &Graph, seed: u64) -> (Matching, NetStats) {
+        self.run_cfg(g, seed, ExecCfg::default())
+    }
+
+    /// [`MwmBox::run`] under explicit execution knobs.
+    pub fn run_cfg(self, g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
         match self {
-            MwmBox::SeqClass => classes::run(g, seed),
-            MwmBox::ParClass => classes::run_parallel(g, seed),
-            MwmBox::LocalDominant => local_dominant::run(g, seed),
+            MwmBox::SeqClass => classes::run_cfg(g, seed, cfg),
+            MwmBox::ParClass => classes::run_parallel_cfg(g, seed, cfg),
+            MwmBox::LocalDominant => local_dominant::run_cfg(g, seed, cfg),
         }
     }
 }
@@ -157,6 +162,11 @@ pub struct WeightedRun {
 /// assert!(r.matching.weight(&g) >= (0.5 - 0.1) * opt);
 /// ```
 pub fn run(g: &Graph, epsilon: f64, mwm_box: MwmBox, seed: u64) -> WeightedRun {
+    run_cfg(g, epsilon, mwm_box, seed, ExecCfg::default())
+}
+
+/// [`run`] under explicit execution knobs.
+pub fn run_cfg(g: &Graph, epsilon: f64, mwm_box: MwmBox, seed: u64, cfg: ExecCfg) -> WeightedRun {
     let delta = mwm_box.nominal_delta();
     let iters = iteration_bound(delta, epsilon);
     let mut m = Matching::new(g.n());
@@ -171,7 +181,7 @@ pub fn run(g: &Graph, epsilon: f64, mwm_box: MwmBox, seed: u64) -> WeightedRun {
         stats.record_round(2 * g.m() as u64);
 
         let (gp, back) = derived_graph(g, &m);
-        let (mp, box_stats) = mwm_box.run(&gp, seed.wrapping_add(it * 0x5EED));
+        let (mp, box_stats) = mwm_box.run_cfg(&gp, seed.wrapping_add(it * 0x5EED), cfg);
         stats.absorb(&box_stats);
 
         let mprime: Vec<EdgeId> = mp.edge_ids(&gp).iter().map(|&e| back[e as usize]).collect();
@@ -189,7 +199,12 @@ pub fn run(g: &Graph, epsilon: f64, mwm_box: MwmBox, seed: u64) -> WeightedRun {
         stats.record_round(2 * mprime.len() as u64);
         stats.record_round(0);
     }
-    WeightedRun { matching: m, iterations: iters, weights, stats }
+    WeightedRun {
+        matching: m,
+        iterations: iters,
+        weights,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -213,11 +228,13 @@ mod tests {
                 continue;
             }
             let mp = dgraph::greedy::greedy_by_weight(&gp);
-            let mprime: Vec<EdgeId> =
-                mp.edge_ids(&gp).iter().map(|&e| back[e as usize]).collect();
+            let mprime: Vec<EdgeId> = mp.edge_ids(&gp).iter().map(|&e| back[e as usize]).collect();
             let wm: f64 = mprime.iter().map(|&e| derived_weight(&g, &m, e)).sum();
             let (m2, realized) = apply_wraps(&g, &m, &mprime);
-            assert!(m2.validate(&g).is_ok(), "seed {seed}: M'' is not a matching");
+            assert!(
+                m2.validate(&g).is_ok(),
+                "seed {seed}: M'' is not a matching"
+            );
             assert!(realized >= wm - 1e-9, "seed {seed}: {realized} < {wm}");
         }
     }
@@ -247,7 +264,11 @@ mod tests {
     fn half_minus_eps_on_small_general_graphs() {
         let eps = 0.1;
         for seed in 0..6 {
-            let g = apply_weights(&gnp(14, 0.3, seed), WeightModel::Uniform(0.5, 4.0), seed + 1);
+            let g = apply_weights(
+                &gnp(14, 0.3, seed),
+                WeightModel::Uniform(0.5, 4.0),
+                seed + 1,
+            );
             let r = run(&g, eps, MwmBox::SeqClass, seed);
             assert!(r.matching.validate(&g).is_ok());
             let opt = max_weight_exact(&g);
@@ -282,7 +303,12 @@ mod tests {
         let g = apply_weights(&gnp(20, 0.2, 3), WeightModel::Integer(1, 20), 4);
         let r = run(&g, 0.1, MwmBox::SeqClass, 8);
         for w in r.weights.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "weight decreased: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "weight decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 

@@ -58,7 +58,9 @@ fn subgraph_augmentations_never_touch_out_nodes() {
     for seed in 0..10 {
         let g = gnp(24, 0.2, 70 + seed);
         let m = dgraph::greedy::greedy_maximal(&g);
-        let colors: Vec<bool> = (0..g.n()).map(|v| (v * 7 + seed as usize).is_multiple_of(3)).collect();
+        let colors: Vec<bool> = (0..g.n())
+            .map(|v| (v * 7 + seed as usize).is_multiple_of(3))
+            .collect();
         let spec = SubgraphSpec::from_coloring(&g, &m, &colors);
         let out = aug_until_maximal(&g, &m, &spec, 3, seed);
         for v in 0..g.n() as u32 {
@@ -83,7 +85,10 @@ fn weighted_iterations_respect_black_box_contract() {
     for seed in 0..4 {
         let g = apply_weights(
             &gnp(16, 0.3, 90 + seed),
-            WeightModel::PowerLaw { lo: 1.0, alpha: 0.7 },
+            WeightModel::PowerLaw {
+                lo: 1.0,
+                alpha: 0.7,
+            },
             seed,
         );
         let r = dmatch::weighted::run(&g, 0.2, MwmBox::ParClass, seed);

@@ -219,9 +219,15 @@ mod tests {
     fn bipartite_shortest_length() {
         let (g, m) = p6_with_middle();
         let sides = crate::bipartite::two_color(&g).unwrap();
-        assert_eq!(shortest_augmenting_path_len_bipartite(&g, &sides, &m), Some(5));
+        assert_eq!(
+            shortest_augmenting_path_len_bipartite(&g, &sides, &m),
+            Some(5)
+        );
         let empty = Matching::new(6);
-        assert_eq!(shortest_augmenting_path_len_bipartite(&g, &sides, &empty), Some(1));
+        assert_eq!(
+            shortest_augmenting_path_len_bipartite(&g, &sides, &empty),
+            Some(1)
+        );
     }
 
     #[test]
@@ -248,20 +254,31 @@ mod tests {
         // shortest paths strictly increases the shortest length.
         let g = Graph::new(
             8,
-            vec![(0, 4), (0, 5), (1, 4), (1, 6), (2, 5), (2, 7), (3, 6), (3, 7)],
+            vec![
+                (0, 4),
+                (0, 5),
+                (1, 4),
+                (1, 6),
+                (2, 5),
+                (2, 7),
+                (3, 6),
+                (3, 7),
+            ],
         );
         let sides = crate::bipartite::two_color(&g).unwrap();
         let mut m = Matching::new(8);
         let l0 = shortest_augmenting_path_len_bipartite(&g, &sides, &m).unwrap();
         assert_eq!(l0, 1);
         let paths = enumerate_augmenting_paths(&g, &m, l0);
-        let shortest: Vec<Vec<NodeId>> =
-            paths.into_iter().filter(|p| p.len() == l0 + 1).collect();
+        let shortest: Vec<Vec<NodeId>> = paths.into_iter().filter(|p| p.len() == l0 + 1).collect();
         let chosen = greedy_disjoint_paths(&g, &shortest);
         let selected: Vec<Vec<NodeId>> = chosen.iter().map(|&i| shortest[i].clone()).collect();
         apply_paths(&g, &mut m, &selected);
         let l1 = shortest_augmenting_path_len_bipartite(&g, &sides, &m);
-        assert!(l1.is_none_or(|l| l > l0), "Lemma 3.4 violated: {l1:?} ≤ {l0}");
+        assert!(
+            l1.is_none_or(|l| l > l0),
+            "Lemma 3.4 violated: {l1:?} ≤ {l0}"
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub fn is_bipartite(g: &Graph) -> bool {
 /// Check that `sides` is a proper 2-coloring of `g`.
 pub fn is_valid_bipartition(g: &Graph, sides: &[bool]) -> bool {
     sides.len() == g.n()
-        && g.edge_list().iter().all(|&(u, v)| sides[u as usize] != sides[v as usize])
+        && g.edge_list()
+            .iter()
+            .all(|&(u, v)| sides[u as usize] != sides[v as usize])
 }
 
 #[cfg(test)]

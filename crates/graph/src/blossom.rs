@@ -168,9 +168,21 @@ mod tests {
     fn petersen_graph_has_perfect_matching() {
         let edges = vec![
             // Outer C5, inner pentagram, spokes.
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0),
-            (5, 7), (7, 9), (9, 6), (6, 8), (8, 5),
-            (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (5, 7),
+            (7, 9),
+            (9, 6),
+            (6, 8),
+            (8, 5),
+            (0, 5),
+            (1, 6),
+            (2, 7),
+            (3, 8),
+            (4, 9),
         ];
         let g = Graph::new(10, edges);
         let m = max_matching(&g);

@@ -17,7 +17,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a builder for a graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, ..Default::default() }
+        GraphBuilder {
+            n,
+            ..Default::default()
+        }
     }
 
     /// Number of distinct edges added so far.
@@ -39,7 +42,10 @@ impl GraphBuilder {
     /// Returns true if the edge was new. Self-loops are rejected.
     pub fn add_weighted(&mut self, u: NodeId, v: NodeId, w: f64) -> bool {
         assert!(u != v, "self-loop at {u}");
-        assert!((u as usize) < self.n && (v as usize) < self.n, "endpoint out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "endpoint out of range"
+        );
         let key = (u.min(v), u.max(v));
         match self.index.get(&key) {
             Some(&i) => {

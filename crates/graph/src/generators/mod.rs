@@ -8,9 +8,7 @@ pub mod random;
 pub mod structured;
 pub mod weights;
 
-pub use random::{
-    barabasi_albert, bipartite_gnp, bipartite_regular, gnm, gnp, random_tree,
-};
+pub use random::{barabasi_albert, bipartite_gnp, bipartite_regular, gnm, gnp, random_tree};
 pub use structured::{
     binary_tree, caterpillar, complete, complete_bipartite, cycle, grid, hypercube, lollipop,
     p4_chain, path, star,

@@ -2,8 +2,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// Erdős–Rényi G(n, p): every pair is an edge independently with
 /// probability `p`.
@@ -14,7 +13,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     let mut b = GraphBuilder::new(n);
     if p > 0.0 && n >= 2 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         if p >= 1.0 {
             for u in 0..n as NodeId {
                 for v in u + 1..n as NodeId {
@@ -28,7 +27,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
             let (mut v, mut u) = (1i64, -1i64);
             let n = n as i64;
             while v < n {
-                let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let r: f64 = rng.f64().max(f64::MIN_POSITIVE);
                 u += 1 + (r.ln() / lq).floor() as i64;
                 while u >= v && v < n {
                     u -= v;
@@ -47,11 +46,11 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     let max_edges = n * n.saturating_sub(1) / 2;
     assert!(m <= max_edges, "cannot place {m} edges on {n} nodes");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut b = GraphBuilder::new(n);
     while b.len() < m {
-        let u = rng.gen_range(0..n) as NodeId;
-        let v = rng.gen_range(0..n) as NodeId;
+        let u = rng.index(n) as NodeId;
+        let v = rng.index(n) as NodeId;
         if u != v {
             b.add_edge(u, v);
         }
@@ -65,11 +64,11 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
 pub fn bipartite_gnp(nx: usize, ny: usize, p: f64, seed: u64) -> (Graph, Vec<bool>) {
     assert!((0.0..=1.0).contains(&p));
     let n = nx + ny;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut b = GraphBuilder::new(n);
     for u in 0..nx {
         for v in 0..ny {
-            if rng.gen::<f64>() < p {
+            if rng.f64() < p {
                 b.add_edge(u as NodeId, (nx + v) as NodeId);
             }
         }
@@ -86,12 +85,12 @@ pub fn bipartite_gnp(nx: usize, ny: usize, p: f64, seed: u64) -> (Graph, Vec<boo
 /// randomized regular family.)
 pub fn bipartite_regular(n: usize, d: usize, seed: u64) -> (Graph, Vec<bool>) {
     assert!(d <= n, "degree {d} impossible with side size {n}");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut sigma: Vec<usize> = (0..n).collect();
     let mut tau: Vec<usize> = (0..n).collect();
     for perm in [&mut sigma, &mut tau] {
         for i in (1..n).rev() {
-            let j = rng.gen_range(0..=i);
+            let j = rng.index(i + 1);
             perm.swap(i, j);
         }
     }
@@ -115,8 +114,8 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
     if n == 2 {
         return Graph::new(2, vec![(0, 1)]);
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut rng = Rng64::new(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.index(n)).collect();
     let mut degree = vec![1usize; n];
     for &v in &prufer {
         degree[v] += 1;
@@ -146,7 +145,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
 /// existing nodes with probability proportional to degree.
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     assert!(m >= 1 && n > m, "need n > m ≥ 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut b = GraphBuilder::new(n);
     // Repeated-endpoint list: sampling uniformly from it is sampling
     // proportionally to degree.
@@ -162,7 +161,7 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     for v in m0..n {
         let mut targets = std::collections::HashSet::new();
         while targets.len() < m {
-            let t = ends[rng.gen_range(0..ends.len())];
+            let t = ends[rng.index(ends.len())];
             targets.insert(t);
         }
         for &t in &targets {

@@ -4,7 +4,9 @@ use crate::graph::{Graph, NodeId};
 
 /// Path on `n` nodes (`n-1` edges).
 pub fn path(n: usize) -> Graph {
-    let edges = (0..n.saturating_sub(1)).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+    let edges = (0..n.saturating_sub(1))
+        .map(|i| (i as NodeId, i as NodeId + 1))
+        .collect();
     Graph::new(n, edges)
 }
 

@@ -1,8 +1,7 @@
 //! Edge-weight models for the weighted experiments (E5).
 
 use crate::graph::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// Distribution from which edge weights are drawn.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,30 +22,30 @@ pub enum WeightModel {
 
 /// Return a copy of `g` with weights drawn i.i.d. from `model`.
 pub fn apply_weights(g: &Graph, model: WeightModel, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let weights: Vec<f64> = (0..g.m()).map(|_| draw(&mut rng, model)).collect();
     g.reweighted(weights)
 }
 
-fn draw(rng: &mut StdRng, model: WeightModel) -> f64 {
+fn draw(rng: &mut Rng64, model: WeightModel) -> f64 {
     match model {
         WeightModel::Unit => 1.0,
         WeightModel::Uniform(lo, hi) => {
             assert!(lo < hi && lo >= 0.0);
-            rng.gen_range(lo..hi)
+            rng.range_f64(lo, hi)
         }
         WeightModel::Exponential(mean) => {
             assert!(mean > 0.0);
-            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u: f64 = rng.f64().max(f64::MIN_POSITIVE);
             -mean * u.ln()
         }
         WeightModel::Integer(lo, hi) => {
             assert!(lo <= hi);
-            rng.gen_range(lo..=hi) as f64
+            rng.range_u64(lo, hi) as f64
         }
         WeightModel::PowerLaw { lo, alpha } => {
             assert!(lo > 0.0 && alpha > 0.0);
-            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u: f64 = rng.f64().max(f64::MIN_POSITIVE);
             lo * u.powf(-1.0 / alpha)
         }
     }
@@ -72,7 +71,10 @@ mod tests {
     #[test]
     fn integer_weights_are_integers() {
         let g = apply_weights(&complete(10), WeightModel::Integer(1, 9), 2);
-        assert!(g.weight_list().iter().all(|&w| w.fract() == 0.0 && (1.0..=9.0).contains(&w)));
+        assert!(g
+            .weight_list()
+            .iter()
+            .all(|&w| w.fract() == 0.0 && (1.0..=9.0).contains(&w)));
     }
 
     #[test]
@@ -84,7 +86,14 @@ mod tests {
 
     #[test]
     fn power_law_exceeds_floor() {
-        let g = apply_weights(&complete(10), WeightModel::PowerLaw { lo: 1.0, alpha: 1.5 }, 4);
+        let g = apply_weights(
+            &complete(10),
+            WeightModel::PowerLaw {
+                lo: 1.0,
+                alpha: 1.5,
+            },
+            4,
+        );
         assert!(g.weight_list().iter().all(|&w| w >= 1.0));
     }
 

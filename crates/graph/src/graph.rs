@@ -43,11 +43,17 @@ impl Graph {
         let mut canon: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len());
         for &(u, v) in &edges {
             assert!(u != v, "self-loop at {u}");
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range (n={n})");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range (n={n})"
+            );
             canon.push((u.min(v), u.max(v)));
         }
         for &w in &weights {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative, got {w}");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and non-negative, got {w}"
+            );
         }
         let mut degree = vec![0usize; n];
         for &(u, v) in &canon {
@@ -77,7 +83,13 @@ impl Graph {
                 "duplicate edge at node {v}"
             );
         }
-        Graph { n, edges: canon, weights, offsets, adj }
+        Graph {
+            n,
+            edges: canon,
+            weights,
+            offsets,
+            adj,
+        }
     }
 
     /// Number of nodes.
@@ -148,13 +160,18 @@ impl Graph {
 
     /// Maximum degree Δ.
     pub fn max_degree(&self) -> usize {
-        (0..self.n).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+        (0..self.n)
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Edge id between `u` and `v`, if present.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         let inc = self.incident(u);
-        inc.binary_search_by_key(&v, |&(nb, _)| nb).ok().map(|i| inc[i].1)
+        inc.binary_search_by_key(&v, |&(nb, _)| nb)
+            .ok()
+            .map(|i| inc[i].1)
     }
 
     /// Total weight of all edges.

@@ -104,7 +104,11 @@ mod tests {
     #[test]
     fn greedy_weight_achieves_half_on_random_graphs() {
         for seed in 0..8 {
-            let g = apply_weights(&gnp(12, 0.3, seed), WeightModel::Uniform(0.1, 5.0), seed + 7);
+            let g = apply_weights(
+                &gnp(12, 0.3, seed),
+                WeightModel::Uniform(0.1, 5.0),
+                seed + 7,
+            );
             let gw = greedy_by_weight(&g).weight(&g);
             let opt = max_weight_exact(&g);
             assert!(gw >= 0.5 * opt - 1e-9, "seed {seed}: {gw} < half of {opt}");
@@ -125,8 +129,11 @@ mod tests {
     #[test]
     fn path_growing_achieves_half() {
         for seed in 0..8 {
-            let g =
-                apply_weights(&gnp(12, 0.35, 40 + seed), WeightModel::Exponential(2.0), seed);
+            let g = apply_weights(
+                &gnp(12, 0.35, 40 + seed),
+                WeightModel::Exponential(2.0),
+                seed,
+            );
             let pg = path_growing(&g).weight(&g);
             let opt = max_weight_exact(&g);
             assert!(pg >= 0.5 * opt - 1e-9, "seed {seed}: {pg} < half of {opt}");

@@ -20,7 +20,10 @@ pub fn assignment(cost: &[Vec<f64>]) -> Vec<usize> {
     if n == 0 {
         return Vec::new();
     }
-    assert!(cost.iter().all(|row| row.len() == n), "cost matrix must be square");
+    assert!(
+        cost.iter().all(|row| row.len() == n),
+        "cost matrix must be square"
+    );
     let inf = f64::INFINITY;
     let mut u = vec![0.0f64; n + 1];
     let mut v = vec![0.0f64; n + 1];
@@ -88,8 +91,12 @@ pub fn max_weight_matching(g: &Graph, sides: &[bool]) -> Matching {
         crate::bipartite::is_valid_bipartition(g, sides),
         "hungarian requires a valid bipartition"
     );
-    let left: Vec<NodeId> = (0..g.n() as NodeId).filter(|&v| !sides[v as usize]).collect();
-    let right: Vec<NodeId> = (0..g.n() as NodeId).filter(|&v| sides[v as usize]).collect();
+    let left: Vec<NodeId> = (0..g.n() as NodeId)
+        .filter(|&v| !sides[v as usize])
+        .collect();
+    let right: Vec<NodeId> = (0..g.n() as NodeId)
+        .filter(|&v| sides[v as usize])
+        .collect();
     let k = left.len().max(right.len());
     if k == 0 {
         return Matching::new(g.n());
@@ -145,11 +152,7 @@ mod tests {
     #[test]
     fn mwm_prefers_heavy_pair() {
         // X = {0,1}, Y = {2,3}. Edge (0,2)=10 beats (0,3)+(1,2)=2+3.
-        let g = Graph::with_weights(
-            4,
-            vec![(0, 2), (0, 3), (1, 2)],
-            vec![10.0, 2.0, 3.0],
-        );
+        let g = Graph::with_weights(4, vec![(0, 2), (0, 3), (1, 2)], vec![10.0, 2.0, 3.0]);
         let sides = vec![false, false, true, true];
         let m = max_weight_matching(&g, &sides);
         assert_eq!(m.weight(&g), 10.0);
@@ -159,11 +162,7 @@ mod tests {
     #[test]
     fn mwm_picks_two_light_over_one_heavy_when_better() {
         // (0,3)+(1,2) = 6+7 = 13 > (0,2) = 10.
-        let g = Graph::with_weights(
-            4,
-            vec![(0, 2), (0, 3), (1, 2)],
-            vec![10.0, 6.0, 7.0],
-        );
+        let g = Graph::with_weights(4, vec![(0, 2), (0, 3), (1, 2)], vec![10.0, 6.0, 7.0]);
         let sides = vec![false, false, true, true];
         let m = max_weight_matching(&g, &sides);
         assert_eq!(m.weight(&g), 13.0);

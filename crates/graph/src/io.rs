@@ -49,7 +49,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse<T: FromStr>(line: usize, tok: Option<&str>, what: &str) -> Result<T, ParseError> {
@@ -97,7 +100,9 @@ pub fn from_dimacs(text: &str) -> Result<Graph, ParseError> {
                     return Err(err(lineno, format!("endpoint out of range 1..={n}")));
                 }
                 let w = match toks.next() {
-                    Some(t) => t.parse::<f64>().map_err(|_| err(lineno, "invalid weight"))?,
+                    Some(t) => t
+                        .parse::<f64>()
+                        .map_err(|_| err(lineno, "invalid weight"))?,
                     None => 1.0,
                 };
                 edges.push(((u - 1) as NodeId, (v - 1) as NodeId));
@@ -109,7 +114,10 @@ pub fn from_dimacs(text: &str) -> Result<Graph, ParseError> {
     }
     let n = n.ok_or_else(|| err(0, "no problem line"))?;
     if edges.len() != declared_m {
-        return Err(err(0, format!("declared {declared_m} edges, found {}", edges.len())));
+        return Err(err(
+            0,
+            format!("declared {declared_m} edges, found {}", edges.len()),
+        ));
     }
     Ok(Graph::with_weights(n, edges, weights))
 }
@@ -152,7 +160,10 @@ mod tests {
     fn error_cases() {
         assert!(from_dimacs("e 1 2\n").is_err(), "edge before p line");
         assert!(from_dimacs("p edge 2 1\ne 1 3\n").is_err(), "out of range");
-        assert!(from_dimacs("p edge 2 2\ne 1 2\n").is_err(), "count mismatch");
+        assert!(
+            from_dimacs("p edge 2 2\ne 1 2\n").is_err(),
+            "count mismatch"
+        );
         assert!(from_dimacs("p foo 2 1\ne 1 2\n").is_err(), "bad kind");
         assert!(from_dimacs("p edge 2 1\nx 1 2\n").is_err(), "bad record");
         assert!(from_dimacs("").is_err(), "empty input");

@@ -74,7 +74,9 @@ pub fn max_independent_set(g: &Graph, sides: &[bool], m: &Matching) -> Vec<NodeI
     for &v in &cover {
         in_cover[v as usize] = true;
     }
-    (0..g.n() as NodeId).filter(|&v| !in_cover[v as usize]).collect()
+    (0..g.n() as NodeId)
+        .filter(|&v| !in_cover[v as usize])
+        .collect()
 }
 
 #[cfg(test)]

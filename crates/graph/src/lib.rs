@@ -34,6 +34,7 @@ pub mod koenig;
 pub mod line_graph;
 pub mod matching;
 pub mod mwm_exact;
+pub mod rng;
 pub mod waug;
 
 pub use builder::GraphBuilder;

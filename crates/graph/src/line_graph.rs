@@ -45,7 +45,7 @@ pub fn matching_from_independent_set(g: &Graph, independent: &[bool]) -> Matchin
 mod tests {
     use super::*;
     use crate::generators::random::gnp;
-    use crate::generators::structured::{path, star, complete};
+    use crate::generators::structured::{complete, path, star};
 
     #[test]
     fn line_graph_shapes() {
@@ -75,7 +75,10 @@ mod tests {
             }
             let m = matching_from_independent_set(&g, &indep);
             assert!(m.validate(&g).is_ok(), "seed {seed}");
-            assert!(m.is_maximal(&g), "seed {seed}: maximal IS must give maximal matching");
+            assert!(
+                m.is_maximal(&g),
+                "seed {seed}: maximal IS must give maximal matching"
+            );
         }
     }
 

@@ -18,7 +18,10 @@ pub struct Matching {
 impl Matching {
     /// The empty matching on `n` nodes.
     pub fn new(n: usize) -> Self {
-        Matching { mate: vec![UNMATCHED; n], size: 0 }
+        Matching {
+            mate: vec![UNMATCHED; n],
+            size: 0,
+        }
     }
 
     /// Build from a mate array (validates symmetry).
@@ -27,13 +30,18 @@ impl Matching {
         for (v, &m) in mate.iter().enumerate() {
             if m != UNMATCHED {
                 assert!(
-                    (m as usize) < mate.len() && mate[m as usize] == v as NodeId && m != v as NodeId,
+                    (m as usize) < mate.len()
+                        && mate[m as usize] == v as NodeId
+                        && m != v as NodeId,
                     "asymmetric mate array at {v}"
                 );
                 size += 1;
             }
         }
-        Matching { mate, size: size / 2 }
+        Matching {
+            mate,
+            size: size / 2,
+        }
     }
 
     /// Build from a list of edge ids (validates disjointness).
@@ -82,7 +90,9 @@ impl Matching {
 
     /// All free vertices.
     pub fn free_vertices(&self) -> Vec<NodeId> {
-        (0..self.mate.len() as NodeId).filter(|&v| self.is_free(v)).collect()
+        (0..self.mate.len() as NodeId)
+            .filter(|&v| self.is_free(v))
+            .collect()
     }
 
     /// Is edge `e` in the matching?
@@ -95,7 +105,10 @@ impl Matching {
     /// Add edge `e`; panics if either endpoint is already matched.
     pub fn add(&mut self, g: &Graph, e: EdgeId) {
         let (u, v) = g.endpoints(e);
-        assert!(self.is_free(u) && self.is_free(v), "edge {e} conflicts with matching");
+        assert!(
+            self.is_free(u) && self.is_free(v),
+            "edge {e} conflicts with matching"
+        );
         self.mate[u as usize] = v;
         self.mate[v as usize] = u;
         self.size += 1;
@@ -133,10 +146,7 @@ impl Matching {
     pub fn symmetric_difference(&self, g: &Graph, p: &[EdgeId]) -> Matching {
         let current: HashSet<EdgeId> = self.edge_ids(g).into_iter().collect();
         let pset: HashSet<EdgeId> = p.iter().copied().collect();
-        let new_edges: Vec<EdgeId> = current
-            .symmetric_difference(&pset)
-            .copied()
-            .collect();
+        let new_edges: Vec<EdgeId> = current.symmetric_difference(&pset).copied().collect();
         Matching::from_edges(g, &new_edges)
     }
 
@@ -145,8 +155,14 @@ impl Matching {
     /// edges alternating unmatched/matched). Panics if the path is not a
     /// valid augmenting path — callers must only pass verified paths.
     pub fn augment_path(&mut self, g: &Graph, path: &[NodeId]) {
-        assert!(path.len() >= 2 && path.len().is_multiple_of(2), "augmenting path has odd edge count");
-        assert!(self.is_free(path[0]) && self.is_free(*path.last().unwrap()), "endpoints must be free");
+        assert!(
+            path.len() >= 2 && path.len().is_multiple_of(2),
+            "augmenting path has odd edge count"
+        );
+        assert!(
+            self.is_free(path[0]) && self.is_free(*path.last().unwrap()),
+            "endpoints must be free"
+        );
         // Check alternation before mutating anything.
         for (i, w) in path.windows(2).enumerate() {
             let e = g
@@ -181,7 +197,11 @@ impl Matching {
     /// Full validity check against `g` (used by tests and the verifier).
     pub fn validate(&self, g: &Graph) -> Result<(), String> {
         if self.mate.len() != g.n() {
-            return Err(format!("mate array length {} != n {}", self.mate.len(), g.n()));
+            return Err(format!(
+                "mate array length {} != n {}",
+                self.mate.len(),
+                g.n()
+            ));
         }
         let mut count = 0usize;
         for v in 0..g.n() as NodeId {

@@ -148,7 +148,11 @@ mod tests {
         let g = apply_weights(&complete(8), WeightModel::Integer(1, 9), 3);
         let m = max_weight_matching_exact(&g);
         assert!(m.validate(&g).is_ok());
-        assert_eq!(m.size(), 4, "complete graph with positive weights matches perfectly");
+        assert_eq!(
+            m.size(),
+            4,
+            "complete graph with positive weights matches perfectly"
+        );
     }
 
     #[test]

@@ -106,7 +106,12 @@ fn dfs(
             let first_matched = m.contains(g, edges[0]);
             if is_matched != first_matched {
                 let new_unmatched = unmatched_used + usize::from(!is_matched);
-                let total_gain = gain + if is_matched { -g.weight(e) } else { g.weight(e) };
+                let total_gain = gain
+                    + if is_matched {
+                        -g.weight(e)
+                    } else {
+                        g.weight(e)
+                    };
                 if new_unmatched <= max_unmatched && total_gain > 1e-12 {
                     // Canonical: start is the smallest vertex. The
                     // traversal direction is already unique — cycle
@@ -132,7 +137,12 @@ fn dfs(
         if new_unmatched > max_unmatched {
             continue;
         }
-        let new_gain = gain + if is_matched { -g.weight(e) } else { g.weight(e) };
+        let new_gain = gain
+            + if is_matched {
+                -g.weight(e)
+            } else {
+                g.weight(e)
+            };
         path.push(u);
         edges.push(e);
         on_path[u as usize] = true;
@@ -241,7 +251,9 @@ mod tests {
         let g = Graph::with_weights(3, vec![(0, 1), (1, 2)], vec![5.0, 9.0]);
         let m = Matching::from_edges(&g, &[0]);
         let augs = enumerate_augmentations(&g, &m, 1);
-        assert!(augs.iter().any(|a| (a.gain - 4.0).abs() < 1e-9 && a.edges.len() == 2));
+        assert!(augs
+            .iter()
+            .any(|a| (a.gain - 4.0).abs() < 1e-9 && a.edges.len() == 2));
         // Applying it must be valid.
         let best = augs
             .iter()
@@ -292,7 +304,11 @@ mod tests {
     #[test]
     fn greedy_selection_is_disjoint_and_gain_ordered() {
         for seed in 0..6 {
-            let g = apply_weights(&gnp(12, 0.3, 30 + seed), WeightModel::Uniform(0.5, 5.0), seed);
+            let g = apply_weights(
+                &gnp(12, 0.3, 30 + seed),
+                WeightModel::Uniform(0.5, 5.0),
+                seed,
+            );
             let m = greedy::greedy_maximal(&g);
             let augs = enumerate_augmentations(&g, &m, 2);
             let chosen = greedy_disjoint_by_gain(&g, &augs);

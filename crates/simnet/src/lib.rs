@@ -17,20 +17,20 @@
 //! Protocols implement [`Protocol`]; a [`Network`] couples one protocol
 //! state per node with a [`Topology`] and drives rounds until all nodes
 //! halt. Determinism is guaranteed: per-node RNG streams are derived from
-//! a master seed with SplitMix64, and inboxes are delivered in a fixed
-//! port order, so sequential and parallel execution produce identical
-//! results.
+//! a master seed with SplitMix64, and inboxes are read in a fixed
+//! (positional) port order, so sequential and parallel execution produce
+//! identical results.
 //!
 //! ```
-//! use simnet::{Network, Protocol, Ctx, Envelope, Topology};
+//! use simnet::{Network, Protocol, Ctx, Inbox, Topology};
 //!
 //! /// Every node learns the minimum id in its connected component.
 //! struct MinId { known: u32, changed: bool }
 //! impl Protocol for MinId {
 //!     type Msg = u32;
-//!     fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Envelope<u32>]) {
-//!         for env in inbox {
-//!             if env.msg < self.known { self.known = env.msg; self.changed = true; }
+//!     fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: Inbox<'_, u32>) {
+//!         for env in inbox.iter() {
+//!             if *env.msg < self.known { self.known = *env.msg; self.changed = true; }
 //!         }
 //!         if self.changed || ctx.round() == 0 {
 //!             ctx.send_all(self.known);
@@ -45,7 +45,32 @@
 //! net.run_until_quiet(100);
 //! assert!(net.nodes().iter().all(|n| n.known == 0));
 //! ```
+//!
+//! ## The message plane (and migrating from the envelope inbox)
+//!
+//! Messages move through a **zero-allocation, double-buffered,
+//! port-indexed plane** ([`mailbox`]): `Ctx::send` writes into a
+//! preallocated slot slab (one slot per directed edge), and receivers
+//! read the very same slots in place next round — delivery neither
+//! copies payloads, nor allocates, nor sorts. Inbox order is positional
+//! (ascending arrival port), which is exactly the order the previous
+//! sort-based delivery guaranteed.
+//!
+//! Versions before the plane rewrite handed `on_round` a
+//! `&[Envelope<M>]` slice. Migrating a protocol:
+//!
+//! * `inbox: &[Envelope<M>]` → `inbox: Inbox<'_, M>` in the signature;
+//! * `for env in inbox` → `for env in inbox.iter()` — entries are
+//!   [`Received`] with the same `from`/`port` fields, but `env.msg` is
+//!   now a *borrow* (`&M`) of the payload in the plane;
+//! * linear scans for "the message on port p" become O(1):
+//!   [`Inbox::get`]`(p)`;
+//! * `inbox.len()` / `inbox.is_empty()` work unchanged (O(1));
+//! * new contract: at most **one message per port per round**
+//!   ([`Ctx::send`] panics on duplicates) — the synchronous CONGEST
+//!   model always assumed this; the plane now enforces it.
 
+pub mod mailbox;
 pub mod message;
 pub mod network;
 pub mod parallel;
@@ -54,8 +79,9 @@ pub mod stats;
 pub mod topology;
 pub mod tree;
 
-pub use message::{BitSize, Envelope};
-pub use network::{Ctx, Network, Protocol, RunOutcome};
+pub use mailbox::{Inbox, InboxIter, Received};
+pub use message::BitSize;
+pub use network::{Ctx, ExecCfg, Network, Protocol, RunOutcome};
 pub use rng::SplitMix64;
 pub use stats::{NetStats, RoundTrace};
 pub use topology::{NodeId, Port, Topology};

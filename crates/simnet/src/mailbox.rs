@@ -1,0 +1,215 @@
+//! The zero-allocation, double-buffered message plane.
+//!
+//! Messages live in **slabs**: flat, CSR-aligned slot arrays with one
+//! slot per directed port (`topo.total_ports()` slots in total; port `p`
+//! of node `v` is slot `topo.port_base(v) + p`). A slot is *live* when
+//! its generation stamp equals the slab's current generation, so
+//! clearing a slab for the next round is a single counter increment —
+//! no per-slot work, no frees, no allocation.
+//!
+//! A [`crate::Network`] owns **two** slabs and alternates them by round
+//! parity: the slab written by `Ctx::send` in round `r` is read (in
+//! place — delivery never copies a payload) through [`Inbox`] views in
+//! round `r + 1`, while the other slab is recycled for round `r + 1`'s
+//! sends. Because the sender's out-slot `(v, p)` *is* the receiver's
+//! in-slot (the receiver reads it through `reverse_port`), delivery
+//! order is positional: inboxes are port-ordered by construction and
+//! never sorted.
+//!
+//! The plane enforces the synchronous CONGEST contract: **at most one
+//! message per port per round** ([`crate::Ctx::send`] panics on a
+//! duplicate). Payloads are dropped lazily — a slot written in round `r`
+//! keeps its (dead) payload until round `r + 2` overwrites it, bounding
+//! residency at one extra round, exactly like a NIC ring buffer.
+
+use crate::topology::{NodeId, Port, Topology};
+
+/// Stamp marking a slot that must never read as live (initial state and
+/// messages killed by fault injection). Generations start at 0 and only
+/// grow, so `u64::MAX` is unreachable.
+pub(crate) const DEAD_STAMP: u64 = u64::MAX;
+
+/// One half of the double-buffered plane: a flat slot array with a
+/// generation counter. All fields are crate-internal; protocols interact
+/// with slabs only through [`Inbox`] and [`crate::Ctx::send`].
+pub(crate) struct Slab<M> {
+    /// Generation at which each slot was last written.
+    pub(crate) stamp: Vec<u64>,
+    /// Slot payloads; `msg[i]` is meaningful only when
+    /// `stamp[i] == gen`.
+    pub(crate) msg: Vec<Option<M>>,
+    /// Current generation; bumped once per round by [`Slab::advance`].
+    pub(crate) gen: u64,
+}
+
+impl<M> Slab<M> {
+    /// Allocate a slab with `total_ports` slots. Counts its buffer
+    /// allocations into `alloc_events` (the plane-allocation gauge).
+    pub(crate) fn new(total_ports: usize, alloc_events: &mut u64) -> Self {
+        *alloc_events += 2; // stamp + msg buffers
+        Slab {
+            stamp: vec![DEAD_STAMP; total_ports],
+            msg: (0..total_ports).map(|_| None).collect(),
+            gen: 0,
+        }
+    }
+
+    /// O(1) bulk clear: every slot written under the previous generation
+    /// becomes dead.
+    #[inline]
+    pub(crate) fn advance(&mut self) {
+        self.gen += 1;
+    }
+}
+
+/// A message as seen by the receiver: who sent it, on which local port
+/// it arrived, and a borrow of the payload (which stays in the plane —
+/// delivery is zero-copy).
+#[derive(Debug)]
+pub struct Received<'a, M> {
+    /// Sender's node id.
+    pub from: NodeId,
+    /// Receiver-side port the message arrived on (index into the
+    /// receiver's neighbor list).
+    pub port: Port,
+    /// The payload, borrowed from the message plane.
+    pub msg: &'a M,
+}
+
+// Manual impls: `derive` would needlessly require `M: Clone/Copy`.
+impl<M> Clone for Received<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for Received<'_, M> {}
+
+/// Port-indexed view of one node's inbox for the current round.
+///
+/// The view is a cheap `Copy` handle into the plane:
+///
+/// * [`Inbox::get`] is O(1) random access by arrival port;
+/// * [`Inbox::iter`] yields [`Received`] entries in ascending port
+///   order (hence ascending sender id), the same order the old
+///   sort-based delivery guaranteed;
+/// * [`Inbox::len`] is O(1) (maintained by delivery accounting).
+pub struct Inbox<'a, M> {
+    topo: &'a Topology,
+    node: NodeId,
+    stamp: &'a [u64],
+    msg: &'a [Option<M>],
+    gen: u64,
+    count: u32,
+}
+
+impl<M> Clone for Inbox<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for Inbox<'_, M> {}
+
+impl<'a, M> Inbox<'a, M> {
+    pub(crate) fn new(topo: &'a Topology, node: NodeId, slab: &'a Slab<M>, count: u32) -> Self {
+        Inbox {
+            topo,
+            node,
+            stamp: &slab.stamp,
+            msg: &slab.msg,
+            gen: slab.gen,
+            count,
+        }
+    }
+
+    /// Number of messages delivered to this node this round.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// True when nothing arrived this round.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The message that arrived on `port`, if any — O(1).
+    ///
+    /// This is the access pattern port-indexed protocols want ("did my
+    /// mate write to me?") and needed a linear scan under the old
+    /// envelope-vector inbox.
+    ///
+    /// Panics if `port` is not one of this node's ports: the CSR slot
+    /// arithmetic below would otherwise land in a *different* node's
+    /// port range and silently hand back foreign mail.
+    #[inline]
+    pub fn get(&self, port: Port) -> Option<&'a M> {
+        assert!(
+            port < self.topo.degree(self.node),
+            "inbox read on invalid port"
+        );
+        let sender = self.topo.neighbor(self.node, port);
+        let slot = self.topo.port_base(sender) + self.topo.reverse_port(self.node, port);
+        if self.stamp[slot] == self.gen {
+            self.msg[slot].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Iterate received messages in ascending port order.
+    #[inline]
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter {
+            inbox: *self,
+            port: 0,
+            degree: self.topo.degree(self.node),
+        }
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = Received<'a, M>;
+    type IntoIter = InboxIter<'a, M>;
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+impl<'a, M> IntoIterator for &Inbox<'a, M> {
+    type Item = Received<'a, M>;
+    type IntoIter = InboxIter<'a, M>;
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`Inbox`], in ascending port order.
+pub struct InboxIter<'a, M> {
+    inbox: Inbox<'a, M>,
+    port: Port,
+    degree: usize,
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = Received<'a, M>;
+
+    fn next(&mut self) -> Option<Received<'a, M>> {
+        while self.port < self.degree {
+            let port = self.port;
+            self.port += 1;
+            if let Some(msg) = self.inbox.get(port) {
+                return Some(Received {
+                    from: self.inbox.topo.neighbor(self.inbox.node, port),
+                    port,
+                    msg,
+                });
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.degree - self.port))
+    }
+}

@@ -6,8 +6,6 @@
 //! (Theorems 3.8, 3.11, 4.5) from `O(|V|+|E|)`-bit messages (Theorem
 //! 3.1), so this accounting is part of what our experiments validate.
 
-use crate::topology::NodeId;
-
 /// Number of bits of a message on the wire.
 ///
 /// Implementations should be *honest upper bounds*: an id is `log n`
@@ -76,21 +74,6 @@ impl<T: BitSize> BitSize for Box<T> {
     fn bit_size(&self) -> u64 {
         (**self).bit_size()
     }
-}
-
-/// A delivered message: who sent it and on which local port it arrived.
-///
-/// `port` indexes into the *receiver's* neighbor list, so a protocol can
-/// associate the message with the incident edge without any lookup.
-#[derive(Debug, Clone)]
-pub struct Envelope<M> {
-    /// Sender's node id.
-    pub from: NodeId,
-    /// Port of the receiver on which the message arrived (index into the
-    /// receiver's neighbor list in its [`crate::Topology`]).
-    pub port: usize,
-    /// The payload.
-    pub msg: M,
 }
 
 #[cfg(test)]

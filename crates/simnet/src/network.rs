@@ -5,8 +5,17 @@
 //! round: every live node receives the messages addressed to it in the
 //! previous round, runs its local computation, and emits messages for
 //! the next round. All accounting (rounds, messages, bits) happens here.
+//!
+//! Messages travel through the double-buffered, port-indexed plane of
+//! [`crate::mailbox`]: `Ctx::send` writes straight into a preallocated
+//! slot slab, and receivers read the same slots in place next round
+//! through an [`Inbox`] view. Delivery performs no allocation and no
+//! sorting — inbox order is positional (ascending arrival port), which
+//! is what the old sort-based delivery produced, so protocol semantics
+//! are unchanged.
 
-use crate::message::{BitSize, Envelope};
+use crate::mailbox::{Inbox, Slab, DEAD_STAMP};
+use crate::message::BitSize;
 use crate::rng::SplitMix64;
 use crate::stats::NetStats;
 use crate::topology::{NodeId, Port, Topology};
@@ -18,14 +27,15 @@ use crate::topology::{NodeId, Port, Topology};
 /// [`Ctx::rng`]; communication goes through [`Ctx::send`].
 pub trait Protocol: Send {
     /// The message type this protocol puts on wires.
-    type Msg: Clone + Send + Sync + BitSize;
+    type Msg: Send + Sync + BitSize;
 
     /// Execute one synchronous round.
     ///
     /// `inbox` holds the messages sent to this node in the previous
-    /// round, ordered by the local port they arrived on (hence by sender
-    /// id, since neighbor lists are sorted). Round 0 has an empty inbox.
-    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[Envelope<Self::Msg>]);
+    /// round, indexed by the local port they arrived on (iteration is in
+    /// ascending port order, hence ascending sender id, since neighbor
+    /// lists are sorted). Round 0 has an empty inbox.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: Inbox<'_, Self::Msg>);
 }
 
 /// Per-round, per-node execution context handed to [`Protocol::on_round`].
@@ -34,21 +44,43 @@ pub struct Ctx<'a, M> {
     round: u64,
     topo: &'a Topology,
     rng: &'a mut SplitMix64,
-    out: &'a mut Vec<(Port, M)>,
+    /// This node's port range of the outgoing slab (stamps).
+    out_stamp: &'a mut [u64],
+    /// This node's port range of the outgoing slab (payload slots).
+    out_msg: &'a mut [Option<M>],
+    /// Generation the outgoing slab is accepting this round.
+    out_gen: u64,
+    /// Set on the first send; the executor appends the node to the
+    /// round's sender list so delivery touches only senders.
+    sent_any: &'a mut bool,
     halted: &'a mut bool,
 }
 
 impl<'a, M> Ctx<'a, M> {
     /// Internal constructor used by the sequential and parallel executors.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: NodeId,
         round: u64,
         topo: &'a Topology,
         rng: &'a mut SplitMix64,
-        out: &'a mut Vec<(Port, M)>,
+        out_stamp: &'a mut [u64],
+        out_msg: &'a mut [Option<M>],
+        out_gen: u64,
+        sent_any: &'a mut bool,
         halted: &'a mut bool,
     ) -> Self {
-        Ctx { id, round, topo, rng, out, halted }
+        Ctx {
+            id,
+            round,
+            topo,
+            rng,
+            out_stamp,
+            out_msg,
+            out_gen,
+            sent_any,
+            halted,
+        }
     }
 
     /// This node's id.
@@ -66,7 +98,7 @@ impl<'a, M> Ctx<'a, M> {
     /// Degree of this node.
     #[inline]
     pub fn degree(&self) -> usize {
-        self.topo.degree(self.id)
+        self.out_msg.len()
     }
 
     /// Sorted neighbor ids.
@@ -94,10 +126,21 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Send `msg` to the neighbor on `port`; delivered next round.
+    ///
+    /// The message plane holds exactly one slot per directed edge, so a
+    /// node may send **at most one message per port per round** (the
+    /// synchronous CONGEST contract). Sending twice on the same port in
+    /// one round panics.
     #[inline]
     pub fn send(&mut self, port: Port, msg: M) {
-        debug_assert!(port < self.topo.degree(self.id), "send on invalid port");
-        self.out.push((port, msg));
+        assert!(port < self.out_msg.len(), "send on invalid port");
+        assert!(
+            self.out_stamp[port] != self.out_gen,
+            "duplicate send on port {port}: one message per port per round"
+        );
+        self.out_stamp[port] = self.out_gen;
+        self.out_msg[port] = Some(msg);
+        *self.sent_any = true;
     }
 
     /// Send a copy of `msg` to every neighbor.
@@ -106,7 +149,7 @@ impl<'a, M> Ctx<'a, M> {
         M: Clone,
     {
         for port in 0..self.degree() {
-            self.out.push((port, msg.clone()));
+            self.send(port, msg.clone());
         }
     }
 
@@ -131,13 +174,70 @@ pub struct RunOutcome {
     pub quiescent: bool,
 }
 
+/// Execution knobs shared by every layer that builds a [`Network`]:
+/// worker-thread count and fault injection. Algorithms that compose
+/// several network phases thread one `ExecCfg` through all of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecCfg {
+    /// Worker threads for node stepping (1 = sequential). Results are
+    /// bit-identical regardless of the value.
+    pub threads: usize,
+    /// Message-loss probability (0.0 = reliable).
+    pub loss: f64,
+}
+
+impl Default for ExecCfg {
+    fn default() -> Self {
+        ExecCfg {
+            threads: 1,
+            loss: 0.0,
+        }
+    }
+}
+
+impl ExecCfg {
+    /// Sequential, reliable execution (the paper's model).
+    pub const fn sequential() -> Self {
+        ExecCfg {
+            threads: 1,
+            loss: 0.0,
+        }
+    }
+
+    /// Parallel stepping with `threads` workers, reliable delivery.
+    pub const fn parallel(threads: usize) -> Self {
+        ExecCfg { threads, loss: 0.0 }
+    }
+}
+
 /// A synchronous network: topology + per-node protocol state.
 pub struct Network<P: Protocol> {
     pub(crate) topo: Topology,
     pub(crate) nodes: Vec<P>,
     pub(crate) halted: Vec<bool>,
     pub(crate) rngs: Vec<SplitMix64>,
-    pub(crate) inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    /// The double-buffered message plane: the slab indexed by the
+    /// current round's parity collects this round's sends, the other
+    /// one holds last round's (being read through [`Inbox`] views).
+    pub(crate) planes: [Slab<P::Msg>; 2],
+    /// Nodes that sent at least one message this round, in node order
+    /// (delivery walks only these). Reused every round.
+    pub(crate) touched: Vec<NodeId>,
+    /// Per-worker sender lists for the parallel executor; merged into
+    /// `touched` in chunk (= node) order. Reused every round.
+    pub(crate) worker_touched: Vec<Vec<NodeId>>,
+    /// `inbox_count[v]` = messages awaiting `v`, valid when
+    /// `inbox_count_round[v]` equals the round about to read them
+    /// (generation-stamped, so no per-round clearing).
+    pub(crate) inbox_count: Vec<u32>,
+    pub(crate) inbox_count_round: Vec<u64>,
+    /// Messages delivered by the previous round (readable this round).
+    pub(crate) in_flight: u64,
+    /// Buffer allocations performed by the message plane, cumulative.
+    pub(crate) alloc_events: u64,
+    /// `alloc_events` at the end of the previous round (for the
+    /// per-round gauge).
+    pub(crate) alloc_mark: u64,
     pub(crate) stats: NetStats,
     pub(crate) round: u64,
     /// Number of worker threads for node stepping (1 = sequential).
@@ -154,16 +254,37 @@ pub struct Network<P: Protocol> {
 impl<P: Protocol> Network<P> {
     /// Create a network. `nodes[v]` is the protocol state of node `v`;
     /// its RNG stream is derived from `seed` and `v`.
+    ///
+    /// All message-plane buffers are allocated here, sized by the
+    /// topology (one slot per directed edge, twice for the double
+    /// buffer); steady-state stepping performs no further heap
+    /// allocation.
     pub fn new(topo: Topology, nodes: Vec<P>, seed: u64) -> Self {
         assert_eq!(topo.len(), nodes.len(), "one protocol state per node");
         let n = topo.len();
-        let rngs = (0..n).map(|v| SplitMix64::for_node(seed, v as u64)).collect();
+        let total = topo.total_ports();
+        let rngs = (0..n)
+            .map(|v| SplitMix64::for_node(seed, v as u64))
+            .collect();
+        let mut alloc_events = 0u64;
+        let planes = [
+            Slab::new(total, &mut alloc_events),
+            Slab::new(total, &mut alloc_events),
+        ];
+        alloc_events += 3; // touched + inbox_count + inbox_count_round
         Network {
             topo,
             nodes,
             halted: vec![false; n],
             rngs,
-            inboxes: vec![Vec::new(); n],
+            planes,
+            touched: Vec::with_capacity(n),
+            worker_touched: Vec::new(),
+            inbox_count: vec![0; n],
+            inbox_count_round: vec![u64::MAX; n],
+            in_flight: 0,
+            alloc_events,
+            alloc_mark: 0,
             stats: NetStats::default(),
             round: 0,
             threads: 1,
@@ -191,7 +312,12 @@ impl<P: Protocol> Network<P> {
         self
     }
 
-    /// Messages dropped by fault injection so far.
+    /// Apply both execution knobs of an [`ExecCfg`] at once.
+    pub fn with_cfg(self, cfg: ExecCfg) -> Self {
+        self.with_threads(cfg.threads).with_message_loss(cfg.loss)
+    }
+
+    /// Messages dropped by fault injection.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
@@ -231,6 +357,19 @@ impl<P: Protocol> Network<P> {
         self.halted.iter().all(|&h| h)
     }
 
+    /// Messages delivered last round and readable this round.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Plane-allocation gauge delta since the previous round (recorded
+    /// into the round trace; 0 in steady state).
+    pub(crate) fn take_alloc_delta(&mut self) -> u64 {
+        let delta = self.alloc_events - self.alloc_mark;
+        self.alloc_mark = self.alloc_events;
+        delta
+    }
+
     /// Execute one synchronous round. Returns the number of messages
     /// sent during the round.
     pub fn step(&mut self) -> u64 {
@@ -238,56 +377,60 @@ impl<P: Protocol> Network<P> {
             return crate::parallel::step_parallel(self);
         }
         let n = self.topo.len();
-        let mut sent: Vec<(NodeId, Port, P::Msg)> = Vec::new();
-        let mut out: Vec<(Port, P::Msg)> = Vec::new();
+        let round = self.round;
+        let (out_plane, in_plane) = split_planes(&mut self.planes, round);
+        out_plane.advance();
+        let out_gen = out_plane.gen;
+        self.touched.clear();
         for v in 0..n {
             if self.halted[v] {
                 continue;
             }
-            let inbox = std::mem::take(&mut self.inboxes[v]);
-            let mut ctx = Ctx {
-                id: v as NodeId,
-                round: self.round,
-                topo: &self.topo,
-                rng: &mut self.rngs[v],
-                out: &mut out,
-                halted: &mut self.halted[v],
+            let vid = v as NodeId;
+            let count = if self.inbox_count_round[v] == round {
+                self.inbox_count[v]
+            } else {
+                0
             };
-            self.nodes[v].on_round(&mut ctx, &inbox);
-            for (port, msg) in out.drain(..) {
-                sent.push((v as NodeId, port, msg));
+            let inbox = Inbox::new(&self.topo, vid, in_plane, count);
+            let base = self.topo.port_base(vid);
+            let deg = self.topo.degree(vid);
+            let mut sent_any = false;
+            let mut ctx = Ctx::new(
+                vid,
+                round,
+                &self.topo,
+                &mut self.rngs[v],
+                &mut out_plane.stamp[base..base + deg],
+                &mut out_plane.msg[base..base + deg],
+                out_gen,
+                &mut sent_any,
+                &mut self.halted[v],
+            );
+            self.nodes[v].on_round(&mut ctx, inbox);
+            if sent_any {
+                self.touched.push(vid);
             }
         }
-        let count = self.deliver(sent);
+        let out = deliver(
+            &self.topo,
+            out_plane,
+            &self.touched,
+            &self.halted,
+            self.loss,
+            &mut self.loss_rng,
+            &mut self.dropped,
+            &mut self.stats,
+            &mut self.inbox_count,
+            &mut self.inbox_count_round,
+            round + 1,
+        );
+        self.in_flight = out.delivered;
         self.round += 1;
-        self.stats.record_round(count);
-        count
-    }
-
-    /// Route raw `(from, port, msg)` triples into inboxes, updating
-    /// message/bit statistics. Inboxes are kept sorted by arrival port
-    /// so delivery order is deterministic and scheduler-independent.
-    pub(crate) fn deliver(&mut self, sent: Vec<(NodeId, Port, P::Msg)>) -> u64 {
-        let mut count = 0u64;
-        for (from, port, msg) in sent {
-            let to = self.topo.neighbor(from, port);
-            let bits = msg.bit_size();
-            self.stats.record_message(bits);
-            count += 1;
-            if self.loss > 0.0 && self.loss_rng.bernoulli(self.loss) {
-                self.dropped += 1;
-                continue; // fault injection ate it
-            }
-            if self.halted[to as usize] {
-                continue; // dropped on the floor
-            }
-            let rev = self.topo.reverse_port(from, port);
-            self.inboxes[to as usize].push(Envelope { from, port: rev, msg });
-        }
-        for inbox in &mut self.inboxes {
-            inbox.sort_by_key(|e| e.port);
-        }
-        count
+        let allocs = self.take_alloc_delta();
+        self.stats
+            .record_round_gauges(out.sent, out.peak_inbox, allocs);
+        out.sent
     }
 
     /// Run until every node halts, or `max_rounds` elapse. Panics if the
@@ -302,25 +445,37 @@ impl<P: Protocol> Network<P> {
             );
             self.step();
         }
-        RunOutcome { rounds: self.round - start, all_halted: true, quiescent: false }
+        RunOutcome {
+            rounds: self.round - start,
+            all_halted: true,
+            quiescent: false,
+        }
     }
 
     /// Run until the network goes quiet: a round in which no messages
     /// were sent and none were in flight. Suitable for message-driven
     /// protocols. Stops early if all nodes halt.
+    ///
+    /// A network that is quiet from birth (no node sends in round 0) is
+    /// recognized after exactly one round — the single round needed to
+    /// observe that nobody spoke.
     pub fn run_until_quiet(&mut self, max_rounds: u64) -> RunOutcome {
         let start = self.round;
         loop {
             if self.all_halted() {
-                return RunOutcome { rounds: self.round - start, all_halted: true, quiescent: false };
+                return RunOutcome {
+                    rounds: self.round - start,
+                    all_halted: true,
+                    quiescent: false,
+                };
             }
             assert!(
                 self.round - start < max_rounds,
                 "network not quiet within {max_rounds} rounds"
             );
-            let in_flight: usize = self.inboxes.iter().map(Vec::len).sum();
+            let in_flight = self.in_flight;
             let sent = self.step();
-            if sent == 0 && in_flight == 0 && self.round - start > 1 {
+            if sent == 0 && in_flight == 0 {
                 return RunOutcome {
                     rounds: self.round - start,
                     all_halted: self.all_halted(),
@@ -347,9 +502,97 @@ impl<P: Protocol> Network<P> {
     }
 }
 
+/// Split the double buffer into (this round's out slab, last round's in
+/// slab) by round parity.
+pub(crate) fn split_planes<M>(planes: &mut [Slab<M>; 2], round: u64) -> (&mut Slab<M>, &Slab<M>) {
+    let (a, b) = planes.split_at_mut(1);
+    if round.is_multiple_of(2) {
+        (&mut a[0], &b[0])
+    } else {
+        (&mut b[0], &a[0])
+    }
+}
+
+/// Outcome of one delivery sweep.
+pub(crate) struct DeliverOutcome {
+    /// Messages sent (charged to stats, including lost ones).
+    pub(crate) sent: u64,
+    /// Messages actually readable next round (excludes lost messages
+    /// and mail addressed to halted nodes).
+    pub(crate) delivered: u64,
+    /// Largest single inbox produced this round.
+    pub(crate) peak_inbox: u64,
+}
+
+/// Account (and, under fault injection, cull) the messages written into
+/// `out` this round. Walks only the port ranges of nodes that sent,
+/// in ascending node order then ascending port order — a fixed order,
+/// so the loss RNG stream is identical under sequential and parallel
+/// stepping. Performs **no allocation and no sorting**: the payloads
+/// stay in their slots, where the receivers read them in place.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn deliver<M: BitSize>(
+    topo: &Topology,
+    out: &mut Slab<M>,
+    touched: &[NodeId],
+    halted: &[bool],
+    loss: f64,
+    loss_rng: &mut SplitMix64,
+    dropped: &mut u64,
+    stats: &mut NetStats,
+    inbox_count: &mut [u32],
+    inbox_count_round: &mut [u64],
+    read_round: u64,
+) -> DeliverOutcome {
+    let gen = out.gen;
+    let mut sent = 0u64;
+    let mut delivered = 0u64;
+    let mut peak = 0u64;
+    for &v in touched {
+        let base = topo.port_base(v);
+        for p in 0..topo.degree(v) {
+            let slot = base + p;
+            if out.stamp[slot] != gen {
+                continue;
+            }
+            let bits = out.msg[slot]
+                .as_ref()
+                .expect("live slot holds a message")
+                .bit_size();
+            stats.record_message(bits);
+            sent += 1;
+            if loss > 0.0 && loss_rng.bernoulli(loss) {
+                *dropped += 1;
+                out.stamp[slot] = DEAD_STAMP; // fault injection ate it
+                out.msg[slot] = None;
+                continue;
+            }
+            let to = topo.neighbor(v, p) as usize;
+            if halted[to] {
+                continue; // dropped on the floor, unread
+            }
+            delivered += 1;
+            let c = if inbox_count_round[to] == read_round {
+                inbox_count[to] + 1
+            } else {
+                1
+            };
+            inbox_count[to] = c;
+            inbox_count_round[to] = read_round;
+            peak = peak.max(c as u64);
+        }
+    }
+    DeliverOutcome {
+        sent,
+        delivered,
+        peak_inbox: peak,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mailbox::Inbox;
 
     /// Flood the maximum id; halt when stable for 2 rounds.
     struct MaxFlood {
@@ -358,10 +601,10 @@ mod tests {
     }
     impl Protocol for MaxFlood {
         type Msg = u32;
-        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Envelope<u32>]) {
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: Inbox<'_, u32>) {
             let before = self.best;
-            for e in inbox {
-                self.best = self.best.max(e.msg);
+            for e in inbox.iter() {
+                self.best = self.best.max(*e.msg);
             }
             if ctx.round() == 0 || self.best > before {
                 ctx.send_all(self.best);
@@ -378,7 +621,9 @@ mod tests {
     fn path_net(n: usize) -> Network<MaxFlood> {
         let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
         let topo = Topology::from_edges(n, &edges);
-        let nodes = (0..n as u32).map(|v| MaxFlood { best: v, quiet: 0 }).collect();
+        let nodes = (0..n as u32)
+            .map(|v| MaxFlood { best: v, quiet: 0 })
+            .collect();
         Network::new(topo, nodes, 1)
     }
 
@@ -416,7 +661,7 @@ mod tests {
         struct OneShot;
         impl Protocol for OneShot {
             type Msg = u8;
-            fn on_round(&mut self, ctx: &mut Ctx<'_, u8>, _inbox: &[Envelope<u8>]) {
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u8>, _inbox: Inbox<'_, u8>) {
                 if ctx.round() == 0 {
                     ctx.send_all(1);
                 }
@@ -430,12 +675,29 @@ mod tests {
     }
 
     #[test]
+    fn born_quiet_network_needs_one_round() {
+        // Regression: a network in which nobody ever sends must be
+        // declared quiescent after exactly one observation round, not
+        // spin a gratuitous extra round (the old `rounds > 1` guard).
+        struct Mute;
+        impl Protocol for Mute {
+            type Msg = u8;
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, u8>, _inbox: Inbox<'_, u8>) {}
+        }
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut net = Network::new(topo, vec![Mute, Mute, Mute], 0);
+        let out = net.run_until_quiet(50);
+        assert!(out.quiescent);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
     #[should_panic(expected = "did not halt")]
     fn halting_budget_enforced() {
         struct Chatty;
         impl Protocol for Chatty {
             type Msg = u8;
-            fn on_round(&mut self, ctx: &mut Ctx<'_, u8>, _inbox: &[Envelope<u8>]) {
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u8>, _inbox: Inbox<'_, u8>) {
                 ctx.send_all(0);
             }
         }
@@ -451,7 +713,7 @@ mod tests {
         }
         impl Protocol for HaltFirst {
             type Msg = u8;
-            fn on_round(&mut self, ctx: &mut Ctx<'_, u8>, inbox: &[Envelope<u8>]) {
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u8>, inbox: Inbox<'_, u8>) {
                 self.got += inbox.len() as u64;
                 if ctx.id() == 0 {
                     ctx.halt();
@@ -467,5 +729,80 @@ mod tests {
         net.run_until_halt(20);
         // Node 0 halted in round 0 and never received node 1's messages.
         assert_eq!(net.nodes()[0].got, 0);
+    }
+
+    #[derive(Clone)]
+    struct Probe {
+        left: Option<u32>,
+        right: Option<u32>,
+    }
+
+    impl Protocol for Probe {
+        type Msg = u32;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: Inbox<'_, u32>) {
+            if ctx.round() == 0 {
+                ctx.send_all(100 + ctx.id());
+            } else if ctx.id() == 1 {
+                self.left = inbox.get(0).copied();
+                self.right = inbox.get(1).copied();
+                assert_eq!(inbox.len(), 2);
+                let seen: Vec<(u32, usize, u32)> =
+                    inbox.iter().map(|e| (e.from, e.port, *e.msg)).collect();
+                assert_eq!(seen, vec![(0, 0, 100), (2, 1, 102)]);
+                ctx.halt();
+            } else {
+                ctx.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn inbox_is_port_indexed() {
+        // Node 1 on a path 0-1-2 receives from both sides and can read
+        // each port in O(1); ports are ordered by neighbor id.
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut net = Network::new(
+            topo,
+            vec![
+                Probe {
+                    left: None,
+                    right: None
+                };
+                3
+            ],
+            0,
+        );
+        net.run_rounds(2);
+        assert_eq!(net.nodes()[1].left, Some(100));
+        assert_eq!(net.nodes()[1].right, Some(102));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate send")]
+    fn double_send_on_one_port_panics() {
+        struct Doubler;
+        impl Protocol for Doubler {
+            type Msg = u8;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u8>, _inbox: Inbox<'_, u8>) {
+                ctx.send(0, 1);
+                ctx.send(0, 2);
+            }
+        }
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let mut net = Network::new(topo, vec![Doubler, Doubler], 0);
+        net.step();
+    }
+
+    #[test]
+    fn steady_state_allocates_nothing() {
+        let mut net = path_net(12);
+        net.run_until_halt(100);
+        let s = net.stats();
+        // All plane allocations happen at construction, charged to the
+        // first round's gauge; every later round must be zero.
+        assert!(s.per_round[0].plane_allocs > 0);
+        assert!(s.per_round[1..].iter().all(|r| r.plane_allocs == 0));
+        assert_eq!(s.plane_allocs, s.per_round[0].plane_allocs);
+        assert!(s.peak_inbox >= 1);
     }
 }

@@ -3,98 +3,155 @@
 //! Within one synchronous round, nodes are independent: each reads only
 //! its own inbox and state. This is embarrassingly parallel, so large
 //! networks are stepped by partitioning nodes across scoped worker
-//! threads. Determinism is preserved because
+//! threads. The message plane partitions with them: node chunks are
+//! contiguous, so each worker owns a contiguous slice of the outgoing
+//! slab (its nodes' port ranges) via `split_at_mut` — no locks, no
+//! unsafe, no per-round allocation. The previous round's slab is read
+//! shared by all workers.
+//!
+//! Determinism is preserved because
 //!
 //! 1. every node draws from its own RNG stream,
-//! 2. workers return outgoing messages in node order and chunks are
-//!    merged in node order, and
-//! 3. [`crate::Network::deliver`] sorts inboxes by arrival port.
+//! 2. inbox order is positional (ports), independent of scheduling, and
+//! 3. delivery accounting (and the fault-injection RNG stream) runs
+//!    sequentially after the join, walking senders in node order —
+//!    workers record senders per chunk and chunks are merged in node
+//!    order.
 //!
 //! Consequently `step_parallel` produces bit-identical results to the
-//! sequential path — a property asserted by the tests below.
+//! sequential path — a property asserted by the tests below and by the
+//! workspace-level `prop_plane` suite.
 
-use crate::message::Envelope;
-use crate::network::{Ctx, Network, Protocol};
-use crate::topology::{NodeId, Port};
+use crate::mailbox::Inbox;
+use crate::network::{deliver, split_planes, Ctx, Network, Protocol};
+use crate::topology::NodeId;
 
 /// Execute one round using `net.threads` workers. Called by
 /// [`Network::step`] when more than one thread is configured.
 pub(crate) fn step_parallel<P: Protocol>(net: &mut Network<P>) -> u64 {
     let n = net.topo.len();
+    let round = net.round;
     if n == 0 {
         net.round += 1;
-        net.stats.record_round(0);
+        let allocs = net.take_alloc_delta();
+        net.stats.record_round_gauges(0, 0, allocs);
         return 0;
     }
     let threads = net.threads.min(n);
     let chunk = n.div_ceil(threads);
-    let inboxes: Vec<Vec<Envelope<P::Msg>>> =
-        net.inboxes.iter_mut().map(std::mem::take).collect();
+    // Executor-owned scratch, deliberately not charged to the plane
+    // gauge: stats must be bit-identical across thread counts.
+    while net.worker_touched.len() < threads {
+        net.worker_touched.push(Vec::new());
+    }
+    let (out_plane, in_plane) = split_planes(&mut net.planes, round);
+    out_plane.advance();
+    let out_gen = out_plane.gen;
     let topo = &net.topo;
-    let round = net.round;
+    let inbox_count = &net.inbox_count[..];
+    let inbox_count_round = &net.inbox_count_round[..];
 
-    let mut sent_chunks: Vec<Vec<(NodeId, Port, P::Msg)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
         let mut nodes_rest = &mut net.nodes[..];
         let mut rngs_rest = &mut net.rngs[..];
         let mut halted_rest = &mut net.halted[..];
-        let mut inbox_rest = &inboxes[..];
+        let mut stamp_rest = &mut out_plane.stamp[..];
+        let mut msg_rest = &mut out_plane.msg[..];
+        let mut touched_rest = &mut net.worker_touched[..threads];
+        let in_plane = &*in_plane;
         let mut base = 0usize;
+        let mut port_base = 0usize;
         while !nodes_rest.is_empty() {
             let take = chunk.min(nodes_rest.len());
             let (nodes_c, nr) = nodes_rest.split_at_mut(take);
             let (rngs_c, rr) = rngs_rest.split_at_mut(take);
             let (halted_c, hr) = halted_rest.split_at_mut(take);
-            let (inbox_c, ir) = inbox_rest.split_at(take);
+            // Contiguous nodes own a contiguous slab range.
+            let port_end = if base + take < n {
+                topo.port_base((base + take) as NodeId)
+            } else {
+                topo.total_ports()
+            };
+            let (stamp_c, sr) = stamp_rest.split_at_mut(port_end - port_base);
+            let (msg_c, mr) = msg_rest.split_at_mut(port_end - port_base);
+            let (touched_c, tr) = touched_rest.split_at_mut(1);
             nodes_rest = nr;
             rngs_rest = rr;
             halted_rest = hr;
-            inbox_rest = ir;
+            stamp_rest = sr;
+            msg_rest = mr;
+            touched_rest = tr;
             let first = base;
+            let chunk_port_base = port_base;
             base += take;
-            handles.push(scope.spawn(move || {
-                let mut sent: Vec<(NodeId, Port, P::Msg)> = Vec::new();
-                let mut out: Vec<(Port, P::Msg)> = Vec::new();
+            port_base = port_end;
+            scope.spawn(move || {
+                let touched = &mut touched_c[0];
+                touched.clear();
                 for i in 0..nodes_c.len() {
                     if halted_c[i] {
                         continue;
                     }
                     let v = (first + i) as NodeId;
+                    let count = if inbox_count_round[v as usize] == round {
+                        inbox_count[v as usize]
+                    } else {
+                        0
+                    };
+                    let inbox = Inbox::new(topo, v, in_plane, count);
+                    let nb = topo.port_base(v) - chunk_port_base;
+                    let deg = topo.degree(v);
+                    let mut sent_any = false;
                     let mut ctx = Ctx::new(
                         v,
                         round,
                         topo,
                         &mut rngs_c[i],
-                        &mut out,
+                        &mut stamp_c[nb..nb + deg],
+                        &mut msg_c[nb..nb + deg],
+                        out_gen,
+                        &mut sent_any,
                         &mut halted_c[i],
                     );
-                    nodes_c[i].on_round(&mut ctx, &inbox_c[i]);
-                    for (port, msg) in out.drain(..) {
-                        sent.push((v, port, msg));
+                    nodes_c[i].on_round(&mut ctx, inbox);
+                    if sent_any {
+                        touched.push(v);
                     }
                 }
-                sent
-            }));
-        }
-        for h in handles {
-            sent_chunks.push(h.join().expect("worker panicked"));
+            });
         }
     });
 
-    let mut sent = Vec::with_capacity(sent_chunks.iter().map(Vec::len).sum());
-    for c in sent_chunks {
-        sent.extend(c);
+    // Merge per-chunk sender lists in node order, then account
+    // deliveries sequentially (fixed order ⇒ fixed loss-RNG stream).
+    net.touched.clear();
+    for wt in &net.worker_touched[..threads] {
+        net.touched.extend_from_slice(wt);
     }
-    let count = net.deliver(sent);
+    let out = deliver(
+        topo,
+        out_plane,
+        &net.touched,
+        &net.halted,
+        net.loss,
+        &mut net.loss_rng,
+        &mut net.dropped,
+        &mut net.stats,
+        &mut net.inbox_count,
+        &mut net.inbox_count_round,
+        round + 1,
+    );
+    net.in_flight = out.delivered;
     net.round += 1;
-    net.stats.record_round(count);
-    count
+    let allocs = net.take_alloc_delta();
+    net.stats
+        .record_round_gauges(out.sent, out.peak_inbox, allocs);
+    out.sent
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::{Ctx, Envelope, Network, Protocol, Topology};
+    use crate::{Ctx, Inbox, Network, Protocol, Topology};
 
     /// A protocol with both randomness and message traffic, to stress
     /// determinism: nodes gossip random tokens and keep a running hash.
@@ -104,9 +161,9 @@ mod tests {
     }
     impl Protocol for Gossip {
         type Msg = u64;
-        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Envelope<u64>]) {
-            for e in inbox {
-                self.acc = self.acc.rotate_left(7) ^ e.msg;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: Inbox<'_, u64>) {
+            for e in inbox.iter() {
+                self.acc = self.acc.rotate_left(7) ^ *e.msg;
             }
             if ctx.round() < 20 {
                 let token = ctx.rng().next();
@@ -150,7 +207,26 @@ mod tests {
             }
             assert_eq!(seq.stats().messages, par.stats().messages);
             assert_eq!(seq.stats().bits, par.stats().bits);
+            assert_eq!(seq.stats().peak_inbox, par.stats().peak_inbox);
         }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_under_loss() {
+        let topo = random_topo(48, 5);
+        let mk = || (0..48).map(|_| Gossip { acc: 0 }).collect::<Vec<_>>();
+
+        let mut seq = Network::new(topo.clone(), mk(), 23).with_message_loss(0.15);
+        seq.run_until_halt(100);
+        let mut par = Network::new(topo.clone(), mk(), 23)
+            .with_message_loss(0.15)
+            .with_threads(4);
+        par.run_until_halt(100);
+        assert_eq!(seq.dropped(), par.dropped(), "loss RNG streams must align");
+        for (a, b) in seq.nodes().iter().zip(par.nodes()) {
+            assert_eq!(a.acc, b.acc);
+        }
+        assert_eq!(seq.stats(), par.stats());
     }
 
     #[test]

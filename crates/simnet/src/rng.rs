@@ -5,8 +5,6 @@
 //! makes runs reproducible bit-for-bit, independent of whether nodes are
 //! stepped sequentially or in parallel.
 
-use rand::{RngCore, SeedableRng};
-
 /// SplitMix64 (Steele, Lea, Flood 2014): a tiny, fast, high-quality
 /// 64-bit generator. Used both directly (node RNG streams) and as a seed
 /// scrambler.
@@ -32,15 +30,13 @@ impl SplitMix64 {
         let mut s = SplitMix64::new(seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         // Burn one output so that node 0 with seed 0 does not start at
         // the fixed point of the scrambler.
-        let _ = s.next_u64();
+        let _ = s.next();
         s
     }
 
     /// Next raw 64-bit output.
     ///
-    /// Deliberately named `next` (the SplitMix64 literature's name);
-    /// this type also implements `RngCore`, which is the trait-based
-    /// way to draw from it.
+    /// Deliberately named `next` (the SplitMix64 literature's name).
     #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> u64 {
@@ -80,14 +76,9 @@ impl SplitMix64 {
     }
 }
 
-impl RngCore for SplitMix64 {
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.next()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+impl SplitMix64 {
+    /// Fill `dest` with random bytes (kept for harness-level hashing).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next().to_le_bytes());
@@ -97,20 +88,6 @@ impl RngCore for SplitMix64 {
             let bytes = self.next().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for SplitMix64 {
-    type Seed = [u8; 8];
-    fn from_seed(seed: Self::Seed) -> Self {
-        SplitMix64::new(u64::from_le_bytes(seed))
-    }
-    fn seed_from_u64(state: u64) -> Self {
-        SplitMix64::new(state)
     }
 }
 

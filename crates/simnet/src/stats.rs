@@ -5,15 +5,23 @@
 //! results (Theorems 3.8, 3.11, 4.5) — the maximum size of any single
 //! message.
 
-/// Per-round record (messages sent and their total size).
+/// Per-round record: messages sent plus the message-plane gauges.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoundTrace {
     /// Messages sent in this round.
     pub messages: u64,
+    /// Largest single inbox produced by this round's deliveries.
+    pub peak_inbox: u64,
+    /// Heap allocations performed by the message plane during this
+    /// round. The plane preallocates everything at network construction
+    /// (charged to the first round), so the steady-state value is 0 —
+    /// future changes that reintroduce per-round allocation show up
+    /// here and can be regressed against.
+    pub plane_allocs: u64,
 }
 
 /// Cumulative network statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Total synchronous rounds executed.
     pub rounds: u64,
@@ -23,6 +31,11 @@ pub struct NetStats {
     pub bits: u64,
     /// Largest single message, in bits.
     pub max_msg_bits: u64,
+    /// Largest single inbox observed in any round.
+    pub peak_inbox: u64,
+    /// Total message-plane allocations (construction + growth; a
+    /// constant per network in steady state).
+    pub plane_allocs: u64,
     /// Messages per round, in order.
     pub per_round: Vec<RoundTrace>,
 }
@@ -49,11 +62,29 @@ impl NetStats {
         }
     }
 
-    /// Close out a round in which `messages` messages were sent.
+    /// Close out a round in which `messages` messages were sent (used
+    /// by harnesses that charge emulated rounds; gauges default to 0).
     #[inline]
     pub fn record_round(&mut self, messages: u64) {
         self.rounds += 1;
-        self.per_round.push(RoundTrace { messages });
+        self.per_round.push(RoundTrace {
+            messages,
+            ..RoundTrace::default()
+        });
+    }
+
+    /// Close out a round with its message-plane gauges (used by the
+    /// simulator's delivery path).
+    #[inline]
+    pub fn record_round_gauges(&mut self, messages: u64, peak_inbox: u64, plane_allocs: u64) {
+        self.rounds += 1;
+        self.peak_inbox = self.peak_inbox.max(peak_inbox);
+        self.plane_allocs += plane_allocs;
+        self.per_round.push(RoundTrace {
+            messages,
+            peak_inbox,
+            plane_allocs,
+        });
     }
 
     /// Fold another stats block into this one (used when an algorithm is
@@ -63,6 +94,8 @@ impl NetStats {
         self.messages += other.messages;
         self.bits += other.bits;
         self.max_msg_bits = self.max_msg_bits.max(other.max_msg_bits);
+        self.peak_inbox = self.peak_inbox.max(other.peak_inbox);
+        self.plane_allocs += other.plane_allocs;
         self.per_round.extend_from_slice(&other.per_round);
     }
 

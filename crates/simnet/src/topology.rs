@@ -34,7 +34,10 @@ impl Topology {
         let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for &(u, v) in edges {
             assert!(u != v, "self-loop {u} in topology");
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range"
+            );
             adj[u as usize].push(v);
             adj[v as usize].push(u);
         }
@@ -65,7 +68,11 @@ impl Topology {
                 rev_port[i] = j;
             }
         }
-        Topology { offsets, neighbors, rev_port }
+        Topology {
+            offsets,
+            neighbors,
+            rev_port,
+        }
     }
 
     /// Number of nodes.
@@ -100,7 +107,10 @@ impl Topology {
 
     /// Maximum degree Δ of the topology.
     pub fn max_degree(&self) -> usize {
-        (0..self.len()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+        (0..self.len())
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The neighbor reached from `v` through `port`.
@@ -118,6 +128,20 @@ impl Topology {
     /// Port of `v` leading to `u`, if `{v, u}` is an edge.
     pub fn port_to(&self, v: NodeId, u: NodeId) -> Option<Port> {
         self.neighbors(v).binary_search(&u).ok()
+    }
+
+    /// Total number of directed ports (`2·|E|`). This is the slot count
+    /// of the CSR-aligned message plane: one slot per (node, port) pair.
+    #[inline]
+    pub fn total_ports(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// First slot index of `v` in a CSR-aligned, port-indexed array:
+    /// port `p` of node `v` lives at `port_base(v) + p`.
+    #[inline]
+    pub fn port_base(&self, v: NodeId) -> usize {
+        self.offsets[v as usize]
     }
 }
 

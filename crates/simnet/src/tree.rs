@@ -17,7 +17,8 @@
 //! Requires a **connected** topology — aggregation across disconnected
 //! components is physically impossible in a message-passing system.
 
-use crate::message::{BitSize, Envelope};
+use crate::mailbox::Inbox;
+use crate::message::BitSize;
 use crate::network::{Ctx, Network, Protocol};
 use crate::stats::NetStats;
 use crate::topology::Topology;
@@ -122,7 +123,7 @@ impl AggregateNode {
 impl Protocol for AggregateNode {
     type Msg = TreeMsg;
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, TreeMsg>, inbox: &[Envelope<TreeMsg>]) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, TreeMsg>, inbox: Inbox<'_, TreeMsg>) {
         let deg = ctx.degree();
         if self.status.is_empty() && deg > 0 {
             self.status = vec![PortStatus::Unknown; deg];
@@ -138,8 +139,8 @@ impl Protocol for AggregateNode {
 
         let mut explore_ports: Vec<usize> = Vec::new();
         let mut got_result: Option<u64> = None;
-        for env in inbox {
-            match env.msg {
+        for env in inbox.iter() {
+            match *env.msg {
                 TreeMsg::Explore => explore_ports.push(env.port),
                 TreeMsg::ChildAck => self.status[env.port] = PortStatus::Child,
                 TreeMsg::Decline => self.status[env.port] = PortStatus::NotChild,
@@ -152,6 +153,7 @@ impl Protocol for AggregateNode {
         }
 
         // Handle incoming exploration.
+        let mut acked_parent_now = false;
         if !explore_ports.is_empty() {
             if self.is_root || self.parent.is_some() {
                 // Already attached: decline everyone who probed us.
@@ -165,6 +167,7 @@ impl Protocol for AggregateNode {
                 self.parent = Some(parent);
                 self.status[parent] = PortStatus::NotChild;
                 ctx.send(parent, TreeMsg::ChildAck);
+                acked_parent_now = true;
                 for &p in &explore_ports {
                     if p != parent {
                         self.status[p] = PortStatus::NotChild;
@@ -186,8 +189,16 @@ impl Protocol for AggregateNode {
             // still needs the Done logic below to fire, so fall through.
         }
 
-        // Converge-cast once the subtree is complete.
-        if self.explored && !self.done_sent && self.all_resolved() && self.all_children_done() {
+        // Converge-cast once the subtree is complete. A node that just
+        // acked its parent defers `Done` one round: the message plane
+        // carries one message per port per round, and the `ChildAck`
+        // already occupies the parent-facing slot.
+        if self.explored
+            && !self.done_sent
+            && !acked_parent_now
+            && self.all_resolved()
+            && self.all_children_done()
+        {
             self.done_sent = true;
             if self.is_root {
                 got_result = Some(self.acc);
@@ -240,7 +251,10 @@ mod tests {
     use super::*;
 
     fn path(n: usize) -> Topology {
-        Topology::from_edges(n, &(0..n as u32 - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+        Topology::from_edges(
+            n,
+            &(0..n as u32 - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        )
     }
 
     #[test]

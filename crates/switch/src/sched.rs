@@ -100,7 +100,11 @@ pub struct Pim {
 impl Pim {
     /// New PIM scheduler.
     pub fn new(n: usize, iterations: usize, seed: u64) -> Self {
-        Pim { n, iterations: iterations.max(1), rng: SplitMix64::for_node(seed, 0x9147) }
+        Pim {
+            n,
+            iterations: iterations.max(1),
+            rng: SplitMix64::for_node(seed, 0x9147),
+        }
     }
 }
 
@@ -134,8 +138,7 @@ impl Scheduler for Pim {
                 if in_match[i].is_some() {
                     continue;
                 }
-                let offers: Vec<usize> =
-                    (0..n).filter(|&o| grants[o] == Some(i)).collect();
+                let offers: Vec<usize> = (0..n).filter(|&o| grants[o] == Some(i)).collect();
                 if !offers.is_empty() {
                     let o = offers[self.rng.below(offers.len() as u64) as usize];
                     in_match[i] = Some(o);
@@ -260,7 +263,11 @@ pub struct DistMaximal {
 impl DistMaximal {
     /// New scheduler.
     pub fn new(seed: u64) -> Self {
-        DistMaximal { seed, cycle: 0, rounds: 0 }
+        DistMaximal {
+            seed,
+            cycle: 0,
+            rounds: 0,
+        }
     }
 }
 
@@ -294,7 +301,12 @@ pub struct LpsBipartite {
 impl LpsBipartite {
     /// New scheduler with approximation parameter `k`.
     pub fn new(k: usize, seed: u64) -> Self {
-        LpsBipartite { k: k.max(1), seed, cycle: 0, rounds: 0 }
+        LpsBipartite {
+            k: k.max(1),
+            seed,
+            cycle: 0,
+            rounds: 0,
+        }
     }
 }
 
@@ -327,7 +339,12 @@ pub struct LpsWeighted {
 impl LpsWeighted {
     /// New scheduler with slack `ε`.
     pub fn new(epsilon: f64, seed: u64) -> Self {
-        LpsWeighted { epsilon, seed, cycle: 0, rounds: 0 }
+        LpsWeighted {
+            epsilon,
+            seed,
+            cycle: 0,
+            rounds: 0,
+        }
     }
 }
 
@@ -365,7 +382,10 @@ pub struct Ilqf {
 impl Ilqf {
     /// New iLQF scheduler.
     pub fn new(n: usize, iterations: usize) -> Self {
-        Ilqf { n, iterations: iterations.max(1) }
+        Ilqf {
+            n,
+            iterations: iterations.max(1),
+        }
     }
 }
 
@@ -496,7 +516,10 @@ mod tests {
         for _ in 0..10 {
             last = s.schedule(&occ).iter().flatten().count();
         }
-        assert_eq!(last, 4, "iSLIP should desynchronize to 100% on uniform full load");
+        assert_eq!(
+            last, 4,
+            "iSLIP should desynchronize to 100% on uniform full load"
+        );
     }
 
     #[test]
@@ -525,8 +548,12 @@ mod tests {
         let occ = full_occ(8);
         let mut one = Pim::new(8, 1, 3);
         let mut four = Pim::new(8, 4, 3);
-        let m1: usize = (0..20).map(|_| one.schedule(&occ).iter().flatten().count()).sum();
-        let m4: usize = (0..20).map(|_| four.schedule(&occ).iter().flatten().count()).sum();
+        let m1: usize = (0..20)
+            .map(|_| one.schedule(&occ).iter().flatten().count())
+            .sum();
+        let m4: usize = (0..20)
+            .map(|_| four.schedule(&occ).iter().flatten().count())
+            .sum();
         assert!(m4 >= m1, "more PIM iterations cannot hurt: {m4} < {m1}");
     }
 

@@ -162,7 +162,12 @@ mod tests {
                 r.scheduler,
                 r.delivery_ratio()
             );
-            assert!(r.mean_delay < 5.0, "{}: delay {}", r.scheduler, r.mean_delay);
+            assert!(
+                r.mean_delay < 5.0,
+                "{}: delay {}",
+                r.scheduler,
+                r.mean_delay
+            );
         }
     }
 
@@ -213,13 +218,21 @@ mod tests {
         )
         .run();
         assert!(r.delivery_ratio() > 0.9, "ratio {}", r.delivery_ratio());
-        assert!(r.sched_rounds > 0, "distributed scheduler must consume rounds");
+        assert!(
+            r.sched_rounds > 0,
+            "distributed scheduler must consume rounds"
+        );
     }
 
     #[test]
     fn p99_dominates_mean() {
         let r = Simulator::new(cfg(0.8, 2000), SchedulerKind::Islip { iterations: 1 }).run();
-        assert!(r.p99_delay as f64 >= r.mean_delay.floor(), "p99 {} < mean {}", r.p99_delay, r.mean_delay);
+        assert!(
+            r.p99_delay as f64 >= r.mean_delay.floor(),
+            "p99 {} < mean {}",
+            r.p99_delay,
+            r.mean_delay
+        );
     }
 
     #[test]

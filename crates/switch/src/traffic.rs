@@ -75,7 +75,13 @@ impl TrafficGen {
             model,
             n,
             rng: SplitMix64::for_node(seed, 0x7AFF),
-            bursts: vec![Burst { remaining: 0, dest: 0 }; n],
+            bursts: vec![
+                Burst {
+                    remaining: 0,
+                    dest: 0
+                };
+                n
+            ],
         }
     }
 
@@ -169,7 +175,10 @@ mod tests {
     #[test]
     fn bursty_load_is_roughly_calibrated() {
         let rho = measured_load(
-            TrafficModel::Bursty { load: 0.5, mean_burst: 8.0 },
+            TrafficModel::Bursty {
+                load: 0.5,
+                mean_burst: 8.0,
+            },
             8,
             40_000,
         );
@@ -178,7 +187,14 @@ mod tests {
 
     #[test]
     fn hotspot_concentrates_on_output_zero() {
-        let mut gen = TrafficGen::new(TrafficModel::Hotspot { load: 1.0, frac: 0.5 }, 8, 5);
+        let mut gen = TrafficGen::new(
+            TrafficModel::Hotspot {
+                load: 1.0,
+                frac: 0.5,
+            },
+            8,
+            5,
+        );
         let mut zero = 0usize;
         let mut total = 0usize;
         for _ in 0..2000 {
@@ -196,6 +212,9 @@ mod tests {
 
     #[test]
     fn zero_load_generates_nothing() {
-        assert_eq!(measured_load(TrafficModel::Uniform { load: 0.0 }, 4, 100), 0.0);
+        assert_eq!(
+            measured_load(TrafficModel::Uniform { load: 0.0 }, 4, 100),
+            0.0
+        );
     }
 }

@@ -23,7 +23,10 @@ pub struct Voqs {
 impl Voqs {
     /// Empty queues for an `n`-port switch.
     pub fn new(n: usize) -> Self {
-        Voqs { n, queues: vec![VecDeque::new(); n * n] }
+        Voqs {
+            n,
+            queues: vec![VecDeque::new(); n * n],
+        }
     }
 
     /// Port count.

@@ -1,20 +1,26 @@
-//! Property-based tests for the switch simulator: decision validity
-//! for every scheduler on arbitrary occupancy, cell conservation, and
-//! work conservation at saturation.
+//! Randomized property tests for the switch simulator: decision
+//! validity for every scheduler on arbitrary occupancy, cell
+//! conservation, and work conservation at saturation.
+//!
+//! Dependency-free: cases are enumerated from seeded `SplitMix64`
+//! streams, so every run explores the same (deterministic) case set.
 
-use proptest::prelude::*;
+use simnet::SplitMix64;
 use switchsim::sched::{is_valid_decision, SchedulerKind};
 use switchsim::{SimConfig, Simulator, TrafficModel};
 
-fn occ_strategy(n: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
-    proptest::collection::vec(proptest::collection::vec(0usize..5, n), n)
+fn random_occ(n: usize, rng: &mut SplitMix64) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|_| (0..n).map(|_| rng.below(5) as usize).collect())
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn every_scheduler_emits_partial_permutations(occ in occ_strategy(5), seed in 0u64..500) {
+#[test]
+fn every_scheduler_emits_partial_permutations() {
+    let mut rng = SplitMix64::new(0x51);
+    for case in 0..32 {
+        let occ = random_occ(5, &mut rng);
+        let seed = rng.next();
         for kind in [
             SchedulerKind::Pim { iterations: 2 },
             SchedulerKind::Islip { iterations: 2 },
@@ -26,15 +32,24 @@ proptest! {
             let mut s = kind.build(5, seed);
             for _ in 0..3 {
                 let d = s.schedule(&occ);
-                prop_assert!(is_valid_decision(&occ, &d), "{} invalid", s.name());
+                assert!(
+                    is_valid_decision(&occ, &d),
+                    "case {case}: {} invalid",
+                    s.name()
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn maximal_schedulers_leave_no_free_pair(occ in occ_strategy(5), seed in 0u64..500) {
-        // Israeli–Itai is maximal: no (input, output) pair with traffic
-        // can be left with both sides unmatched.
+#[test]
+fn maximal_schedulers_leave_no_free_pair() {
+    // Israeli–Itai is maximal: no (input, output) pair with traffic
+    // can be left with both sides unmatched.
+    let mut rng = SplitMix64::new(0x52);
+    for case in 0..32 {
+        let occ = random_occ(5, &mut rng);
+        let seed = rng.next();
         let mut s = SchedulerKind::DistMaximal.build(5, seed);
         let d = s.schedule(&occ);
         let mut out_used = [false; 5];
@@ -44,30 +59,40 @@ proptest! {
         for (i, &di) in d.iter().enumerate() {
             if di.is_none() {
                 for (o, &used) in out_used.iter().enumerate() {
-                    prop_assert!(
+                    assert!(
                         occ[i][o] == 0 || used,
-                        "input {} and output {} both idle despite occupancy", i, o
+                        "case {case}: input {i} and output {o} both idle despite occupancy"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn cells_are_conserved(load_pct in 10u32..95, cycles in 50u64..300, seed in 0u64..500) {
+#[test]
+fn cells_are_conserved() {
+    let mut rng = SplitMix64::new(0x53);
+    for _ in 0..24 {
+        let load = 0.10 + 0.85 * rng.f64();
+        let cycles = 50 + rng.below(250);
+        let seed = rng.next();
         let cfg = SimConfig {
             ports: 4,
             cycles,
             warmup: 0,
-            traffic: TrafficModel::Uniform { load: load_pct as f64 / 100.0 },
+            traffic: TrafficModel::Uniform { load },
             seed,
         };
         let r = Simulator::new(cfg, SchedulerKind::Islip { iterations: 1 }).run();
-        prop_assert_eq!(r.offered, r.delivered + r.final_backlog as u64);
+        assert_eq!(r.offered, r.delivered + r.final_backlog as u64);
     }
+}
 
-    #[test]
-    fn oracle_dominates_single_iteration_pim(seed in 0u64..200) {
+#[test]
+fn oracle_dominates_single_iteration_pim() {
+    let mut rng = SplitMix64::new(0x54);
+    for _ in 0..8 {
+        let seed = rng.next();
         let mk = |kind| {
             Simulator::new(
                 SimConfig {
@@ -86,9 +111,10 @@ proptest! {
         // With identical arrivals, the maximum matching can only move
         // at least as many cells (allow small slack for tie-breaking
         // effects on queue states over time).
-        prop_assert!(
+        assert!(
             orc.delivered + orc.final_backlog as u64 == orc.offered
-                && orc.delivered as f64 >= 0.95 * pim.delivered as f64
+                && orc.delivered as f64 >= 0.95 * pim.delivered as f64,
+            "seed {seed}"
         );
     }
 }

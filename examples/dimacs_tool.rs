@@ -43,7 +43,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("{origin}: n = {}, m = {}, Δ = {}, components = {}", g.n(), g.m(), g.max_degree(), g.components());
+    println!(
+        "{origin}: n = {}, m = {}, Δ = {}, components = {}",
+        g.n(),
+        g.m(),
+        g.max_degree(),
+        g.components()
+    );
 
     let opt = blossom::max_matching(&g).size();
     println!("maximum matching (centralized blossom): {opt}\n");
@@ -59,7 +65,10 @@ fn main() {
         &g,
         k,
         2,
-        general::GeneralOpts { iterations: None, early_stop_after: Some(25) },
+        general::GeneralOpts {
+            iterations: None,
+            early_stop_after: Some(25),
+        },
     );
     println!(
         "Algorithm 4 (k={k}): {:>4} edges ({:>5.1}%)   {:>5} rounds   guarantee ≥ {:.1}% whp",

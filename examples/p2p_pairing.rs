@@ -44,7 +44,10 @@ fn main() {
             &g,
             k,
             13 + k as u64,
-            general::GeneralOpts { iterations: None, early_stop_after: Some(25) },
+            general::GeneralOpts {
+                iterations: None,
+                early_stop_after: Some(25),
+            },
         );
         println!(
             "Algorithm 4   (1-1/{k} whp):   {:>3} conversations ({:>5.1}% of optimum), {:>4} rounds, {} sampling iterations",

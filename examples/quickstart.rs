@@ -13,7 +13,12 @@ fn main() {
     // A sparse random graph on 200 nodes (expected degree 5).
     let n = 200;
     let g = gnp(n, 5.0 / n as f64, 42);
-    println!("graph: n = {}, m = {}, Δ = {}\n", g.n(), g.m(), g.max_degree());
+    println!(
+        "graph: n = {}, m = {}, Δ = {}\n",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
 
     // Exact optimum (Edmonds blossom) for reference.
     let opt = distributed_matching::dgraph::blossom::max_matching(&g).size();
@@ -43,7 +48,10 @@ fn main() {
     let r = runner::run(
         &g,
         None,
-        runner::Algorithm::General { k: 3, early_stop: Some(20) },
+        runner::Algorithm::General {
+            k: 3,
+            early_stop: Some(20),
+        },
         7,
         runner::TerminationMode::Oracle,
     );
@@ -54,7 +62,10 @@ fn main() {
     let r = runner::run(
         &wg,
         None,
-        runner::Algorithm::Weighted { epsilon: 0.1, mwm_box: MwmBox::SeqClass },
+        runner::Algorithm::Weighted {
+            epsilon: 0.1,
+            mwm_box: MwmBox::SeqClass,
+        },
         7,
         runner::TerminationMode::Oracle,
     );

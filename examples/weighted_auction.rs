@@ -21,7 +21,14 @@ fn main() {
     // Each worker knows ~6 tasks; utilities are heavy-tailed (a few
     // dream jobs, many mediocre fits).
     let (g0, sides) = bipartite_gnp(workers, tasks, 6.0 / tasks as f64, 3);
-    let g = apply_weights(&g0, WeightModel::PowerLaw { lo: 1.0, alpha: 1.5 }, 4);
+    let g = apply_weights(
+        &g0,
+        WeightModel::PowerLaw {
+            lo: 1.0,
+            alpha: 1.5,
+        },
+        4,
+    );
     println!(
         "market: {workers} workers × {tasks} tasks, {} utility edges\n",
         g.m()
@@ -29,7 +36,10 @@ fn main() {
 
     // Centralized optimum (needs global knowledge — the thing we avoid).
     let opt = hungarian::max_weight_matching(&g, &sides);
-    println!("centralized optimum (Hungarian): total utility {:.2}", opt.weight(&g));
+    println!(
+        "centralized optimum (Hungarian): total utility {:.2}",
+        opt.weight(&g)
+    );
 
     for eps in [0.3, 0.1, 0.02] {
         let r = weighted::run(&g, eps, MwmBox::SeqClass, 99);
@@ -52,7 +62,12 @@ fn main() {
     for w in 0..workers as u32 {
         if let Some(t) = r.matching.mate(w) {
             let e = g.edge_between(w, t).unwrap();
-            println!("  worker {:>2} → task {:>2}  @ {:.2}", w, t - workers as u32, g.weight(e));
+            println!(
+                "  worker {:>2} → task {:>2}  @ {:.2}",
+                w,
+                t - workers as u32,
+                g.weight(e)
+            );
             shown += 1;
             if shown == 8 {
                 break;

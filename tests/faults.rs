@@ -37,7 +37,10 @@ fn heavy_loss_still_matches_something_on_dense_graphs() {
     let g = complete(24);
     let (m, dropped) = israeli_itai::lossy_matching(&g, 11, 90, 0.3);
     assert!(dropped > 0, "loss must actually trigger");
-    assert!(m.size() >= 1, "a dense graph under 30% loss still pairs nodes");
+    assert!(
+        m.size() >= 1,
+        "a dense graph under 30% loss still pairs nodes"
+    );
 }
 
 #[test]
@@ -56,5 +59,8 @@ fn loss_only_shrinks_never_corrupts() {
         }
         sizes.push(total);
     }
-    assert!(sizes[0] >= sizes[1] && sizes[1] >= sizes[2], "sizes {sizes:?} not decreasing");
+    assert!(
+        sizes[0] >= sizes[1] && sizes[1] >= sizes[2],
+        "sizes {sizes:?} not decreasing"
+    );
 }

@@ -10,11 +10,18 @@ use distributed_matching::dmatch::weighted::{apply_wraps, derived_weight};
 #[test]
 fn figure1_layer_counts() {
     let edges = vec![
-        (0u32, 5u32), (0, 6), (0, 7),
-        (1, 6), (1, 7),
-        (2, 6), (3, 7), (4, 8),
-        (2, 9), (3, 9),
-        (2, 8), (4, 9),
+        (0u32, 5u32),
+        (0, 6),
+        (0, 7),
+        (1, 6),
+        (1, 7),
+        (2, 6),
+        (3, 7),
+        (4, 8),
+        (2, 9),
+        (3, 9),
+        (2, 8),
+        (4, 9),
     ];
     let g = Graph::new(10, edges);
     let sides: Vec<bool> = (0..10).map(|v| v >= 5).collect();
@@ -66,7 +73,10 @@ fn figure2_numbers() {
     let (m2, realized) = apply_wraps(&g, &m, &[2, 3]);
     assert_eq!(m2.weight(&g), 26.0, "bottom panel: w(M'') = 26");
     assert!(m2.validate(&g).is_ok());
-    assert!(realized > wm1 + wm2, "strict: overlapping wraps double-count the shared M edge");
+    assert!(
+        realized > wm1 + wm2,
+        "strict: overlapping wraps double-count the shared M edge"
+    );
     assert_eq!(realized, 12.0);
 }
 

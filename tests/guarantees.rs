@@ -65,7 +65,10 @@ fn general_algorithm_meets_bound_on_the_zoo() {
             &g,
             k,
             5,
-            general::GeneralOpts { iterations: None, early_stop_after: Some(30) },
+            general::GeneralOpts {
+                iterations: None,
+                early_stop_after: Some(30),
+            },
         );
         assert!(r.matching.validate(&g).is_ok(), "{name}");
         let opt = blossom::max_matching(&g).size();
@@ -115,10 +118,16 @@ fn bipartite_algorithm_meets_bound_on_bipartite_zoo() {
                 out.matching.size()
             );
             // Theorem 3.8 postcondition.
-            let sl = distributed_matching::dgraph::augmenting::shortest_augmenting_path_len_bipartite(
-                &g, &sides, &out.matching,
+            let sl =
+                distributed_matching::dgraph::augmenting::shortest_augmenting_path_len_bipartite(
+                    &g,
+                    &sides,
+                    &out.matching,
+                );
+            assert!(
+                sl.is_none_or(|l| l > 2 * k - 1),
+                "{name}, k={k}: short path left"
             );
-            assert!(sl.is_none_or(|l| l > 2 * k - 1), "{name}, k={k}: short path left");
         }
     }
 }
@@ -130,7 +139,13 @@ fn weighted_algorithm_meets_bound_across_weight_models() {
         ("uniform", WeightModel::Uniform(0.5, 3.0)),
         ("exponential", WeightModel::Exponential(1.5)),
         ("integer", WeightModel::Integer(1, 9)),
-        ("powerlaw", WeightModel::PowerLaw { lo: 1.0, alpha: 1.3 }),
+        (
+            "powerlaw",
+            WeightModel::PowerLaw {
+                lo: 1.0,
+                alpha: 1.3,
+            },
+        ),
     ] {
         for seed in 0..3u64 {
             let (g0, sides) = bipartite_gnp(12, 12, 0.25, seed);
@@ -159,13 +174,20 @@ fn quality_ordering_holds_in_expectation() {
         gen2_total += generic::run(&g, 2, seed).matching.size();
         opt_total += blossom::max_matching(&g).size();
     }
-    assert!(ii_total <= gen2_total, "II {ii_total} > generic {gen2_total}");
+    assert!(
+        ii_total <= gen2_total,
+        "II {ii_total} > generic {gen2_total}"
+    );
     assert!(gen2_total <= opt_total);
 }
 
 #[test]
 fn empty_and_tiny_graphs_are_handled_by_everyone() {
-    for g in [Graph::new(0, vec![]), Graph::new(1, vec![]), Graph::new(2, vec![(0, 1)])] {
+    for g in [
+        Graph::new(0, vec![]),
+        Graph::new(1, vec![]),
+        Graph::new(2, vec![(0, 1)]),
+    ] {
         let (m, _) = israeli_itai::maximal_matching(&g, 0);
         assert!(m.validate(&g).is_ok());
         let r = generic::run(&g, 2, 0);
@@ -174,7 +196,10 @@ fn empty_and_tiny_graphs_are_handled_by_everyone() {
             &g,
             2,
             0,
-            general::GeneralOpts { iterations: Some(4), early_stop_after: None },
+            general::GeneralOpts {
+                iterations: Some(4),
+                early_stop_after: None,
+            },
         );
         assert!(r.matching.validate(&g).is_ok());
         let r = weighted::run(&g, 0.2, weighted::MwmBox::SeqClass, 0);

@@ -1,110 +1,159 @@
-//! Property-based tests for the distributed algorithms themselves:
+//! Randomized property tests for the distributed algorithms themselves:
 //! guarantee, validity, determinism, and CONGEST message discipline on
 //! randomized inputs.
+//!
+//! Dependency-free: cases are enumerated from seeded `SplitMix64`
+//! streams, so every run explores the same (deterministic) case set.
 
 use distributed_matching::dgraph::generators::random::{bipartite_gnp, gnp};
 use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
 use distributed_matching::dgraph::{blossom, hopcroft_karp};
 use distributed_matching::dmatch::{general, israeli_itai, luby, weighted};
-use proptest::prelude::*;
+use distributed_matching::simnet::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Deterministic parameter stream: (n, edge probability, seed).
+fn cases(tag: u64, count: usize, n_lo: usize, n_hi: usize) -> Vec<(usize, f64, u64)> {
+    let mut rng = SplitMix64::new(0xD157 ^ tag);
+    (0..count)
+        .map(|_| {
+            let n = n_lo + rng.below((n_hi - n_lo) as u64) as usize;
+            let p = (5 + rng.below(45)) as f64 / 100.0;
+            (n, p, rng.next())
+        })
+        .collect()
+}
 
-    /// Israeli–Itai is always a valid maximal matching with 2-bit
-    /// messages, regardless of input or seed.
-    #[test]
-    fn ii_maximal_valid_and_tiny_messages(n in 2usize..40, pm in 5u32..50, seed in 0u64..10_000) {
-        let g = gnp(n, pm as f64 / 100.0, seed);
+/// Israeli–Itai is always a valid maximal matching with 2-bit
+/// messages, regardless of input or seed.
+#[test]
+fn ii_maximal_valid_and_tiny_messages() {
+    for (n, p, seed) in cases(1, 32, 2, 40) {
+        let g = gnp(n, p, seed);
         let (m, stats) = israeli_itai::maximal_matching(&g, seed ^ 0xABCD);
-        prop_assert!(m.validate(&g).is_ok());
-        prop_assert!(m.is_maximal(&g));
-        prop_assert!(stats.max_msg_bits <= 2);
+        assert!(m.validate(&g).is_ok());
+        assert!(m.is_maximal(&g));
+        assert!(stats.max_msg_bits <= 2);
     }
+}
 
-    /// Luby MIS on an arbitrary topology is independent and dominating.
-    #[test]
-    fn luby_mis_valid(n in 1usize..40, pm in 5u32..60, seed in 0u64..10_000) {
-        let g = gnp(n, pm as f64 / 100.0, seed);
+/// Luby MIS on an arbitrary topology is independent and dominating.
+#[test]
+fn luby_mis_valid() {
+    for (n, p, seed) in cases(2, 32, 1, 40) {
+        let g = gnp(n, p, seed);
         let topo = distributed_matching::dmatch::topology_of(&g);
         let (flags, _) = luby::mis(&topo, seed);
-        prop_assert!(luby::is_valid_mis(&topo, &flags));
+        assert!(luby::is_valid_mis(&topo, &flags));
     }
+}
 
-    /// Theorem 3.8's guarantee holds for every bipartite input: ratio
-    /// ≥ 1-1/k, no augmenting path of length ≤ 2k-1 survives, and
-    /// messages stay under 100 bits.
-    #[test]
-    fn bipartite_guarantee_and_congest(a in 2usize..12, b in 2usize..12, pm in 10u32..55, k in 1usize..4, seed in 0u64..10_000) {
-        let (g, sides) = bipartite_gnp(a, b, pm as f64 / 100.0, seed);
+/// Theorem 3.8's guarantee holds for every bipartite input: ratio
+/// ≥ 1-1/k, no augmenting path of length ≤ 2k-1 survives, and
+/// messages stay under 100 bits.
+#[test]
+fn bipartite_guarantee_and_congest() {
+    let mut rng = SplitMix64::new(0xD157 ^ 3);
+    for _ in 0..32 {
+        let a = 2 + rng.below(10) as usize;
+        let b = 2 + rng.below(10) as usize;
+        let p = (10 + rng.below(45)) as f64 / 100.0;
+        let k = 1 + rng.below(3) as usize;
+        let seed = rng.next();
+        let (g, sides) = bipartite_gnp(a, b, p, seed);
         let out = distributed_matching::dmatch::bipartite::run(&g, &sides, k, seed);
-        prop_assert!(out.matching.validate(&g).is_ok());
+        assert!(out.matching.validate(&g).is_ok());
         let opt = hopcroft_karp::max_matching(&g, &sides).size();
-        prop_assert!(
+        assert!(
             out.matching.size() as f64 >= (1.0 - 1.0 / k as f64) * opt as f64 - 1e-9,
-            "k={} |M|={} opt={}", k, out.matching.size(), opt
+            "k={} |M|={} opt={}",
+            k,
+            out.matching.size(),
+            opt
         );
-        prop_assert!(out.stats.max_msg_bits <= 98 + 30);
+        assert!(out.stats.max_msg_bits <= 98 + 30);
     }
+}
 
-    /// Algorithm 4 with the full paper budget never dips below the
-    /// whp bound on small inputs (k = 2 keeps the budget tractable).
-    #[test]
-    fn general_holds_with_paper_budget(n in 4usize..16, pm in 15u32..50, seed in 0u64..10_000) {
-        let g = gnp(n, pm as f64 / 100.0, seed);
+/// Algorithm 4 with the full paper budget never dips below the
+/// whp bound on small inputs (k = 2 keeps the budget tractable).
+#[test]
+fn general_holds_with_paper_budget() {
+    for (n, p, seed) in cases(4, 16, 4, 16) {
+        let p = p.max(0.15);
+        let g = gnp(n, p, seed);
         let r = general::run(&g, 2, seed); // full 2^5·3·ln2 ≈ 67 iterations
-        prop_assert!(r.matching.validate(&g).is_ok());
+        assert!(r.matching.validate(&g).is_ok());
         let opt = blossom::max_matching(&g).size();
-        prop_assert!(2 * r.matching.size() >= opt);
+        assert!(2 * r.matching.size() >= opt);
     }
+}
 
-    /// Algorithm 5's weight trajectory is monotone and the final
-    /// matching is valid for every box.
-    #[test]
-    fn weighted_monotone_and_valid(n in 4usize..18, pm in 15u32..50, seed in 0u64..10_000, box_idx in 0usize..3) {
-        let mwm_box = [weighted::MwmBox::SeqClass, weighted::MwmBox::ParClass, weighted::MwmBox::LocalDominant][box_idx];
-        let g = apply_weights(&gnp(n, pm as f64 / 100.0, seed), WeightModel::Exponential(1.0), seed + 2);
+/// Algorithm 5's weight trajectory is monotone and the final
+/// matching is valid for every box.
+#[test]
+fn weighted_monotone_and_valid() {
+    let boxes = [
+        weighted::MwmBox::SeqClass,
+        weighted::MwmBox::ParClass,
+        weighted::MwmBox::LocalDominant,
+    ];
+    for (i, (n, p, seed)) in cases(5, 18, 4, 18).into_iter().enumerate() {
+        let mwm_box = boxes[i % 3];
+        let p = p.max(0.15);
+        let g = apply_weights(&gnp(n, p, seed), WeightModel::Exponential(1.0), seed + 2);
         let r = weighted::run(&g, 0.2, mwm_box, seed);
-        prop_assert!(r.matching.validate(&g).is_ok());
+        assert!(r.matching.validate(&g).is_ok());
         for w in r.weights.windows(2) {
-            prop_assert!(w[1] >= w[0] - 1e-9);
+            assert!(w[1] >= w[0] - 1e-9);
         }
     }
+}
 
-    /// Determinism: identical (graph, seed) inputs give identical
-    /// results and statistics for the randomized algorithms.
-    #[test]
-    fn runs_are_reproducible(n in 4usize..25, pm in 10u32..40, seed in 0u64..10_000) {
-        let g = gnp(n, pm as f64 / 100.0, seed);
+/// Determinism: identical (graph, seed) inputs give identical
+/// results and statistics for the randomized algorithms.
+#[test]
+fn runs_are_reproducible() {
+    for (n, p, seed) in cases(6, 16, 4, 25) {
+        let g = gnp(n, p, seed);
         let (m1, s1) = israeli_itai::maximal_matching(&g, seed);
         let (m2, s2) = israeli_itai::maximal_matching(&g, seed);
-        prop_assert_eq!(m1, m2);
-        prop_assert_eq!(s1.rounds, s2.rounds);
-        prop_assert_eq!(s1.bits, s2.bits);
+        assert_eq!(m1, m2);
+        assert_eq!(s1.rounds, s2.rounds);
+        assert_eq!(s1.bits, s2.bits);
 
-        let r1 = general::run_with(&g, 2, seed, general::GeneralOpts { iterations: Some(6), early_stop_after: None });
-        let r2 = general::run_with(&g, 2, seed, general::GeneralOpts { iterations: Some(6), early_stop_after: None });
-        prop_assert_eq!(r1.matching, r2.matching);
-        prop_assert_eq!(r1.stats.messages, r2.stats.messages);
+        let opts = general::GeneralOpts {
+            iterations: Some(6),
+            early_stop_after: None,
+        };
+        let r1 = general::run_with(&g, 2, seed, opts);
+        let r2 = general::run_with(&g, 2, seed, opts);
+        assert_eq!(r1.matching, r2.matching);
+        assert_eq!(r1.stats.messages, r2.stats.messages);
     }
+}
 
-    /// The derived-gain graph never contains matching edges, and
-    /// applying any matching of it through wraps keeps validity
-    /// (Lemma 4.1, randomized).
-    #[test]
-    fn derived_graph_and_wraps_sound(n in 4usize..16, pm in 20u32..60, seed in 0u64..10_000) {
-        let g = apply_weights(&gnp(n, pm as f64 / 100.0, seed), WeightModel::Integer(1, 12), seed + 3);
+/// The derived-gain graph never contains matching edges, and
+/// applying any matching of it through wraps keeps validity
+/// (Lemma 4.1, randomized).
+#[test]
+fn derived_graph_and_wraps_sound() {
+    for (n, p, seed) in cases(7, 24, 4, 16) {
+        let p = p.max(0.2);
+        let g = apply_weights(&gnp(n, p, seed), WeightModel::Integer(1, 12), seed + 3);
         let m = distributed_matching::dgraph::greedy::greedy_maximal(&g);
         let (gp, back) = weighted::derived_graph(&g, &m);
         for e in 0..gp.m() as u32 {
-            prop_assert!(!m.contains(&g, back[e as usize]));
-            prop_assert!(gp.weight(e) > 0.0);
+            assert!(!m.contains(&g, back[e as usize]));
+            assert!(gp.weight(e) > 0.0);
         }
         let mp = distributed_matching::dgraph::greedy::greedy_by_weight(&gp);
         let mprime: Vec<u32> = mp.edge_ids(&gp).iter().map(|&e| back[e as usize]).collect();
-        let wm: f64 = mprime.iter().map(|&e| weighted::derived_weight(&g, &m, e)).sum();
+        let wm: f64 = mprime
+            .iter()
+            .map(|&e| weighted::derived_weight(&g, &m, e))
+            .sum();
         let (m2, realized) = weighted::apply_wraps(&g, &m, &mprime);
-        prop_assert!(m2.validate(&g).is_ok());
-        prop_assert!(realized >= wm - 1e-9);
+        assert!(m2.validate(&g).is_ok());
+        assert!(realized >= wm - 1e-9);
     }
 }

@@ -1,0 +1,208 @@
+//! Message-plane equivalence suite: sequential and 8-thread execution
+//! must produce **bit-identical** matchings and `NetStats` (including
+//! the per-round traces and plane gauges) for every algorithm of the
+//! paper, across random topology families, with and without fault
+//! injection.
+//!
+//! This is the contract the double-buffered plane was built around:
+//! the executor (thread count) is unobservable, and the fault-injection
+//! RNG stream is consumed in a fixed delivery order.
+
+use distributed_matching::dgraph::generators::random::{bipartite_gnp, gnp, random_tree};
+use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
+use distributed_matching::dgraph::Graph;
+use distributed_matching::dmatch::runner::{self, Algorithm, TerminationMode};
+use distributed_matching::dmatch::weighted::MwmBox;
+use distributed_matching::simnet::ExecCfg;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Serializes the two tests below: the lossy test swaps the *global*
+/// panic hook, which would otherwise silence diagnostics of the sibling
+/// test running on another thread.
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+/// Restores the previous panic hook on drop, so a panic inside the
+/// lossy test cannot leak the silent hook into the rest of the process.
+struct HookGuard(Option<PanicHook>);
+
+impl HookGuard {
+    fn silence() -> Self {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        HookGuard(Some(prev))
+    }
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+/// All `runner::Algorithm` variants exercised by this suite.
+/// `Bipartite` is included only when `sides` exist.
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::IsraeliItai,
+        Algorithm::Generic { k: 2 },
+        Algorithm::Bipartite { k: 2 },
+        Algorithm::General {
+            k: 2,
+            early_stop: Some(6),
+        },
+        Algorithm::Weighted {
+            epsilon: 0.25,
+            mwm_box: MwmBox::SeqClass,
+        },
+        Algorithm::Weighted {
+            epsilon: 0.25,
+            mwm_box: MwmBox::ParClass,
+        },
+        Algorithm::Weighted {
+            epsilon: 0.25,
+            mwm_box: MwmBox::LocalDominant,
+        },
+        Algorithm::DeltaMwm {
+            mwm_box: MwmBox::LocalDominant,
+        },
+    ]
+}
+
+/// Topology zoo: (label, graph, sides if bipartite).
+fn topologies() -> Vec<(String, Graph, Option<Vec<bool>>)> {
+    let mut out = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let g = gnp(18 + 2 * seed as usize, 0.18, seed);
+        out.push((format!("gnp/{seed}"), g, None));
+    }
+    for seed in [4u64, 5] {
+        let (g, sides) = bipartite_gnp(9, 10, 0.25, seed);
+        out.push((format!("bipartite_gnp/{seed}"), g, Some(sides)));
+    }
+    for seed in [6u64, 7] {
+        let g = random_tree(20, seed);
+        out.push((format!("tree/{seed}"), g, None));
+    }
+    out
+}
+
+fn applicable(alg: &Algorithm, sides: &Option<Vec<bool>>) -> bool {
+    !matches!(alg, Algorithm::Bipartite { .. }) || sides.is_some()
+}
+
+fn weighted_input(alg: &Algorithm) -> bool {
+    matches!(alg, Algorithm::Weighted { .. } | Algorithm::DeltaMwm { .. })
+}
+
+/// Execute one (graph, algorithm, cfg) run, capturing panics so lossy
+/// runs that trip an algorithm invariant still compare deterministically
+/// between executors. Returns `Ok((matching edges, stats))` or `Err(())`.
+#[allow(clippy::type_complexity)]
+fn run_caught(
+    g: &Graph,
+    sides: Option<&[bool]>,
+    alg: Algorithm,
+    seed: u64,
+    cfg: ExecCfg,
+) -> Result<(Vec<u32>, distributed_matching::simnet::NetStats), ()> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let r = runner::run_cfg(g, sides, alg, seed, TerminationMode::Oracle, cfg);
+        (r.matching.edge_ids(g), r.stats)
+    }));
+    result.map_err(|_| ())
+}
+
+#[test]
+fn sequential_vs_parallel_bit_identical_all_algorithms() {
+    let _serial = HOOK_LOCK.lock().unwrap();
+    for (label, g0, sides) in topologies() {
+        for alg in algorithms() {
+            if !applicable(&alg, &sides) {
+                continue;
+            }
+            let g = if weighted_input(&alg) {
+                apply_weights(&g0, WeightModel::Uniform(0.5, 4.0), 11)
+            } else {
+                g0.clone()
+            };
+            let sides_ref = sides.as_deref();
+            let seq = runner::run_cfg(
+                &g,
+                sides_ref,
+                alg,
+                99,
+                TerminationMode::Oracle,
+                ExecCfg::sequential(),
+            );
+            let par = runner::run_cfg(
+                &g,
+                sides_ref,
+                alg,
+                99,
+                TerminationMode::Oracle,
+                ExecCfg::parallel(8),
+            );
+            assert_eq!(
+                seq.matching, par.matching,
+                "{label} / {}: matchings diverged between executors",
+                seq.name
+            );
+            assert_eq!(
+                seq.stats, par.stats,
+                "{label} / {}: NetStats diverged between executors",
+                seq.name
+            );
+            assert!(seq.matching.validate(&g).is_ok(), "{label} / {}", seq.name);
+        }
+    }
+}
+
+#[test]
+fn sequential_vs_parallel_bit_identical_under_loss() {
+    // Under 10% message loss some algorithms legitimately trip internal
+    // invariants (a lost token breaks an augmentation); the contract
+    // here is *determinism*: both executors must do exactly the same
+    // thing — succeed with identical results, or fail identically.
+    let _serial = HOOK_LOCK.lock().unwrap();
+    let hook = HookGuard::silence();
+    let mut outcomes = Vec::new();
+    for (label, g0, sides) in topologies() {
+        for alg in algorithms() {
+            if !applicable(&alg, &sides) {
+                continue;
+            }
+            let g = if weighted_input(&alg) {
+                apply_weights(&g0, WeightModel::Uniform(0.5, 4.0), 11)
+            } else {
+                g0.clone()
+            };
+            let sides_ref = sides.as_deref();
+            let lossy = |threads| ExecCfg { threads, loss: 0.1 };
+            let seq = run_caught(&g, sides_ref, alg, 7, lossy(1));
+            let par = run_caught(&g, sides_ref, alg, 7, lossy(8));
+            outcomes.push((label.clone(), alg, seq, par));
+        }
+    }
+    drop(hook);
+    let mut succeeded = 0usize;
+    for (label, alg, seq, par) in outcomes {
+        assert_eq!(
+            seq.is_ok(),
+            par.is_ok(),
+            "{label} / {alg:?}: one executor panicked, the other did not"
+        );
+        if let (Ok(s), Ok(p)) = (seq, par) {
+            assert_eq!(s.0, p.0, "{label} / {alg:?}: lossy matchings diverged");
+            assert_eq!(s.1, p.1, "{label} / {alg:?}: lossy NetStats diverged");
+            succeeded += 1;
+        }
+    }
+    // The suite is vacuous if loss makes everything panic; Israeli–Itai
+    // at least is loss-tolerant by design.
+    assert!(succeeded >= 5, "only {succeeded} lossy runs completed");
+}

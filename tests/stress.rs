@@ -32,13 +32,13 @@ fn bipartite_theorem_38_at_scale() {
 #[test]
 #[ignore = "large"]
 fn parallel_stepping_agrees_at_scale() {
-    use simnet::{Ctx, Envelope, Network, Protocol};
+    use simnet::{Ctx, Inbox, Network, Protocol};
     struct Gossip(u64);
     impl Protocol for Gossip {
         type Msg = u64;
-        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Envelope<u64>]) {
-            for e in inbox {
-                self.0 = self.0.rotate_left(13) ^ e.msg;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: Inbox<'_, u64>) {
+            for e in inbox.iter() {
+                self.0 = self.0.rotate_left(13) ^ *e.msg;
             }
             if ctx.round() < 16 {
                 let r = ctx.rng().next();
@@ -66,10 +66,17 @@ fn parallel_stepping_agrees_at_scale() {
 fn weighted_reduction_at_four_thousand_nodes() {
     use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
     let n = 4096;
-    let g = apply_weights(&gnp(n, 6.0 / n as f64, 11), WeightModel::Exponential(1.0), 12);
+    let g = apply_weights(
+        &gnp(n, 6.0 / n as f64, 11),
+        WeightModel::Exponential(1.0),
+        12,
+    );
     let r = dmatch::weighted::run(&g, 0.2, dmatch::weighted::MwmBox::SeqClass, 13);
     assert!(r.matching.validate(&g).is_ok());
     // Certified bound: the result must clear (½-ε) of ½·Σ max-incident.
     let ub = dmatch::runner::mwm_upper_bound(&g);
-    assert!(r.matching.weight(&g) >= 0.3 * 0.5 * ub, "too far below the certified bound");
+    assert!(
+        r.matching.weight(&g) >= 0.3 * 0.5 * ub,
+        "too far below the certified bound"
+    );
 }
