@@ -17,8 +17,13 @@
 //!
 //! Knobs: `STEP_PLANE_N` (default 50000), `STEP_PLANE_ROUNDS`
 //! (default 10), `STEP_PLANE_RUNS` (default 5).
+//!
+//! Besides the human-readable table, the run writes
+//! `BENCH_step_plane.json` (machine-readable: time/round in ns and
+//! allocs/round per plane) so the perf trajectory is trackable across
+//! PRs; CI uploads it as an artifact.
 
-use bench_harness::{f2, Table};
+use bench_harness::{env_or, f2, Table};
 use dgraph::generators::random::gnp;
 use simnet::{Ctx, Inbox, Network, NodeId, Port, Protocol, SplitMix64, Topology};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -169,13 +174,6 @@ fn measure(rounds: u64, runs: u32, mut step: impl FnMut()) -> Measured {
     }
 }
 
-fn env_or(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn main() {
     let n = env_or("STEP_PLANE_N", 50_000) as usize;
     let rounds = env_or("STEP_PLANE_ROUNDS", 10);
@@ -269,6 +267,32 @@ fn main() {
         m_new.allocs_per_round
     );
     println!("  speedup (sequential): {}x", f2(time_ratio));
+
+    // Machine-readable record for cross-PR perf tracking (uploaded as
+    // a CI artifact). Hand-rolled JSON: the workspace is std-only.
+    let plane_json = |name: &str, m: &Measured| {
+        format!(
+            "    {{\"plane\": \"{name}\", \"time_per_round_ns\": {}, \"allocs_per_round\": {:.2}}}",
+            m.time_per_round.as_nanos(),
+            m.allocs_per_round
+        )
+    };
+    let json = format!
+        ("{{\n  \"bench\": \"step_plane\",\n  \"n\": {n},\n  \"rounds_per_run\": {rounds},\n  \"runs\": {runs},\n  \"planes\": [\n{},\n{},\n{}\n  ],\n  \"alloc_ratio\": {:.2},\n  \"speedup_sequential\": {:.3}\n}}\n",
+        plane_json("legacy_vec_sort", &m_legacy),
+        plane_json("slab_seq", &m_new),
+        plane_json("slab_8_threads", &m_par),
+        alloc_ratio,
+        time_ratio,
+    );
+    // Cargo runs benches with the package as working directory; the
+    // record belongs at the workspace root, where CI picks it up.
+    let path = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| std::path::PathBuf::from(d).join("../../BENCH_step_plane.json"))
+        .unwrap_or_else(|_| std::path::PathBuf::from("BENCH_step_plane.json"));
+    std::fs::write(&path, &json).expect("write bench record");
+    println!("  wrote {}", path.display());
+
     assert!(
         alloc_ratio >= 2.0,
         "acceptance: the new plane must allocate at least 2x less per round"

@@ -1,0 +1,150 @@
+//! E15 — incremental repair vs. full recompute under churn.
+//!
+//! The dynamic-network engine (`dchurn`) repairs the maximal matching
+//! after each churn epoch instead of recomputing it. This experiment
+//! measures what that buys: per-epoch repair rounds and messages
+//! against a from-scratch Israeli–Itai run on the same (current)
+//! graph, across churn rates, plus the locality of repair (how far
+//! from the damage any message travels) and how the advantage *grows*
+//! with n — the LCA-style payoff: repair work scales with the damage,
+//! recompute work with the graph.
+//!
+//! Knobs: `CHURN_N` (default 2000), `CHURN_EPOCHS` (default 20),
+//! `CHURN_DEG` (average degree, default 8).
+
+use bench_harness::{banner, env_or, f2, mean, Table};
+use dchurn::{ChurnModel, DynEngine, RepairAlgo};
+use dgraph::generators::random::gnp;
+
+struct Sweep {
+    repair_rounds: f64,
+    repair_msgs: f64,
+    recompute_rounds: f64,
+    recompute_msgs: f64,
+    damage: f64,
+    woken: f64,
+    max_radius: usize,
+}
+
+fn sweep(n: usize, deg: f64, rate: f64, epochs: u64, seed: u64) -> Sweep {
+    let g = gnp(n, deg / n as f64, seed);
+    let mut eng = DynEngine::new(
+        g,
+        ChurnModel::EdgeChurn { rate },
+        RepairAlgo::IncrementalMaximal,
+        seed.wrapping_add(100),
+    );
+    eng.bootstrap();
+    let (mut rr, mut rm, mut cr, mut cm, mut dmg, mut wok) =
+        (vec![], vec![], vec![], vec![], vec![], vec![]);
+    let mut max_radius = 0usize;
+    for _ in 0..epochs {
+        let rep = eng.step_epoch().clone();
+        assert!(rep.maximal, "every epoch must end maximal");
+        rr.push(rep.rounds as f64);
+        rm.push(rep.messages as f64);
+        dmg.push(rep.damage as f64);
+        wok.push(rep.woken as f64);
+        if let Some(r) = rep.locality_radius {
+            max_radius = max_radius.max(r);
+        }
+        let (m, stats) = eng.recompute_baseline();
+        assert!(m.is_maximal(eng.graph()));
+        cr.push(stats.rounds as f64);
+        cm.push(stats.messages as f64);
+    }
+    Sweep {
+        repair_rounds: mean(&rr),
+        repair_msgs: mean(&rm),
+        recompute_rounds: mean(&cr),
+        recompute_msgs: mean(&cm),
+        damage: mean(&dmg),
+        woken: mean(&wok),
+        max_radius,
+    }
+}
+
+fn main() {
+    let n = env_or("CHURN_N", 2000) as usize;
+    let epochs = env_or("CHURN_EPOCHS", 20);
+    let deg = env_or("CHURN_DEG", 8) as f64;
+    banner(
+        "E15",
+        "incremental repair vs. full recompute under churn",
+        "dynamic extension; LCA context (Alon et al., Reingold–Vardi)",
+    );
+    println!("gnp(n={n}, d̄={deg}), {epochs} epochs per point, per-epoch means\n");
+
+    // --- Part 1: churn-rate sweep at fixed n.
+    let mut t = Table::new(vec![
+        "churn/epoch",
+        "damage",
+        "woken",
+        "radius≤",
+        "repair rnds",
+        "recomp rnds",
+        "repair msgs",
+        "recomp msgs",
+        "msg ratio",
+    ]);
+    let mut low_churn_ok = true;
+    for &rate in &[0.01, 0.02, 0.05, 0.10] {
+        let s = sweep(n, deg, rate, epochs, 7);
+        let ratio = s.recompute_msgs / s.repair_msgs.max(1.0);
+        if rate <= 0.05 {
+            low_churn_ok &=
+                s.repair_msgs < s.recompute_msgs && s.repair_rounds <= s.recompute_rounds;
+        }
+        t.row(vec![
+            format!("{:.0}%", rate * 100.0),
+            f2(s.damage),
+            f2(s.woken),
+            s.max_radius.to_string(),
+            f2(s.repair_rounds),
+            f2(s.recompute_rounds),
+            f2(s.repair_msgs),
+            f2(s.recompute_msgs),
+            format!("{}x", f2(ratio)),
+        ]);
+    }
+    t.print();
+
+    // --- Part 2: the asymptotic claim. Fix the *absolute* damage
+    // (≈16 churned edges per epoch, the LCA regime of localized
+    // updates) and grow n: repair cost tracks the damage and stays
+    // flat, recompute cost tracks the graph and grows, so the ratio
+    // grows ~linearly in n.
+    println!("\n--- scaling at ~16 churned edges/epoch: repair advantage vs. n");
+    let mut t = Table::new(vec!["n", "repair msgs", "recomp msgs", "msg ratio"]);
+    let mut ratios = Vec::new();
+    for &ni in &[n / 4, n / 2, n] {
+        let ni = ni.max(64);
+        let m_est = ni as f64 * deg / 2.0;
+        let s = sweep(ni, deg, (16.0 / m_est).min(1.0), epochs, 11);
+        let ratio = s.recompute_msgs / s.repair_msgs.max(1.0);
+        ratios.push(ratio);
+        t.row(vec![
+            ni.to_string(),
+            f2(s.repair_msgs),
+            f2(s.recompute_msgs),
+            format!("{}x", f2(ratio)),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nExpected shape: repair wakes O(damage) nodes within a constant radius and\n\
+         its message cost tracks the churn, not the graph; at a fixed number of\n\
+         churned edges per epoch the recompute/repair ratio grows ~linearly in n —\n\
+         the incremental engine is asymptotically cheaper, the dynamic analogue of\n\
+         polylog-radius local repair."
+    );
+    assert!(
+        low_churn_ok,
+        "acceptance: at ≤5% churn, repair must beat full recompute in rounds and messages"
+    );
+    assert!(
+        ratios.last().unwrap() >= ratios.first().unwrap(),
+        "acceptance: the repair advantage must not shrink as n grows"
+    );
+}

@@ -1,0 +1,139 @@
+//! E16 — guarantee preservation under sustained churn.
+//!
+//! Runs the dynamic engine for many consecutive epochs and verifies
+//! that the repaired matching *never* leaves its guarantee envelope:
+//!
+//! * incremental Israeli–Itai: valid and maximal (⇒ ½-MCM) after
+//!   every epoch, with no quality drift relative to a from-scratch
+//!   maximal matching on the same graph;
+//! * warm-started generic `(1-1/(k+1))`-MCM: meets its bound against
+//!   the exact (blossom) optimum after every epoch.
+//!
+//! Knobs: `CHURN16_N` (default 800), `CHURN16_EPOCHS` (default 60),
+//! `CHURN16_RATE` (percent, default 5).
+
+use bench_harness::{banner, env_or, f2, f3, mean, Table};
+use dchurn::{ChurnModel, DynEngine, RepairAlgo};
+use dgraph::generators::random::gnp;
+
+fn main() {
+    let n = env_or("CHURN16_N", 800) as usize;
+    let epochs = env_or("CHURN16_EPOCHS", 60);
+    let rate = env_or("CHURN16_RATE", 5) as f64 / 100.0;
+    banner(
+        "E16",
+        "guarantee preservation under sustained churn",
+        "dynamic extension of Theorems 3.1 / Israeli–Itai",
+    );
+
+    // --- Incremental maximal matching, across churn models.
+    println!(
+        "incremental Israeli–Itai: gnp(n={n}, d̄=8), {epochs} epochs @ {:.0}% churn\n",
+        rate * 100.0
+    );
+    let mut t = Table::new(vec![
+        "churn model",
+        "violations",
+        "mean |M|",
+        "mean |M|/recompute",
+        "worst |M|/recompute",
+        "mean msgs/epoch",
+    ]);
+    for (label, model) in [
+        ("edge churn", ChurnModel::EdgeChurn { rate }),
+        ("node join/leave", ChurnModel::NodeChurn { rate, degree: 8 }),
+        ("rewiring", ChurnModel::Rewire { rate }),
+    ] {
+        let g = gnp(n, 8.0 / n as f64, 3);
+        let mut eng = DynEngine::new(g, model, RepairAlgo::IncrementalMaximal, 17);
+        eng.bootstrap();
+        let mut violations = 0u64;
+        let (mut sizes, mut ratios, mut msgs) = (vec![], vec![], vec![]);
+        let mut worst: f64 = f64::INFINITY;
+        for _ in 0..epochs {
+            let rep = eng.step_epoch().clone();
+            let ok = rep.maximal
+                && eng.matching().validate(eng.graph()).is_ok()
+                && eng.check_liveness_invariant();
+            if !ok {
+                violations += 1;
+            }
+            sizes.push(rep.matching_size as f64);
+            msgs.push(rep.messages as f64);
+            let (fresh, _) = eng.recompute_baseline();
+            if fresh.size() > 0 {
+                let r = rep.matching_size as f64 / fresh.size() as f64;
+                ratios.push(r);
+                worst = worst.min(r);
+            }
+        }
+        assert_eq!(
+            violations, 0,
+            "{label}: guarantee violated under sustained churn"
+        );
+        // Maximal matchings are within a factor 2 of each other; warm
+        // repair must not drift below that envelope over time.
+        assert!(
+            worst >= 0.5,
+            "{label}: repaired matching degraded to {worst}"
+        );
+        t.row(vec![
+            label.to_string(),
+            violations.to_string(),
+            f2(mean(&sizes)),
+            f3(mean(&ratios)),
+            f3(worst),
+            f2(mean(&msgs)),
+        ]);
+    }
+    t.print();
+
+    // --- Generic (1-1/(k+1))-MCM under churn, vs. the exact optimum.
+    let gn = (n / 4).max(60);
+    let gepochs = (epochs / 4).max(8);
+    let k = 2;
+    println!(
+        "\nwarm-started generic (k={k}): gnp(n={gn}, d̄=6), {gepochs} epochs @ {:.0}% churn\n",
+        rate * 100.0
+    );
+    let g = gnp(gn, 6.0 / gn as f64, 5);
+    let mut eng = DynEngine::new(
+        g,
+        ChurnModel::EdgeChurn { rate },
+        RepairAlgo::IncrementalGeneric { k },
+        23,
+    );
+    eng.bootstrap();
+    let bound = 1.0 - 1.0 / (k as f64 + 1.0);
+    let mut t = Table::new(vec!["epoch", "|M|", "opt", "ratio", "bound", "msgs"]);
+    let mut worst: f64 = f64::INFINITY;
+    for e in 0..gepochs {
+        let rep = eng.step_epoch().clone();
+        let opt = dgraph::blossom::max_matching(eng.graph()).size();
+        let ratio = if opt == 0 {
+            1.0
+        } else {
+            rep.matching_size as f64 / opt as f64
+        };
+        worst = worst.min(ratio);
+        assert!(
+            ratio >= bound - 1e-9,
+            "epoch {e}: ratio {ratio} below the deterministic bound {bound}"
+        );
+        if e < 5 || e == gepochs - 1 {
+            t.row(vec![
+                e.to_string(),
+                rep.matching_size.to_string(),
+                opt.to_string(),
+                f3(ratio),
+                f3(bound),
+                rep.messages.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nEvery epoch stayed inside its guarantee envelope (worst generic ratio {}).",
+        f3(worst)
+    );
+}

@@ -79,6 +79,15 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// Integer knob from the environment (experiment binaries and benches
+/// scale themselves down in CI through these).
+pub fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Minimal wall-clock micro-benchmark support for the `benches/`
 /// targets (the workspace is dependency-free, so the benches are plain
 /// `harness = false` binaries rather than criterion suites).

@@ -64,6 +64,9 @@ impl BitSize for DeltaMsg {
 struct GatherNode {
     view: HashSet<ViewItem>,
     rounds: u64,
+    /// Non-participants (outside the repair region of an incremental
+    /// run) never send; they may still receive and merge.
+    participating: bool,
 }
 
 impl Protocol for GatherNode {
@@ -81,6 +84,9 @@ impl Protocol for GatherNode {
         }
         let r = ctx.round();
         if r + 1 < self.rounds {
+            if !self.participating {
+                return;
+            }
             let outgoing = if r == 0 {
                 // First round: flood the initial local knowledge.
                 self.view.iter().copied().collect::<Vec<_>>()
@@ -115,6 +121,21 @@ pub(crate) fn gather_balls_cfg(
     seed: u64,
     cfg: ExecCfg,
 ) -> (Vec<HashSet<ViewItem>>, NetStats) {
+    gather_balls_region(g, m, radius, seed, cfg, None)
+}
+
+/// Ball gathering, optionally restricted to a *region*: when
+/// `region[v]` is false, node `v` never sends (its knowledge stays
+/// local and does not propagate). Incremental repair uses this to keep
+/// gathering traffic inside the damage neighborhood.
+pub(crate) fn gather_balls_region(
+    g: &Graph,
+    m: &Matching,
+    radius: usize,
+    seed: u64,
+    cfg: ExecCfg,
+    region: Option<&[bool]>,
+) -> (Vec<HashSet<ViewItem>>, NetStats) {
     let rounds = radius as u64 + 1;
     let nodes: Vec<GatherNode> = (0..g.n() as NodeId)
         .map(|v| {
@@ -126,7 +147,11 @@ pub(crate) fn gather_balls_cfg(
             if m.is_free(v) {
                 view.insert(ViewItem::Free(v));
             }
-            GatherNode { view, rounds }
+            GatherNode {
+                view,
+                rounds,
+                participating: region.is_none_or(|r| r[v as usize]),
+            }
         })
         .collect();
     let mut net = Network::new(crate::state::topology_of(g), nodes, seed).with_cfg(cfg);
@@ -245,8 +270,110 @@ pub fn run(g: &Graph, k: usize, seed: u64) -> GenericRun {
 /// [`run`] under explicit execution knobs (threads / fault injection
 /// apply to the measured ball-gathering phases).
 pub fn run_cfg(g: &Graph, k: usize, seed: u64, cfg: ExecCfg) -> GenericRun {
+    run_from_cfg(g, &Matching::new(g.n()), k, seed, cfg)
+}
+
+/// Warm-start entry point: run the phases `ℓ = 1, 3, …, 2k-1` starting
+/// from `initial` instead of the empty matching.
+///
+/// Correctness is unchanged — phase `ℓ` applies a maximal set of
+/// disjoint augmenting paths of length `ℓ`, and augmentation never
+/// frees a matched vertex, so after the last phase no augmenting path
+/// of length `≤ 2k-1` survives and the result is a
+/// `(1 - 1/(k+1))`-MCM regardless of the starting matching. A good
+/// warm start (e.g. the surviving matching after churn) leaves far
+/// fewer augmenting paths, which shrinks the conflict graphs and the
+/// charged MIS/augmentation traffic.
+pub fn run_from(g: &Graph, initial: &Matching, k: usize, seed: u64) -> GenericRun {
+    run_from_cfg(g, initial, k, seed, ExecCfg::default())
+}
+
+/// [`run_from`] under explicit execution knobs.
+pub fn run_from_cfg(
+    g: &Graph,
+    initial: &Matching,
+    k: usize,
+    seed: u64,
+    cfg: ExecCfg,
+) -> GenericRun {
+    run_inner(g, initial, k, seed, cfg, None)
+}
+
+/// Incremental repair after a churn batch: warm-start from the
+/// surviving matching `initial` and keep all gathering traffic inside
+/// the ball `B(damage, 4k+2)`.
+///
+/// `damage` is the set of vertices whose incident structure changed:
+/// endpoints of inserted edges and endpoints of *matched* edges that
+/// were removed (removing an unmatched edge only destroys augmenting
+/// paths). Every augmenting path of length `≤ 2k-1` in the new
+/// instance either survived from the previous epoch — impossible if
+/// the previous matching met the bound — or touches `damage`; all
+/// vertices such a path visits, and all vertices whose matched status
+/// later changes during the phases, stay within distance `O(k)` of
+/// `damage`, so restricting the flooding region loses nothing
+/// (debug-asserted). With no damage the previous guarantee still holds
+/// and the repair is free.
+pub fn repair(g: &Graph, initial: &Matching, damage: &[NodeId], k: usize, seed: u64) -> GenericRun {
+    repair_cfg(g, initial, damage, k, seed, ExecCfg::default())
+}
+
+/// [`repair`] under explicit execution knobs.
+pub fn repair_cfg(
+    g: &Graph,
+    initial: &Matching,
+    damage: &[NodeId],
+    k: usize,
+    seed: u64,
+    cfg: ExecCfg,
+) -> GenericRun {
+    if damage.is_empty() {
+        return GenericRun {
+            matching: initial.clone(),
+            stats: NetStats::default(),
+            phases: Vec::new(),
+        };
+    }
+    let region = ball(g, damage, 4 * k + 2);
+    run_inner(g, initial, k, seed, cfg, Some(region))
+}
+
+/// `region[v]` = v is within `radius` hops of a seed.
+fn ball(g: &Graph, seeds: &[NodeId], radius: usize) -> Vec<bool> {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    for &s in seeds {
+        if dist[s as usize] == usize::MAX {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        if d == radius {
+            continue;
+        }
+        for &(u, _) in g.incident(v) {
+            if dist[u as usize] == usize::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist.into_iter().map(|d| d != usize::MAX).collect()
+}
+
+fn run_inner(
+    g: &Graph,
+    initial: &Matching,
+    k: usize,
+    seed: u64,
+    cfg: ExecCfg,
+    region: Option<Vec<bool>>,
+) -> GenericRun {
     assert!(k >= 1, "k must be positive");
-    let mut m = Matching::new(g.n());
+    let mut m = initial.clone();
+    debug_assert!(m.validate(g).is_ok(), "warm start must be a valid matching");
     let mut stats = NetStats::default();
     let mut phases = Vec::new();
     let mut rng = SplitMix64::for_node(seed, 0xA160); // MIS priorities
@@ -258,7 +385,14 @@ pub fn run_cfg(g: &Graph, k: usize, seed: u64, cfg: ExecCfg) -> GenericRun {
             break;
         }
         // Step 4 (Algorithm 2): gather distance-2ℓ balls, real messages.
-        let (views, gstats) = gather_balls_cfg(g, &m, 2 * ell, seed.wrapping_add(ell as u64), cfg);
+        let (views, gstats) = gather_balls_region(
+            g,
+            &m,
+            2 * ell,
+            seed.wrapping_add(ell as u64),
+            cfg,
+            region.as_deref(),
+        );
         stats.absorb(&gstats);
 
         // Enumerate the conflict-graph nodes. (Each node could do this
@@ -266,6 +400,21 @@ pub fn run_cfg(g: &Graph, k: usize, seed: u64, cfg: ExecCfg) -> GenericRun {
         // conflicts are visible in the gathered balls — but we run the
         // enumeration once globally for speed.)
         let paths = enumerate_augmenting_paths(g, &m, ell);
+        if let Some(region) = &region {
+            // Incremental runs: every augmenting path must live inside
+            // the damage ball (see `repair`). A path outside it means
+            // the warm start violated the precondition (it still had
+            // short augmenting paths away from the damage) — silently
+            // skipping such paths would return a matching below the
+            // promised bound, so fail loudly instead.
+            assert!(
+                paths.iter().all(|p| p.iter().all(|&v| region[v as usize])),
+                "phase {ell}: an augmenting path escaped the damage ball — \
+                 `repair` requires a warm start with no augmenting path of \
+                 length ≤ 2k-1 outside the churned region (use `run_from` \
+                 for arbitrary starting matchings)"
+            );
+        }
         debug_assert!(
             paths.iter().all(|p| p.len() == ell + 1),
             "phase {ell}: all augmenting paths must have length exactly ℓ (Lemma 3.4 invariant)"
@@ -432,5 +581,77 @@ mod tests {
         let g = Graph::new(0, vec![]);
         let r = run(&g, 3, 0);
         assert_eq!(r.matching.size(), 0);
+    }
+
+    #[test]
+    fn warm_start_preserves_guarantee() {
+        for seed in 0..5 {
+            let g = gnp(28, 0.14, 70 + seed);
+            let init = dgraph::greedy::greedy_maximal(&g);
+            for k in 1..=3 {
+                let r = run_from(&g, &init, k, seed);
+                assert!(r.matching.validate(&g).is_ok());
+                assert!(
+                    r.matching.size() >= init.size(),
+                    "augmentation can only grow the matching"
+                );
+                let bound = 1.0 - 1.0 / (k as f64 + 1.0);
+                assert!(
+                    ratio(&g, &r.matching) >= bound - 1e-9,
+                    "seed {seed}, k {k}: warm-start ratio {} < {bound}",
+                    ratio(&g, &r.matching)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repair_localizes_and_keeps_bound() {
+        use dgraph::augmenting::has_augmenting_path_within;
+        for seed in 0..4 {
+            let g = gnp(40, 0.08, 90 + seed);
+            let k = 2;
+            let full = run(&g, k, seed);
+            // Damage the instance: remove one matched edge (both
+            // endpoints become free) — the classic churn event.
+            let Some(&e) = full.matching.edge_ids(&g).first() else {
+                continue;
+            };
+            let (a, b) = g.endpoints(e);
+            let (g2, _back) = g.edge_subgraph(|x| x != e);
+            let mut m = Matching::new(g2.n());
+            for &eid in &full.matching.edge_ids(&g) {
+                if eid != e {
+                    let (u, v) = g.endpoints(eid);
+                    let e2 = g2.edge_between(u, v).expect("surviving edge");
+                    m.add(&g2, e2);
+                }
+            }
+            let r = repair(&g2, &m, &[a, b], k, seed + 1);
+            assert!(r.matching.validate(&g2).is_ok());
+            assert!(
+                !has_augmenting_path_within(&g2, &r.matching, 2 * k - 1),
+                "seed {seed}: repair left a short augmenting path"
+            );
+            // Localized repair must cost far fewer messages than a
+            // cold run on the same instance.
+            let cold = run(&g2, k, seed + 1);
+            assert!(
+                r.stats.messages <= cold.stats.messages,
+                "seed {seed}: repair sent {} messages vs cold {}",
+                r.stats.messages,
+                cold.stats.messages
+            );
+        }
+    }
+
+    #[test]
+    fn repair_with_no_damage_is_free() {
+        let g = gnp(20, 0.15, 3);
+        let full = run(&g, 2, 1);
+        let r = repair(&g, &full.matching, &[], 2, 2);
+        assert_eq!(r.matching, full.matching);
+        assert_eq!(r.stats.messages, 0);
+        assert_eq!(r.stats.rounds, 0);
     }
 }

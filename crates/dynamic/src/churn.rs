@@ -1,0 +1,341 @@
+//! Deterministic churn generators.
+//!
+//! A [`ChurnGen`] turns a seeded RNG stream plus the *current* graph
+//! into one [`MutationBatch`] per epoch. All models are deterministic
+//! in `(model, seed, history)`, so dynamic runs are reproducible
+//! bit-for-bit like everything else in the workspace.
+
+use crate::mutation::MutationBatch;
+use dgraph::{Graph, NodeId};
+use simnet::SplitMix64;
+use std::collections::{HashSet, VecDeque};
+
+/// Which kind of churn to generate each epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnModel {
+    /// Replace a `rate` fraction of the current edges per epoch:
+    /// delete `⌈rate·m⌉` random edges and insert the same number of
+    /// random non-edges (graph size stays roughly constant).
+    EdgeChurn { rate: f64 },
+    /// Node join/leave: a `rate` fraction of the live nodes leave per
+    /// epoch (losing all incident edges) and the longest-departed nodes
+    /// rejoin with `degree` fresh random edges. The node *universe* is
+    /// fixed — a departed node is simply isolated — which matches the
+    /// fixed-capacity message plane.
+    NodeChurn { rate: f64, degree: usize },
+    /// Degree-preserving rewiring: `⌈rate·m/2⌉` double-edge swaps per
+    /// epoch (`{a,b},{c,d} → {a,d},{c,b}`), keeping every node degree
+    /// exactly as it was.
+    Rewire { rate: f64 },
+    /// Replay batches pushed with [`ChurnGen::push_trace`]; an
+    /// exhausted trace yields empty batches.
+    Trace,
+}
+
+/// Stateful churn generator.
+#[derive(Debug)]
+pub struct ChurnGen {
+    model: ChurnModel,
+    rng: SplitMix64,
+    trace: VecDeque<MutationBatch>,
+    /// NodeChurn bookkeeping: who is currently in the network, and the
+    /// departure queue (rejoin order is FIFO).
+    alive: Vec<bool>,
+    departed: VecDeque<NodeId>,
+}
+
+/// Bounded rejection sampling: dense graphs can make random non-edges
+/// scarce; generators give up (producing a smaller batch) rather than
+/// spin.
+const MAX_TRIES: usize = 64;
+
+impl ChurnGen {
+    /// New generator. Rates must lie in `[0, 1]`.
+    pub fn new(model: ChurnModel, seed: u64) -> Self {
+        if let ChurnModel::EdgeChurn { rate }
+        | ChurnModel::NodeChurn { rate, .. }
+        | ChurnModel::Rewire { rate } = model
+        {
+            assert!((0.0..=1.0).contains(&rate), "churn rate must be in [0,1]");
+        }
+        ChurnGen {
+            model,
+            rng: SplitMix64::for_node(seed, 0xC4A7),
+            trace: VecDeque::new(),
+            alive: Vec::new(),
+            departed: VecDeque::new(),
+        }
+    }
+
+    /// Append a batch to the replay trace (used with
+    /// [`ChurnModel::Trace`]).
+    pub fn push_trace(&mut self, batch: MutationBatch) {
+        self.trace.push_back(batch.normalized());
+    }
+
+    /// Produce the next epoch's batch against the current graph.
+    pub fn next_batch(&mut self, g: &Graph) -> MutationBatch {
+        match self.model {
+            ChurnModel::EdgeChurn { rate } => self.edge_churn(g, rate),
+            ChurnModel::NodeChurn { rate, degree } => self.node_churn(g, rate, degree),
+            ChurnModel::Rewire { rate } => self.rewire(g, rate),
+            ChurnModel::Trace => self.trace.pop_front().unwrap_or_default(),
+        }
+    }
+
+    fn edge_churn(&mut self, g: &Graph, rate: f64) -> MutationBatch {
+        let m = g.m();
+        if m == 0 || g.n() < 2 || rate == 0.0 {
+            return MutationBatch::empty();
+        }
+        let count = ((rate * m as f64).round() as usize).clamp(1, m);
+        let mut removed: HashSet<(NodeId, NodeId)> = HashSet::new();
+        while removed.len() < count {
+            let e = self.rng.below(m as u64) as u32;
+            removed.insert(g.endpoints(e));
+        }
+        let mut added: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let n = g.n() as u64;
+        let mut tries = 0;
+        while added.len() < count && tries < MAX_TRIES * count {
+            tries += 1;
+            let u = self.rng.below(n) as NodeId;
+            let v = self.rng.below(n) as NodeId;
+            if u == v {
+                continue;
+            }
+            let e = (u.min(v), u.max(v));
+            if g.edge_between(u, v).is_some() || removed.contains(&e) {
+                continue;
+            }
+            added.insert(e);
+        }
+        MutationBatch {
+            added: added.into_iter().collect(),
+            removed: removed.into_iter().collect(),
+        }
+        .normalized()
+    }
+
+    fn node_churn(&mut self, g: &Graph, rate: f64, degree: usize) -> MutationBatch {
+        let n = g.n();
+        if n < 2 || rate == 0.0 {
+            return MutationBatch::empty();
+        }
+        if self.alive.len() != n {
+            self.alive = vec![true; n];
+            self.departed.clear();
+        }
+        let live: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| self.alive[v as usize])
+            .collect();
+        if live.is_empty() {
+            return MutationBatch::empty();
+        }
+        let k = ((rate * live.len() as f64).round() as usize).clamp(1, live.len());
+        // Leavers: k distinct live nodes; all their edges disappear.
+        let mut leaving: HashSet<NodeId> = HashSet::new();
+        while leaving.len() < k {
+            leaving.insert(live[self.rng.below(live.len() as u64) as usize]);
+        }
+        let mut removed: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for &v in &leaving {
+            for &(u, _) in g.incident(v) {
+                removed.insert((v.min(u), v.max(u)));
+            }
+        }
+        // Rejoiners: the longest-departed nodes come back with fresh
+        // random edges to nodes that stay.
+        let staying: Vec<NodeId> = live
+            .iter()
+            .copied()
+            .filter(|v| !leaving.contains(v))
+            .collect();
+        let mut added: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for _ in 0..k.min(self.departed.len()) {
+            let j = self.departed.pop_front().expect("checked length");
+            self.alive[j as usize] = true;
+            if staying.is_empty() {
+                continue;
+            }
+            let want = degree.min(staying.len());
+            let mut tries = 0;
+            let mut got = 0;
+            while got < want && tries < MAX_TRIES * want {
+                tries += 1;
+                let t = staying[self.rng.below(staying.len() as u64) as usize];
+                let e = (j.min(t), j.max(t));
+                if added.insert(e) {
+                    got += 1;
+                }
+            }
+        }
+        for &v in &leaving {
+            self.alive[v as usize] = false;
+            self.departed.push_back(v);
+        }
+        MutationBatch {
+            added: added.into_iter().collect(),
+            removed: removed.into_iter().collect(),
+        }
+        .normalized()
+    }
+
+    fn rewire(&mut self, g: &Graph, rate: f64) -> MutationBatch {
+        let m = g.m();
+        if m < 2 || rate == 0.0 {
+            return MutationBatch::empty();
+        }
+        let swaps = ((rate * m as f64 / 2.0).round() as usize).max(1);
+        let mut removed: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut added: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let exists = |u: NodeId,
+                      v: NodeId,
+                      g: &Graph,
+                      removed: &HashSet<(NodeId, NodeId)>,
+                      added: &HashSet<(NodeId, NodeId)>| {
+            let e = (u.min(v), u.max(v));
+            (g.edge_between(u, v).is_some() && !removed.contains(&e)) || added.contains(&e)
+        };
+        let mut done = 0;
+        let mut tries = 0;
+        while done < swaps && tries < MAX_TRIES * swaps {
+            tries += 1;
+            let e1 = g.endpoints(self.rng.below(m as u64) as u32);
+            let e2 = g.endpoints(self.rng.below(m as u64) as u32);
+            let (a, b) = e1;
+            // Randomize the swap orientation so the rewiring mixes.
+            let (c, d) = if self.rng.bernoulli(0.5) {
+                e2
+            } else {
+                (e2.1, e2.0)
+            };
+            if a == c || a == d || b == c || b == d {
+                continue; // edges must be vertex-disjoint
+            }
+            if removed.contains(&e1) || removed.contains(&(c.min(d), c.max(d))) {
+                continue; // already consumed this epoch
+            }
+            if exists(a, d, g, &removed, &added) || exists(c, b, g, &removed, &added) {
+                continue; // would create a parallel edge
+            }
+            if removed.contains(&(a.min(d), a.max(d))) || removed.contains(&(c.min(b), c.max(b))) {
+                continue; // would resurrect an edge removed this epoch
+            }
+            removed.insert(e1);
+            removed.insert((c.min(d), c.max(d)));
+            added.insert((a.min(d), a.max(d)));
+            added.insert((c.min(b), c.max(b)));
+            done += 1;
+        }
+        MutationBatch {
+            added: added.into_iter().collect(),
+            removed: removed.into_iter().collect(),
+        }
+        .normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgraph::generators::random::gnp;
+
+    fn apply(g: &Graph, b: &MutationBatch) -> Graph {
+        let gone: HashSet<(NodeId, NodeId)> = b.removed.iter().copied().collect();
+        let mut edges: Vec<(NodeId, NodeId)> = g
+            .edge_list()
+            .iter()
+            .copied()
+            .filter(|e| !gone.contains(e))
+            .collect();
+        edges.extend_from_slice(&b.added);
+        Graph::new(g.n(), edges)
+    }
+
+    #[test]
+    fn edge_churn_replaces_edges() {
+        let g = gnp(100, 0.05, 1);
+        let mut gen = ChurnGen::new(ChurnModel::EdgeChurn { rate: 0.05 }, 9);
+        let m0 = g.m();
+        let b = gen.next_batch(&g);
+        assert!(!b.is_empty());
+        assert_eq!(b.removed.len(), (0.05 * m0 as f64).round() as usize);
+        let g2 = apply(&g, &b); // Graph::new re-validates everything
+        assert!(g2.m() <= m0 + b.added.len());
+    }
+
+    #[test]
+    fn edge_churn_is_deterministic() {
+        let g = gnp(60, 0.08, 2);
+        let mk = || {
+            let mut gen = ChurnGen::new(ChurnModel::EdgeChurn { rate: 0.1 }, 77);
+            let b1 = gen.next_batch(&g);
+            let g2 = apply(&g, &b1);
+            (b1, gen.next_batch(&g2))
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn node_churn_cycles_nodes() {
+        let mut g = gnp(50, 0.1, 3);
+        let mut gen = ChurnGen::new(
+            ChurnModel::NodeChurn {
+                rate: 0.1,
+                degree: 3,
+            },
+            4,
+        );
+        // First epochs only drain (nobody departed yet to rejoin); later
+        // epochs add fresh edges for rejoining nodes.
+        let mut saw_addition = false;
+        for _ in 0..6 {
+            let b = gen.next_batch(&g);
+            saw_addition |= !b.added.is_empty();
+            g = apply(&g, &b);
+        }
+        assert!(saw_addition, "rejoining nodes must bring fresh edges");
+    }
+
+    #[test]
+    fn rewiring_preserves_degrees() {
+        let g = gnp(80, 0.06, 5);
+        let mut gen = ChurnGen::new(ChurnModel::Rewire { rate: 0.2 }, 6);
+        let b = gen.next_batch(&g);
+        assert!(!b.is_empty());
+        assert_eq!(b.added.len(), b.removed.len());
+        let g2 = apply(&g, &b);
+        for v in 0..g.n() as NodeId {
+            assert_eq!(g.degree(v), g2.degree(v), "degree of {v} changed");
+        }
+    }
+
+    #[test]
+    fn trace_replays_then_goes_quiet() {
+        let g = gnp(10, 0.2, 7);
+        let mut gen = ChurnGen::new(ChurnModel::Trace, 0);
+        let e = g.edge_list()[0];
+        gen.push_trace(MutationBatch {
+            added: vec![],
+            removed: vec![e],
+        });
+        assert_eq!(gen.next_batch(&g).removed, vec![e]);
+        assert!(gen.next_batch(&g).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_batches() {
+        let g = Graph::new(0, vec![]);
+        for model in [
+            ChurnModel::EdgeChurn { rate: 0.5 },
+            ChurnModel::NodeChurn {
+                rate: 0.5,
+                degree: 2,
+            },
+            ChurnModel::Rewire { rate: 0.5 },
+        ] {
+            assert!(ChurnGen::new(model, 1).next_batch(&g).is_empty());
+        }
+    }
+}

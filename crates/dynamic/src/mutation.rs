@@ -1,0 +1,109 @@
+//! Mutation batches: the unit of change between epochs.
+
+use dgraph::NodeId;
+
+/// One epoch's worth of topology change. Edges are undirected; both
+/// lists hold canonical `(min, max)` pairs with no duplicates and no
+/// overlap (an edge is either inserted or deleted in one epoch, not
+/// both — "replace" is expressed as a deletion in one epoch and an
+/// insertion in a later one).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationBatch {
+    /// Edges to insert (must not exist).
+    pub added: Vec<(NodeId, NodeId)>,
+    /// Edges to delete (must exist).
+    pub removed: Vec<(NodeId, NodeId)>,
+}
+
+impl MutationBatch {
+    /// A batch that changes nothing.
+    pub fn empty() -> Self {
+        MutationBatch::default()
+    }
+
+    /// True when the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of edge mutations.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Canonicalize endpoints (`u < v`), sort, and check the batch
+    /// invariants (no duplicates, no add/remove overlap, no
+    /// self-loops). Panics on violation — a malformed batch is a bug
+    /// in the generator or trace.
+    pub fn normalized(mut self) -> Self {
+        let canon = |list: &mut Vec<(NodeId, NodeId)>, what: &str| {
+            for e in list.iter_mut() {
+                assert!(e.0 != e.1, "self-loop {} in {what} batch", e.0);
+                *e = (e.0.min(e.1), e.0.max(e.1));
+            }
+            list.sort_unstable();
+            assert!(
+                list.windows(2).all(|w| w[0] != w[1]),
+                "duplicate edge in {what} batch"
+            );
+        };
+        canon(&mut self.added, "insert");
+        canon(&mut self.removed, "delete");
+        let mut i = 0;
+        let mut j = 0;
+        while i < self.added.len() && j < self.removed.len() {
+            match self.added[i].cmp(&self.removed[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    panic!("edge {:?} both inserted and deleted", self.added[i])
+                }
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_canonicalizes_and_sorts() {
+        let b = MutationBatch {
+            added: vec![(3, 1), (0, 2)],
+            removed: vec![(5, 4)],
+        }
+        .normalized();
+        assert_eq!(b.added, vec![(0, 2), (1, 3)]);
+        assert_eq!(b.removed, vec![(4, 5)]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "both inserted and deleted")]
+    fn overlap_rejected() {
+        MutationBatch {
+            added: vec![(1, 2)],
+            removed: vec![(2, 1)],
+        }
+        .normalized();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicates_rejected() {
+        MutationBatch {
+            added: vec![(1, 2), (2, 1)],
+            removed: vec![],
+        }
+        .normalized();
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert!(MutationBatch::empty().is_empty());
+        assert_eq!(MutationBatch::empty().normalized().len(), 0);
+    }
+}

@@ -69,6 +69,33 @@
 //! * new contract: at most **one message per port per round**
 //!   ([`Ctx::send`] panics on duplicates) — the synchronous CONGEST
 //!   model always assumed this; the plane now enforces it.
+//!
+//! ## Dynamic networks
+//!
+//! A [`Topology`] value is immutable, but a [`Network`] is not married
+//! to one: dynamic networks evolve in **epochs**. At an epoch boundary
+//! the harness applies a churn batch with [`Topology::rewired`], which
+//! returns a [`TopologyPatch`] — the new CSR plus an old-slot →
+//! new-slot remap over the directed-edge slots — and then calls
+//! [`Network::rewire`]:
+//!
+//! * the message-plane slabs are **remapped, not rebuilt**: in-flight
+//!   messages on surviving edges keep travelling (payloads are moved,
+//!   never cloned; removed edges drop theirs), and the migration costs
+//!   O(ports) plus a constant number of buffer allocations, never one
+//!   per edge;
+//! * per-node protocol state crosses the boundary through the
+//!   [`Rewire`] trait: each node receives a [`RewireCtx`] with its
+//!   old-port → new-port map and its born ports, remaps port-indexed
+//!   state, and invalidates anything whose edge vanished (e.g. a
+//!   matched edge);
+//! * nodes incident to the damage are woken; rounds, statistics, and
+//!   RNG streams continue, so rewired runs stay bit-identical across
+//!   thread counts.
+//!
+//! The `dchurn` crate builds the full epoch engine (churn generators,
+//! incremental matching repair, damage-locality accounting) on top of
+//! this API.
 
 pub mod mailbox;
 pub mod message;
@@ -81,10 +108,10 @@ pub mod tree;
 
 pub use mailbox::{Inbox, InboxIter, Received};
 pub use message::BitSize;
-pub use network::{Ctx, ExecCfg, Network, Protocol, RunOutcome};
+pub use network::{Ctx, ExecCfg, Network, Protocol, Rewire, RewireCtx, RunOutcome};
 pub use rng::SplitMix64;
 pub use stats::{NetStats, RoundTrace};
-pub use topology::{NodeId, Port, Topology};
+pub use topology::{NodeId, Port, Topology, TopologyPatch, SLOT_GONE};
 
 /// The number of bits needed to write ids in a network of `n` nodes,
 /// i.e. `ceil(log2 n)` (at least 1). This is the CONGEST yardstick: a

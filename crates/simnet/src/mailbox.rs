@@ -60,6 +60,29 @@ impl<M> Slab<M> {
     pub(crate) fn advance(&mut self) {
         self.gen += 1;
     }
+
+    /// Migrate the slab across a topology change ([`crate::Network::rewire`]).
+    ///
+    /// `slot_map[old] = new` relocates each surviving directed-edge
+    /// slot; [`crate::topology::SLOT_GONE`] entries (removed edges)
+    /// drop their payloads. Live payloads are *moved*, never cloned, so
+    /// the cost is O(ports) plus exactly two buffer allocations
+    /// (counted in `alloc_events`) — independent of how many edges
+    /// changed.
+    pub(crate) fn remap(&mut self, slot_map: &[usize], new_total: usize, alloc_events: &mut u64) {
+        debug_assert_eq!(slot_map.len(), self.stamp.len());
+        *alloc_events += 2; // replacement stamp + msg buffers
+        let mut stamp = vec![DEAD_STAMP; new_total];
+        let mut msg: Vec<Option<M>> = (0..new_total).map(|_| None).collect();
+        for (old, &new) in slot_map.iter().enumerate() {
+            if new != crate::topology::SLOT_GONE && self.stamp[old] == self.gen {
+                stamp[new] = self.gen;
+                msg[new] = self.msg[old].take();
+            }
+        }
+        self.stamp = stamp;
+        self.msg = msg;
+    }
 }
 
 /// A message as seen by the receiver: who sent it, on which local port

@@ -18,7 +18,7 @@ use crate::mailbox::{Inbox, Slab, DEAD_STAMP};
 use crate::message::BitSize;
 use crate::rng::SplitMix64;
 use crate::stats::NetStats;
-use crate::topology::{NodeId, Port, Topology};
+use crate::topology::{NodeId, Port, Topology, TopologyPatch};
 
 /// A distributed algorithm, from the point of view of a single node.
 ///
@@ -36,6 +36,65 @@ pub trait Protocol: Send {
     /// ascending port order, hence ascending sender id, since neighbor
     /// lists are sorted). Round 0 has an empty inbox.
     fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: Inbox<'_, Self::Msg>);
+}
+
+/// Per-node view of an epoch boundary, handed to [`Rewire::on_rewire`]
+/// while [`Network::rewire`] installs a new topology.
+pub struct RewireCtx<'a> {
+    node: NodeId,
+    topo: &'a Topology,
+    port_map: &'a [Option<Port>],
+    born: &'a [Port],
+}
+
+impl RewireCtx<'_> {
+    /// This node's id.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's degree before the rewire.
+    #[inline]
+    pub fn old_degree(&self) -> usize {
+        self.port_map.len()
+    }
+
+    /// The node's degree after the rewire.
+    #[inline]
+    pub fn new_degree(&self) -> usize {
+        self.topo.degree(self.node)
+    }
+
+    /// Where old port `p` lives now, or `None` when its edge vanished.
+    #[inline]
+    pub fn new_port(&self, p: Port) -> Option<Port> {
+        self.port_map[p]
+    }
+
+    /// Ports of the new topology whose edge was just inserted,
+    /// ascending. Per-port protocol state has no old value to migrate
+    /// for these.
+    #[inline]
+    pub fn born_ports(&self) -> &[Port] {
+        self.born
+    }
+
+    /// The new topology.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        self.topo
+    }
+}
+
+/// Protocol state that can survive an epoch boundary of a dynamic
+/// network: remap port-indexed state through [`RewireCtx::new_port`],
+/// initialize born ports, and invalidate anything (e.g. a matched
+/// edge) whose port vanished.
+pub trait Rewire {
+    /// Migrate this node's state across a topology change. Called once
+    /// per node by [`Network::rewire`], before any further round.
+    fn on_rewire(&mut self, ctx: &RewireCtx<'_>);
 }
 
 /// Per-round, per-node execution context handed to [`Protocol::on_round`].
@@ -500,6 +559,104 @@ impl<P: Protocol> Network<P> {
             quiescent: false,
         }
     }
+
+    /// Nodes that sent at least one message in the most recent round,
+    /// ascending. Used by dynamic-network harnesses to measure how far
+    /// from the churn damage repair traffic actually travels.
+    pub fn last_senders(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    /// Install the new topology of `patch` at an epoch boundary,
+    /// carrying the network across:
+    ///
+    /// * both message-plane slabs are remapped ([`Slab::remap`]):
+    ///   in-flight messages on surviving directed edges keep their
+    ///   slots (and are delivered next round as usual); messages on
+    ///   removed edges are dropped; the whole migration moves payloads
+    ///   in O(ports) with a constant number of buffer allocations,
+    ///   never cloning a payload and never allocating per edge;
+    /// * every node's protocol state is migrated through
+    ///   [`Rewire::on_rewire`] with its old-port → new-port map and its
+    ///   born ports;
+    /// * nodes whose incident edges changed ([`TopologyPatch::dirty`])
+    ///   are woken (un-halted) so they can take part in repair;
+    /// * inbox accounting is recomputed for the surviving in-flight
+    ///   mail (mail addressed to nodes still halted after the wake-up
+    ///   is dropped, matching the delivery rule).
+    ///
+    /// The node population is fixed (`patch` must describe the same
+    /// number of nodes); node churn is modelled by edge batches.
+    /// Rounds, statistics, and per-node RNG streams continue across the
+    /// boundary, so a rewired run remains bit-identical across thread
+    /// counts.
+    pub fn rewire(&mut self, patch: &TopologyPatch)
+    where
+        P: Rewire,
+    {
+        let new_topo = patch.topo();
+        assert_eq!(
+            new_topo.len(),
+            self.topo.len(),
+            "rewire preserves the node population"
+        );
+        let new_total = new_topo.total_ports();
+        for plane in &mut self.planes {
+            plane.remap(patch.slot_map(), new_total, &mut self.alloc_events);
+        }
+        let mut port_map: Vec<Option<Port>> = Vec::new(); // scratch, reused per node
+        for v in 0..self.topo.len() {
+            let vid = v as NodeId;
+            let old_base = self.topo.port_base(vid);
+            let new_base = new_topo.port_base(vid);
+            port_map.clear();
+            port_map.extend(
+                (0..self.topo.degree(vid))
+                    .map(|p| patch.new_slot(old_base + p).map(|s| s - new_base)),
+            );
+            let ctx = RewireCtx {
+                node: vid,
+                topo: new_topo,
+                port_map: &port_map,
+                born: patch.born_ports(vid),
+            };
+            self.nodes[v].on_rewire(&ctx);
+        }
+        for &v in patch.dirty() {
+            self.halted[v as usize] = false;
+        }
+        self.topo = new_topo.clone();
+        self.recount_inboxes();
+    }
+
+    /// Rebuild `inbox_count` / `in_flight` from the plane that will be
+    /// read next round (after a rewire invalidated the delivery-time
+    /// accounting).
+    fn recount_inboxes(&mut self) {
+        let round = self.round;
+        let in_plane = &self.planes[((round + 1) % 2) as usize];
+        let gen = in_plane.gen;
+        let mut in_flight = 0u64;
+        for v in 0..self.topo.len() {
+            self.inbox_count[v] = 0;
+            self.inbox_count_round[v] = round;
+        }
+        for v in 0..self.topo.len() as NodeId {
+            let base = self.topo.port_base(v);
+            for p in 0..self.topo.degree(v) {
+                if in_plane.stamp[base + p] != gen {
+                    continue;
+                }
+                let to = self.topo.neighbor(v, p) as usize;
+                if self.halted[to] {
+                    continue;
+                }
+                self.inbox_count[to] += 1;
+                in_flight += 1;
+            }
+        }
+        self.in_flight = in_flight;
+    }
 }
 
 /// Split the double buffer into (this round's out slab, last round's in
@@ -791,6 +948,104 @@ mod tests {
         let topo = Topology::from_edges(2, &[(0, 1)]);
         let mut net = Network::new(topo, vec![Doubler, Doubler], 0);
         net.step();
+    }
+
+    /// Counts everything it ever received, echoes on every port each
+    /// round, and tracks rewires; per-port state is the receive count
+    /// per port so remaps are observable.
+    struct Echo {
+        per_port: Vec<u64>,
+        rewires: u64,
+        born_seen: usize,
+    }
+    impl Protocol for Echo {
+        type Msg = u32;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: Inbox<'_, u32>) {
+            for e in inbox.iter() {
+                self.per_port[e.port] += 1;
+            }
+            if ctx.round() < 8 {
+                ctx.send_all(ctx.id());
+            }
+        }
+    }
+    impl crate::network::Rewire for Echo {
+        fn on_rewire(&mut self, ctx: &RewireCtx<'_>) {
+            let mut per_port = vec![0u64; ctx.new_degree()];
+            for (p, &c) in self.per_port.iter().enumerate() {
+                if let Some(np) = ctx.new_port(p) {
+                    per_port[np] = c;
+                }
+            }
+            self.per_port = per_port;
+            self.rewires += 1;
+            self.born_seen += ctx.born_ports().len();
+        }
+    }
+
+    fn echo_net(n: usize, edges: &[(u32, u32)]) -> Network<Echo> {
+        let topo = Topology::from_edges(n, edges);
+        let nodes = (0..n as u32)
+            .map(|v| Echo {
+                per_port: vec![0; topo.degree(v)],
+                rewires: 0,
+                born_seen: 0,
+            })
+            .collect();
+        Network::new(topo, nodes, 5)
+    }
+
+    #[test]
+    fn rewire_preserves_in_flight_mail_on_surviving_edges() {
+        // Path 0-1-2: run one round (everyone sends), then rewire away
+        // (1,2) and add (0,2) with the sends still in flight. Mail on
+        // (0,1) must arrive; mail on (1,2) must vanish.
+        let mut net = echo_net(3, &[(0, 1), (1, 2)]);
+        net.step();
+        assert_eq!(net.in_flight(), 4);
+        let patch = net.topology().rewired(&[(1, 2)], &[(0, 2)]);
+        net.rewire(&patch);
+        assert_eq!(net.in_flight(), 2, "only the surviving edge's mail remains");
+        net.step();
+        // Node 0: received 1's round-0 send on port 0 (edge kept).
+        assert_eq!(net.nodes()[0].per_port, vec![1, 0]);
+        // Node 2 lost its only old edge; its in-flight mail died.
+        assert_eq!(net.nodes()[2].per_port, vec![0]);
+        assert!(net.nodes().iter().all(|n| n.rewires == 1));
+        // Born ports: (0,2) seen at node 0 and node 2.
+        assert_eq!(net.nodes()[0].born_seen, 1);
+        assert_eq!(net.nodes()[2].born_seen, 1);
+        assert_eq!(net.nodes()[1].born_seen, 0);
+    }
+
+    #[test]
+    fn rewire_wakes_dirty_nodes_and_traffic_flows_on_new_edges() {
+        let mut net = echo_net(4, &[(0, 1), (2, 3)]);
+        net.run_rounds(2);
+        let patch = net.topology().rewired(&[], &[(1, 2)]);
+        net.rewire(&patch);
+        net.run_rounds(2);
+        // Node 1 now hears node 2 on its new port 1.
+        assert!(net.nodes()[1].per_port[1] > 0, "new edge must carry mail");
+        assert_eq!(net.topology().num_edges(), 3);
+    }
+
+    #[test]
+    fn rewire_keeps_thread_count_bit_identity() {
+        let run = |threads: usize| {
+            let mut net = echo_net(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+                .with_threads(threads);
+            net.run_rounds(3);
+            let patch = net.topology().rewired(&[(2, 3), (5, 0)], &[(0, 3), (1, 4)]);
+            net.rewire(&patch);
+            net.run_rounds(3);
+            let states: Vec<Vec<u64>> = net.nodes().iter().map(|n| n.per_port.clone()).collect();
+            (states, net.stats().clone())
+        };
+        let (s1, st1) = run(1);
+        let (s8, st8) = run(8);
+        assert_eq!(s1, s8);
+        assert_eq!(st1, st8);
     }
 
     #[test]

@@ -23,15 +23,22 @@ impl SplitMix64 {
 
     /// Derive the RNG stream for node `id` under master seed `seed`.
     ///
-    /// Streams for distinct `(seed, id)` pairs are decorrelated by
-    /// running the scrambler twice with a large odd constant separating
-    /// the id space from the seed space.
+    /// The state of a SplitMix64 is a `+γ` counter, so *every* stream
+    /// walks the same 2⁶⁴-cycle output orbit — two streams differ only
+    /// in their starting offset. Seeding node streams at the raw
+    /// `seed ^ id·γ` (as earlier revisions did) puts nodes at
+    /// *adjacent* offsets: node id+2 replays node id's outputs two
+    /// steps later, and two neighbors that consume outputs at a
+    /// state-dependent rate (e.g. one draw when "female", two when
+    /// "male" in Israeli–Itai-style protocols) perform a ±1 random
+    /// walk on their offset difference — which locks them into
+    /// identical coin flips forever the first time it hits zero.
+    /// Jumping through one scrambler application instead places each
+    /// `(seed, id)` pair at a pseudorandom orbit offset, separating
+    /// streams by ~2⁶³ positions in expectation.
     pub fn for_node(seed: u64, id: u64) -> Self {
-        let mut s = SplitMix64::new(seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        // Burn one output so that node 0 with seed 0 does not start at
-        // the fixed point of the scrambler.
-        let _ = s.next();
-        s
+        let mut scrambler = SplitMix64::new(seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        SplitMix64::new(scrambler.next())
     }
 
     /// Next raw 64-bit output.
@@ -110,6 +117,35 @@ mod tests {
         let mut b = SplitMix64::for_node(7, 4);
         let same = (0..64).filter(|_| a.next() == b.next()).count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn node_streams_are_not_shifted_copies() {
+        // Regression: with raw `seed ^ id·γ` seeding, node id+2's
+        // stream was node id's stream advanced by exactly two outputs,
+        // which let adjacent protocol nodes lock into identical coin
+        // sequences. No small shift may reproduce one stream from
+        // another.
+        for (a_id, b_id) in [(1u64, 3u64), (0, 1), (2, 7)] {
+            let a: Vec<u64> = {
+                let mut r = SplitMix64::for_node(5, a_id);
+                (0..48).map(|_| r.next()).collect()
+            };
+            let b: Vec<u64> = {
+                let mut r = SplitMix64::for_node(5, b_id);
+                (0..48).map(|_| r.next()).collect()
+            };
+            for shift in 0..16 {
+                assert!(
+                    a[shift..shift + 16] != b[..16],
+                    "stream {b_id} replays stream {a_id} at shift {shift}"
+                );
+                assert!(
+                    b[shift..shift + 16] != a[..16],
+                    "stream {a_id} replays stream {b_id} at shift {shift}"
+                );
+            }
+        }
     }
 
     #[test]

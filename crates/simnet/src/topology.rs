@@ -1,9 +1,16 @@
 //! Network topology: the communication graph in CSR form.
 //!
-//! The topology is immutable for the lifetime of a [`crate::Network`].
-//! Each undirected edge `{u, v}` appears as a *port* at both endpoints;
-//! `rev_port` maps a port at `u` to the corresponding port at `v` so
-//! that message delivery is O(1) and inbox ordering is deterministic.
+//! A [`Topology`] value is immutable. Each undirected edge `{u, v}`
+//! appears as a *port* at both endpoints; `rev_port` maps a port at `u`
+//! to the corresponding port at `v` so that message delivery is O(1)
+//! and inbox ordering is deterministic.
+//!
+//! Dynamic networks evolve by *replacing* the topology atomically at an
+//! epoch boundary: [`Topology::rewired`] applies a batch of edge
+//! insertions/deletions and returns a [`TopologyPatch`] — the new CSR
+//! plus the old-slot → new-slot remap that lets a [`crate::Network`]
+//! carry its message plane and per-node protocol state across the
+//! boundary (see [`crate::Network::rewire`]).
 
 /// Node identifier. `u32` keeps per-edge bookkeeping compact (see the
 /// type-size guidance of the Rust Performance Book); networks of up to
@@ -41,6 +48,14 @@ impl Topology {
             adj[u as usize].push(v);
             adj[v as usize].push(u);
         }
+        Topology::from_adjacency(adj)
+    }
+
+    /// Build from per-node neighbor lists (sorted and de-duplicated
+    /// here). Shared by [`Topology::from_edges`] and
+    /// [`Topology::rewired`].
+    fn from_adjacency(mut adj: Vec<Vec<NodeId>>) -> Self {
+        let n = adj.len();
         for (v, list) in adj.iter_mut().enumerate() {
             list.sort_unstable();
             assert!(
@@ -48,9 +63,10 @@ impl Topology {
                 "duplicate edge at node {v}"
             );
         }
+        let total: usize = adj.iter().map(Vec::len).sum();
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
-        let mut neighbors = Vec::with_capacity(2 * edges.len());
+        let mut neighbors = Vec::with_capacity(total);
         for list in &adj {
             neighbors.extend_from_slice(list);
             offsets.push(neighbors.len());
@@ -143,6 +159,156 @@ impl Topology {
     pub fn port_base(&self, v: NodeId) -> usize {
         self.offsets[v as usize]
     }
+
+    /// Apply a mutation batch (edge deletions, then insertions) and
+    /// return the new topology plus the slot remap that carries
+    /// CSR-aligned state (message-plane slabs, per-port protocol
+    /// arrays) across the epoch boundary.
+    ///
+    /// The node population is fixed: node join/leave is modelled as a
+    /// node gaining its first / losing its last edges. Panics on
+    /// removing a non-edge, inserting an existing edge, or self-loops —
+    /// all modelling errors in a churn batch. An edge may appear in
+    /// both lists (removed, then re-inserted): its old slots are
+    /// treated as dead and its new slots as born.
+    pub fn rewired(
+        &self,
+        removed: &[(NodeId, NodeId)],
+        added: &[(NodeId, NodeId)],
+    ) -> TopologyPatch {
+        let n = self.len();
+        let canon = |u: NodeId, v: NodeId| (u.min(v), u.max(v));
+        let mut gone: std::collections::HashSet<(NodeId, NodeId)> =
+            std::collections::HashSet::new();
+        let mut born: std::collections::HashSet<(NodeId, NodeId)> =
+            std::collections::HashSet::new();
+        let mut adj: Vec<Vec<NodeId>> = (0..n as NodeId)
+            .map(|v| self.neighbors(v).to_vec())
+            .collect();
+        let mut dirty = vec![false; n];
+        for &(u, v) in removed {
+            assert!(u != v, "self-loop {u} in removal batch");
+            let pu = adj[u as usize]
+                .iter()
+                .position(|&x| x == v)
+                .unwrap_or_else(|| panic!("removing non-edge ({u},{v})"));
+            adj[u as usize].swap_remove(pu);
+            let pv = adj[v as usize]
+                .iter()
+                .position(|&x| x == u)
+                .expect("asymmetric adjacency");
+            adj[v as usize].swap_remove(pv);
+            assert!(gone.insert(canon(u, v)), "duplicate removal ({u},{v})");
+            dirty[u as usize] = true;
+            dirty[v as usize] = true;
+        }
+        for &(u, v) in added {
+            assert!(u != v, "self-loop {u} in insertion batch");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "inserted edge ({u},{v}) out of range"
+            );
+            assert!(
+                !adj[u as usize].contains(&v),
+                "inserting existing edge ({u},{v})"
+            );
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+            assert!(born.insert(canon(u, v)), "duplicate insertion ({u},{v})");
+            dirty[u as usize] = true;
+            dirty[v as usize] = true;
+        }
+        let topo = Topology::from_adjacency(adj);
+        // Old slot -> new slot for every surviving directed edge.
+        let mut slot_map = vec![SLOT_GONE; self.total_ports()];
+        for v in 0..n as NodeId {
+            let old_base = self.port_base(v);
+            for (p, &u) in self.neighbors(v).iter().enumerate() {
+                if gone.contains(&canon(v, u)) {
+                    continue;
+                }
+                let np = topo
+                    .port_to(v, u)
+                    .expect("surviving edge must be in the new topology");
+                slot_map[old_base + p] = topo.port_base(v) + np;
+            }
+        }
+        // Born ports, flattened per node in CSR order.
+        let mut born_ports = Vec::with_capacity(2 * born.len());
+        let mut born_offsets = Vec::with_capacity(n + 1);
+        born_offsets.push(0usize);
+        for v in 0..n as NodeId {
+            for (p, &u) in topo.neighbors(v).iter().enumerate() {
+                if born.contains(&canon(v, u)) {
+                    born_ports.push(p);
+                }
+            }
+            born_offsets.push(born_ports.len());
+        }
+        let dirty = (0..n as NodeId).filter(|&v| dirty[v as usize]).collect();
+        TopologyPatch {
+            topo,
+            slot_map,
+            born_ports,
+            born_offsets,
+            dirty,
+        }
+    }
+}
+
+/// Sentinel in [`TopologyPatch::slot_map`] for a directed-edge slot
+/// whose edge was removed.
+pub const SLOT_GONE: usize = usize::MAX;
+
+/// The output of [`Topology::rewired`]: the new topology plus
+/// everything needed to migrate CSR-aligned state across the epoch
+/// boundary.
+#[derive(Debug, Clone)]
+pub struct TopologyPatch {
+    topo: Topology,
+    /// Old directed-edge slot → new slot ([`SLOT_GONE`] when removed).
+    slot_map: Vec<usize>,
+    /// Ports of the new topology whose edge was inserted by this patch,
+    /// flattened per node (`born_offsets[v]..born_offsets[v+1]`).
+    born_ports: Vec<Port>,
+    born_offsets: Vec<usize>,
+    /// Nodes whose incident edge set changed, ascending.
+    dirty: Vec<NodeId>,
+}
+
+impl TopologyPatch {
+    /// The new topology.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Old slot → new slot map over the *old* topology's directed-edge
+    /// slots; [`SLOT_GONE`] marks removed edges.
+    #[inline]
+    pub fn slot_map(&self) -> &[usize] {
+        &self.slot_map
+    }
+
+    /// New slot for an old slot, `None` when the edge was removed.
+    #[inline]
+    pub fn new_slot(&self, old_slot: usize) -> Option<usize> {
+        let s = self.slot_map[old_slot];
+        (s != SLOT_GONE).then_some(s)
+    }
+
+    /// Ports of `v` (in the new topology) whose edge was inserted by
+    /// this patch, ascending.
+    #[inline]
+    pub fn born_ports(&self, v: NodeId) -> &[Port] {
+        &self.born_ports[self.born_offsets[v as usize]..self.born_offsets[v as usize + 1]]
+    }
+
+    /// Nodes whose incident edge set changed, ascending.
+    #[inline]
+    pub fn dirty(&self) -> &[NodeId] {
+        &self.dirty
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +367,71 @@ mod tests {
         let t = Topology::from_edges(0, &[]);
         assert!(t.is_empty());
         assert_eq!(t.max_degree(), 0);
+    }
+
+    #[test]
+    fn rewired_applies_batch_and_maps_slots() {
+        let t = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let patch = t.rewired(&[(1, 2)], &[(0, 3), (0, 2)]);
+        let nt = patch.topo();
+        assert_eq!(nt.num_edges(), 4);
+        assert_eq!(nt.neighbors(0), &[1, 2, 3]);
+        assert_eq!(nt.neighbors(1), &[0]);
+        // Surviving slots keep pointing at the same directed edge.
+        for v in 0..4u32 {
+            for p in 0..t.degree(v) {
+                let u = t.neighbor(v, p);
+                let old_slot = t.port_base(v) + p;
+                match patch.new_slot(old_slot) {
+                    Some(ns) => {
+                        let np = ns - nt.port_base(v);
+                        assert_eq!(nt.neighbor(v, np), u, "slot remap broke edge ({v},{u})");
+                    }
+                    None => assert!(
+                        (v.min(u), v.max(u)) == (1, 2),
+                        "only the removed edge may lose its slots"
+                    ),
+                }
+            }
+        }
+        // Born ports name exactly the inserted edges.
+        assert_eq!(patch.born_ports(0), &[1, 2]); // 0->2, 0->3
+        assert_eq!(patch.born_ports(3), &[0]); // 3->0
+        assert_eq!(patch.born_ports(1), &[] as &[usize]);
+        assert_eq!(patch.dirty(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rewired_remove_and_reinsert_is_born() {
+        let t = Topology::from_edges(2, &[(0, 1)]);
+        let patch = t.rewired(&[(0, 1)], &[(1, 0)]);
+        assert_eq!(patch.topo().num_edges(), 1);
+        // The edge came back, but its old slots are dead and the new
+        // ports count as born: any in-flight payload is dropped.
+        assert_eq!(patch.new_slot(0), None);
+        assert_eq!(patch.born_ports(0), &[0]);
+        assert_eq!(patch.born_ports(1), &[0]);
+    }
+
+    #[test]
+    fn rewired_empty_batch_is_identity() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let patch = t.rewired(&[], &[]);
+        assert!(patch.dirty().is_empty());
+        for s in 0..t.total_ports() {
+            assert_eq!(patch.new_slot(s), Some(s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-edge")]
+    fn rewired_rejects_removing_non_edges() {
+        Topology::from_edges(3, &[(0, 1)]).rewired(&[(1, 2)], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "existing edge")]
+    fn rewired_rejects_duplicate_insert() {
+        Topology::from_edges(3, &[(0, 1)]).rewired(&[], &[(1, 0)]);
     }
 }

@@ -48,6 +48,34 @@ impl TrafficModel {
             TrafficModel::Hotspot { .. } => "hotspot",
         }
     }
+
+    /// True when the pattern oversubscribes no input or output of an
+    /// `n`-port switch — the condition under which an ideal scheduler
+    /// can deliver everything. Inputs offer at most `ρ ≤ 1` by
+    /// construction; outputs are the binding constraint:
+    ///
+    /// * uniform / bursty: each output receives `ρ` in expectation
+    ///   (bursts pick uniform destinations, so the long-run rate is
+    ///   the same even though the short-run variance is not);
+    /// * diagonal: output `i` receives `⅔ρ` from input `i` plus `⅓ρ`
+    ///   from input `i−1`, i.e. exactly `ρ`;
+    /// * hotspot: output 0 receives `n·ρ·(frac + (1−frac)/n)`, which
+    ///   exceeds 1 — an *inadmissible* pattern no scheduler can fully
+    ///   deliver — once `ρ·(n·frac + 1 − frac) > 1`.
+    pub fn is_admissible(&self, n: usize) -> bool {
+        let rho = self.load();
+        if !(0.0..=1.0).contains(&rho) {
+            return false;
+        }
+        match *self {
+            TrafficModel::Uniform { .. }
+            | TrafficModel::Diagonal { .. }
+            | TrafficModel::Bursty { .. } => true,
+            TrafficModel::Hotspot { frac, .. } => {
+                rho * (n as f64 * frac + (1.0 - frac)) <= 1.0 + 1e-12
+            }
+        }
+    }
 }
 
 /// Per-input burst state.
@@ -216,5 +244,22 @@ mod tests {
             measured_load(TrafficModel::Uniform { load: 0.0 }, 4, 100),
             0.0
         );
+    }
+
+    #[test]
+    fn admissibility_matches_the_arithmetic() {
+        assert!(TrafficModel::Uniform { load: 1.0 }.is_admissible(8));
+        assert!(TrafficModel::Diagonal { load: 1.0 }.is_admissible(8));
+        assert!(TrafficModel::Bursty {
+            load: 1.0,
+            mean_burst: 16.0
+        }
+        .is_admissible(8));
+        // Hotspot on 8 ports: output 0 receives ρ·(8·frac + 1 − frac).
+        let hot = |load, frac| TrafficModel::Hotspot { load, frac };
+        assert!(hot(0.5, 0.12).is_admissible(8)); // 0.5·1.84 = 0.92
+        assert!(!hot(0.5, 0.5).is_admissible(8)); // 0.5·4.5  = 2.25
+        assert!(!hot(0.95, 0.2).is_admissible(8)); // 0.95·2.4 = 2.28
+        assert!(hot(0.2, 0.5).is_admissible(2)); // 0.2·1.5  = 0.3
     }
 }

@@ -88,6 +88,117 @@ fn cells_are_conserved() {
     }
 }
 
+fn run_once(
+    traffic: TrafficModel,
+    kind: SchedulerKind,
+    cycles: u64,
+    seed: u64,
+) -> switchsim::SimResult {
+    Simulator::new(
+        SimConfig {
+            ports: 8,
+            cycles,
+            warmup: cycles / 5,
+            traffic,
+            seed,
+        },
+        kind,
+    )
+    .run()
+}
+
+#[test]
+fn bursty_moderate_load_is_delivered() {
+    // Bursty traffic is admissible at any ρ ≤ 1 in the long run; at
+    // moderate load a strong scheduler must keep up despite the
+    // burst-induced backlog spikes.
+    for seed in [1u64, 2, 3] {
+        let model = TrafficModel::Bursty {
+            load: 0.5,
+            mean_burst: 8.0,
+        };
+        assert!(model.is_admissible(8));
+        let r = run_once(model, SchedulerKind::MaxWeight, 6000, seed);
+        assert!(
+            r.delivery_ratio() > 0.9,
+            "seed {seed}: bursty ratio {}",
+            r.delivery_ratio()
+        );
+        assert_eq!(r.offered, r.delivered + r.final_backlog as u64);
+    }
+}
+
+#[test]
+fn hotspot_admissible_load_is_delivered() {
+    for seed in [4u64, 5] {
+        let model = TrafficModel::Hotspot {
+            load: 0.5,
+            frac: 0.12,
+        };
+        assert!(model.is_admissible(8), "0.5·(0.96+0.88) < 1");
+        let r = run_once(model, SchedulerKind::MaxWeight, 6000, seed);
+        assert!(
+            r.delivery_ratio() > 0.93,
+            "seed {seed}: hotspot ratio {}",
+            r.delivery_ratio()
+        );
+    }
+}
+
+#[test]
+fn hotspot_inadmissible_load_is_capped_but_sane() {
+    // Half of all traffic aims at output 0: that output is offered
+    // ≈4.5× its capacity, so even the oracle cannot deliver
+    // everything — but cells are never lost and the uniform part
+    // still flows.
+    let model = TrafficModel::Hotspot {
+        load: 0.9,
+        frac: 0.5,
+    };
+    assert!(!model.is_admissible(8));
+    let r = run_once(model, SchedulerKind::MaxWeight, 4000, 6);
+    assert_eq!(r.offered, r.delivered + r.final_backlog as u64);
+    assert!(
+        r.delivery_ratio() < 0.9,
+        "oversubscribed hotspot cannot be fully delivered, got {}",
+        r.delivery_ratio()
+    );
+    assert!(
+        r.delivery_ratio() > 0.3,
+        "the admissible part must still flow, got {}",
+        r.delivery_ratio()
+    );
+}
+
+#[test]
+fn bursty_and_hotspot_are_deterministic_per_seed() {
+    for model in [
+        TrafficModel::Bursty {
+            load: 0.6,
+            mean_burst: 12.0,
+        },
+        TrafficModel::Hotspot {
+            load: 0.6,
+            frac: 0.2,
+        },
+    ] {
+        let a = run_once(model, SchedulerKind::Islip { iterations: 2 }, 1500, 42);
+        let b = run_once(model, SchedulerKind::Islip { iterations: 2 }, 1500, 42);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.mean_delay, b.mean_delay);
+        assert_eq!(a.final_backlog, b.final_backlog);
+        // A different seed must explore a different sample path.
+        let c = run_once(model, SchedulerKind::Islip { iterations: 2 }, 1500, 43);
+        assert_ne!(
+            (a.offered, a.delivered),
+            (c.offered, c.delivered),
+            "{}: distinct seeds should not collide",
+            model.label()
+        );
+    }
+}
+
 #[test]
 fn oracle_dominates_single_iteration_pim() {
     let mut rng = SplitMix64::new(0x54);

@@ -18,13 +18,19 @@
 //!   the red/blue reduction for general graphs (Theorem 3.11), and the
 //!   weighted `(½-ε)`-MWM reduction (Theorem 4.5), plus the
 //!   Israeli–Itai and weighted baselines.
+//! * [`dchurn`] — dynamic-network engine: epoch-based churn (edge
+//!   insert/delete, node join/leave, degree-preserving rewiring, trace
+//!   replay) with incremental matching repair over a rewired message
+//!   plane.
 //! * [`switchsim`] — input-queued switch simulator with PIM, iSLIP and a
-//!   matching-based scheduler.
+//!   matching-based scheduler, under optionally time-varying port
+//!   topologies (link failures mid-run).
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the experiment
 //! index mapping every theorem and figure of the paper to a reproducible
 //! measurement.
 
+pub use dchurn;
 pub use dgraph;
 pub use dmatch;
 pub use simnet;

@@ -63,6 +63,35 @@ fn parallel_stepping_agrees_at_scale() {
 
 #[test]
 #[ignore = "large"]
+fn churn_engine_at_scale() {
+    use distributed_matching::dchurn::{ChurnModel, DynEngine, RepairAlgo};
+    let n = 1 << 15;
+    let g = gnp(n, 8.0 / n as f64, 3);
+    let mut eng = DynEngine::with_cfg(
+        g,
+        ChurnModel::EdgeChurn { rate: 0.02 },
+        RepairAlgo::IncrementalMaximal,
+        6,
+        simnet::ExecCfg::parallel(8),
+    );
+    eng.bootstrap();
+    for _ in 0..20 {
+        let rep = eng.step_epoch().clone();
+        assert!(rep.maximal);
+        assert!(eng.matching().validate(eng.graph()).is_ok());
+        // Repair stays local even at 32k nodes: the woken set tracks
+        // the damage, not the graph.
+        assert!(
+            rep.woken < n / 4,
+            "{} of {n} nodes woke for {} damaged nodes",
+            rep.woken,
+            rep.damage
+        );
+    }
+}
+
+#[test]
+#[ignore = "large"]
 fn weighted_reduction_at_four_thousand_nodes() {
     use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
     let n = 4096;
