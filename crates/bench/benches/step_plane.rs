@@ -15,13 +15,23 @@
 //! ratios, and asserts the ≥2× allocation reduction the plane was built
 //! to deliver.
 //!
+//! The run also sweeps an n-ladder to locate the **sequential/parallel
+//! crossover**: the smallest network at which 8-thread stepping beats
+//! sequential. Below the crossover the executor's fan-out throttle
+//! (`PAR_MIN_PER_THREAD` nodes of work per worker before another
+//! thread spawns) keeps parallel runs on the sequential path, so
+//! "8 threads" is never slower than sequential — the earlier capture
+//! of this file measured a ~100x parallel *slowdown* at n=10 because
+//! every round paid thread-spawn latency for five node steps.
+//!
 //! Knobs: `STEP_PLANE_N` (default 50000), `STEP_PLANE_ROUNDS`
-//! (default 10), `STEP_PLANE_RUNS` (default 5).
+//! (default 10), `STEP_PLANE_RUNS` (default 5), `STEP_PLANE_THREADS`
+//! (default 8).
 //!
 //! Besides the human-readable table, the run writes
 //! `BENCH_step_plane.json` (machine-readable: time/round in ns and
-//! allocs/round per plane) so the perf trajectory is trackable across
-//! PRs; CI uploads it as an artifact.
+//! allocs/round per plane, plus the crossover ladder) so the perf
+//! trajectory is trackable across PRs; CI uploads it as an artifact.
 
 use bench_harness::{env_or, f2, Table};
 use dgraph::generators::random::gnp;
@@ -258,6 +268,53 @@ fn main() {
     ]);
     t.print();
 
+    // -- Sequential/parallel crossover sweep: smallest n where
+    //    multi-thread stepping actually wins. Thanks to the fan-out
+    //    throttle, sub-crossover parallel runs ride the sequential
+    //    path instead of losing to thread-spawn latency.
+    let threads = env_or("STEP_PLANE_THREADS", 8) as usize;
+    let ladder: Vec<usize> = [500usize, 1000, 2000, 4000, 8000, 16000, 32000, 64000]
+        .into_iter()
+        .filter(|&x| x <= n.max(500))
+        .collect();
+    let mut crossover_n: Option<usize> = None;
+    let mut ladder_rows = Vec::new();
+    println!("\n  crossover sweep ({threads} threads vs sequential):");
+    for &ln in &ladder {
+        let lg = gnp(ln, 8.0 / ln as f64, 7);
+        let ltopo = dmatch::topology_of(&lg);
+        let mk = |threads: usize| {
+            let nodes = (0..ln).map(|_| GossipNode { acc: 0 }).collect();
+            Network::new(ltopo.clone(), nodes, seed).with_threads(threads)
+        };
+        let mut s = mk(1);
+        let m_s = measure(rounds, runs, || {
+            s.step();
+            black_box(s.nodes().len());
+        });
+        let mut p = mk(threads);
+        let m_p = measure(rounds, runs, || {
+            p.step();
+            black_box(p.nodes().len());
+        });
+        let ratio = m_s.time_per_round.as_secs_f64() / m_p.time_per_round.as_secs_f64();
+        println!(
+            "    n={ln:>6}: seq {:>9?}  par {:>9?}  ({}x)",
+            m_s.time_per_round,
+            m_p.time_per_round,
+            f2(ratio)
+        );
+        // First n where parallel wins by a margin beyond timer noise.
+        if crossover_n.is_none() && ratio > 1.05 {
+            crossover_n = Some(ln);
+        }
+        ladder_rows.push((ln, m_s.time_per_round, m_p.time_per_round, ratio));
+    }
+    match crossover_n {
+        Some(c) => println!("  sequential/parallel crossover: n ≈ {c}"),
+        None => println!("  sequential/parallel crossover: beyond n={n} on this machine"),
+    }
+
     let alloc_ratio = m_legacy.allocs_per_round / m_new.allocs_per_round.max(1.0);
     let time_ratio = m_legacy.time_per_round.as_secs_f64() / m_new.time_per_round.as_secs_f64();
     println!(
@@ -277,13 +334,25 @@ fn main() {
             m.allocs_per_round
         )
     };
+    let crossover_rows: Vec<String> = ladder_rows
+        .iter()
+        .map(|(ln, s, p, r)| {
+            format!(
+                "    {{\"n\": {ln}, \"seq_ns\": {}, \"par_ns\": {}, \"par_speedup\": {r:.2}}}",
+                s.as_nanos(),
+                p.as_nanos()
+            )
+        })
+        .collect();
     let json = format!
-        ("{{\n  \"bench\": \"step_plane\",\n  \"n\": {n},\n  \"rounds_per_run\": {rounds},\n  \"runs\": {runs},\n  \"planes\": [\n{},\n{},\n{}\n  ],\n  \"alloc_ratio\": {:.2},\n  \"speedup_sequential\": {:.3}\n}}\n",
+        ("{{\n  \"bench\": \"step_plane\",\n  \"n\": {n},\n  \"rounds_per_run\": {rounds},\n  \"runs\": {runs},\n  \"planes\": [\n{},\n{},\n{}\n  ],\n  \"alloc_ratio\": {:.2},\n  \"speedup_sequential\": {:.3},\n  \"crossover\": {{\n  \"threads\": {threads},\n  \"sequential_parallel_crossover_n\": {},\n  \"ladder\": [\n{}\n  ]\n  }}\n}}\n",
         plane_json("legacy_vec_sort", &m_legacy),
         plane_json("slab_seq", &m_new),
         plane_json("slab_8_threads", &m_par),
         alloc_ratio,
         time_ratio,
+        crossover_n.map_or("null".to_string(), |c| c.to_string()),
+        crossover_rows.join(",\n"),
     );
     // Cargo runs benches with the package as working directory; the
     // record belongs at the workspace root, where CI picks it up.

@@ -65,7 +65,11 @@ struct GatherNode {
     view: HashSet<ViewItem>,
     rounds: u64,
     /// Non-participants (outside the repair region of an incremental
-    /// run) never send; they may still receive and merge.
+    /// run) take no part at all: they halt in round 0, so with the
+    /// sparse scheduler a repair's gathering rounds cost O(|ball|),
+    /// not O(n). (Their merged views are never consulted — every
+    /// augmenting path, and every view the phase inspects, lives
+    /// inside the region by the `repair` precondition.)
     participating: bool,
 }
 
@@ -73,6 +77,10 @@ impl Protocol for GatherNode {
     type Msg = DeltaMsg;
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, DeltaMsg>, inbox: Inbox<'_, DeltaMsg>) {
+        if !self.participating {
+            ctx.halt();
+            return;
+        }
         // Merge what arrived, keeping only genuinely new items.
         let mut learned: Vec<ViewItem> = Vec::new();
         for env in inbox.iter() {
@@ -84,9 +92,6 @@ impl Protocol for GatherNode {
         }
         let r = ctx.round();
         if r + 1 < self.rounds {
-            if !self.participating {
-                return;
-            }
             let outgoing = if r == 0 {
                 // First round: flood the initial local knowledge.
                 self.view.iter().copied().collect::<Vec<_>>()

@@ -80,9 +80,15 @@ impl Protocol for IINode {
         }
         match phase {
             0 => {
-                // Nodes that entered matched (warm start) announce once.
+                // Nodes that entered matched (warm start) announce
+                // once, then leave immediately: the announcement is
+                // already on the wire and nothing they could ever
+                // receive matters again. Halting here (rather than in
+                // a later phase) keeps the sparse scheduler's active
+                // set shrinking as fast as the matching grows.
                 if self.matched() && !self.announced {
                     self.announce(ctx);
+                    ctx.halt();
                     return;
                 }
                 if self.matched() {
@@ -124,6 +130,9 @@ impl Protocol for IINode {
                 }
                 if self.matched() && !self.announced {
                     self.announce(ctx);
+                    // Announced couples are done; drop out of the
+                    // round loop immediately (see phase 0).
+                    ctx.halt();
                 }
             }
             _ => unreachable!(),

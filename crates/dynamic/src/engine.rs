@@ -119,6 +119,15 @@ impl DynEngine {
         self.epoch
     }
 
+    /// Cumulative statistics of the persistent repair network —
+    /// including the scheduler gauges (`node_steps`, per-round
+    /// `active`) that show each epoch's cost tracking the damage, not
+    /// `n`. `None` for [`RepairAlgo::IncrementalGeneric`], whose
+    /// phases run on throwaway networks.
+    pub fn net_stats(&self) -> Option<&NetStats> {
+        self.net.as_ref().map(Network::stats)
+    }
+
     /// Epoch 0: build the initial matching from scratch (everything is
     /// damage). Must be called once, before [`DynEngine::step_epoch`].
     pub fn bootstrap(&mut self) -> &EpochReport {

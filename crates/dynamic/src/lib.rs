@@ -55,3 +55,4 @@ pub mod repair;
 pub use churn::{ChurnGen, ChurnModel};
 pub use engine::{DynEngine, EpochReport, RepairAlgo};
 pub use mutation::MutationBatch;
+pub use repair::{RMsg, RepairNode};

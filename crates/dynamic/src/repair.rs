@@ -55,9 +55,12 @@ pub struct RepairNode {
     /// exactly (up to one round of message latency) by the `Matched` /
     /// `Freed` announcements.
     pub(crate) active: Vec<bool>,
-    /// Rounds since the current epoch began (reset by `on_rewire`);
-    /// round 0 is the sync round, then iterations of three phases.
-    local_round: u64,
+    /// Network round at which the current epoch began (recorded by
+    /// `on_rewire` from [`RewireCtx::round`]; 0 for the bootstrap
+    /// epoch). The epoch-local round is `ctx.round() - epoch_start`:
+    /// derived from the global clock — not a per-step counter — so
+    /// nodes that sleep through quiet rounds stay phase-synchronized.
+    epoch_start: u64,
     /// True while this node is male in the current iteration.
     male: bool,
     /// Port proposed to in the current iteration.
@@ -78,7 +81,7 @@ impl RepairNode {
         RepairNode {
             mate_port: None,
             active: vec![true; degree],
-            local_round: 0,
+            epoch_start: 0,
             male: false,
             proposed_to: None,
             freed_pending: false,
@@ -90,6 +93,19 @@ impl RepairNode {
     /// Port of the current mate, if matched.
     pub fn mate_port(&self) -> Option<Port> {
         self.mate_port
+    }
+
+    /// Nothing to say and nothing to decide: matched with no pending
+    /// announcements, or free with every port dead. Idle nodes
+    /// [`Ctx::sleep`] — the `Matched`/`Freed`/`Propose` mail that could
+    /// change their situation is exactly what wakes them, so passivity
+    /// costs the round loop nothing (this is what makes a repair epoch
+    /// cost O(damage) node steps instead of O(n) per round).
+    fn idle(&self) -> bool {
+        !self.freed_pending
+            && !self.just_matched
+            && self.born_announce.is_empty()
+            && (self.mate_port.is_some() || !self.active.iter().any(|&a| a))
     }
 }
 
@@ -106,8 +122,19 @@ impl Protocol for RepairNode {
                 _ => {}
             }
         }
-        let lr = self.local_round;
-        self.local_round += 1;
+        self.phase_round(ctx, inbox);
+        if self.idle() {
+            ctx.sleep();
+        }
+    }
+}
+
+impl RepairNode {
+    /// The phase work of one round (split out so `on_round` can apply
+    /// the idle/sleep decision after every branch, early returns
+    /// included).
+    fn phase_round(&mut self, ctx: &mut Ctx<'_, RMsg>, inbox: Inbox<'_, RMsg>) {
+        let lr = ctx.round() - self.epoch_start;
         if lr == 0 {
             // Sync round: publish what the rewire changed about me.
             if self.freed_pending {
@@ -219,7 +246,7 @@ impl Rewire for RepairNode {
         } else {
             Vec::new()
         };
-        self.local_round = 0;
+        self.epoch_start = ctx.round();
         self.male = false;
         self.proposed_to = None;
         self.just_matched = false;

@@ -70,6 +70,39 @@
 //!   ([`Ctx::send`] panics on duplicates) — the synchronous CONGEST
 //!   model always assumed this; the plane now enforces it.
 //!
+//! ## The activity-driven scheduler
+//!
+//! [`Network::step`] does not sweep `0..n`: by default it drains a
+//! sparse, epoch-stamped **wake list**, so a round costs time
+//! proportional to the number of *active* nodes, not the network
+//! size. The scheduler contract — when a node is guaranteed to be
+//! stepped in round `r` — is:
+//!
+//! 1. `r` is the network's first round (everyone starts awake), or
+//! 2. the node was stepped in round `r-1` and called neither
+//!    [`Ctx::halt`] nor [`Ctx::sleep`] (staying awake is the
+//!    default — protocols that never sleep run exactly as they always
+//!    did), or
+//! 3. a message was delivered to it for round `r` (mail always wakes
+//!    a sleeping node; unlike a halted node's mail, it is kept), or
+//! 4. it was woken externally since its last step —
+//!    [`Network::wake`], or the dirty set of a [`Network::rewire`].
+//!
+//! [`Ctx::sleep`] lasts until the next step: a woken node that still
+//! has nothing to do must re-assert it. Halting is terminal and
+//! tracked by a maintained counter, so [`Network::all_halted`] is
+//! O(1).
+//!
+//! The dense `0..n` sweep survives as [`SchedMode::Dense`] (a
+//! fallback and reference); both schedulers step the same node set by
+//! construction, so results — matchings, RNG streams, `NetStats`
+//! traces — are bit-identical, with the single exception of the
+//! [`stats::RoundTrace::sched_overhead`] gauge, which records the
+//! slots each scheduler examined without stepping (the dense scan's
+//! skipped nodes vs. the sparse drain's stale entries). Per-round
+//! [`stats::RoundTrace::active`] and cumulative [`NetStats::node_steps`]
+//! expose the activity the sparse plane's cost is proportional to.
+//!
 //! ## Dynamic networks
 //!
 //! A [`Topology`] value is immutable, but a [`Network`] is not married
@@ -108,7 +141,7 @@ pub mod tree;
 
 pub use mailbox::{Inbox, InboxIter, Received};
 pub use message::BitSize;
-pub use network::{Ctx, ExecCfg, Network, Protocol, Rewire, RewireCtx, RunOutcome};
+pub use network::{Ctx, ExecCfg, Network, Protocol, Rewire, RewireCtx, RunOutcome, SchedMode};
 pub use rng::SplitMix64;
 pub use stats::{NetStats, RoundTrace};
 pub use topology::{NodeId, Port, Topology, TopologyPatch, SLOT_GONE};

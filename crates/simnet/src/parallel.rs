@@ -3,11 +3,23 @@
 //! Within one synchronous round, nodes are independent: each reads only
 //! its own inbox and state. This is embarrassingly parallel, so large
 //! networks are stepped by partitioning nodes across scoped worker
-//! threads. The message plane partitions with them: node chunks are
-//! contiguous, so each worker owns a contiguous slice of the outgoing
-//! slab (its nodes' port ranges) via `split_at_mut` — no locks, no
-//! unsafe, no per-round allocation. The previous round's slab is read
-//! shared by all workers.
+//! threads. The message plane partitions with them: each worker's nodes
+//! span a contiguous node-id range, so it owns a contiguous slice of
+//! the outgoing slab (its nodes' port ranges) via `split_at_mut` — no
+//! locks, no unsafe, no per-round allocation. The previous round's slab
+//! is read shared by all workers.
+//!
+//! Under the sparse scheduler the partition is over the **active
+//! list**, not `0..n`: the sorted wake list is cut into chunks of
+//! (roughly) equally many *active* nodes, each chunk spanning the
+//! contiguous id range from its first to its last active node (idle
+//! nodes inside the range are simply never visited). Fan-out is
+//! throttled by the amount of actual work: with fewer than
+//! [`PAR_MIN_PER_THREAD`] active nodes per worker the round falls back
+//! to the sequential path, so a quiet tail (or a tiny network) never
+//! pays thread-spawn latency for a handful of node steps — the
+//! pathology the first `BENCH_step_plane.json` capture measured as a
+//! ~100x slowdown at small `n`.
 //!
 //! Determinism is preserved because
 //!
@@ -16,33 +28,67 @@
 //! 3. delivery accounting (and the fault-injection RNG stream) runs
 //!    sequentially after the join, walking senders in node order —
 //!    workers record senders per chunk and chunks are merged in node
-//!    order.
+//!    order (chunks are id-sorted, so the merge is a concatenation).
 //!
 //! Consequently `step_parallel` produces bit-identical results to the
-//! sequential path — a property asserted by the tests below and by the
-//! workspace-level `prop_plane` suite.
+//! sequential path, in both scheduling modes — a property asserted by
+//! the tests below and by the workspace-level `prop_plane` suite.
 
 use crate::mailbox::Inbox;
-use crate::network::{deliver, split_planes, Ctx, Network, Protocol};
+use crate::network::{split_planes, Ctx, Network, Protocol, SchedMode, WorkerScratch};
 use crate::topology::NodeId;
 
-/// Execute one round using `net.threads` workers. Called by
+/// Minimum stepped-node count per worker before another thread is
+/// worth spawning: below this, scoped-thread spawn/join latency
+/// dominates the round. The sequential/parallel crossover recorded in
+/// `BENCH_step_plane.json` sits comfortably above
+/// `PAR_MIN_PER_THREAD · 2` nodes of light work.
+pub(crate) const PAR_MIN_PER_THREAD: usize = 1024;
+
+/// Worker-count ceiling for one round: never more threads than the
+/// machine has cores (spawning 8 workers on a 1-core container only
+/// adds spawn/join latency) and never fewer than [`PAR_MIN_PER_THREAD`]
+/// units of work per worker. `workload` is the number of nodes this
+/// round will step (`n` for the dense sweep, the wake-list length for
+/// the sparse drain). Purely a performance decision — results are
+/// bit-identical for every return value.
+fn worker_cap(requested: usize, workload: usize, force: bool) -> usize {
+    if force {
+        // Test-only escape hatch (`Network::force_parallel`): spawn one
+        // worker per requested thread regardless of machine or
+        // workload, so the partitioners run for real in unit tests.
+        return requested.min(workload.max(1));
+    }
+    // The core count cannot change meaningfully mid-run; probe it once
+    // (available_parallelism performs affinity/cgroup syscalls) instead
+    // of paying for it in every round.
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let hw = *HW.get_or_init(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    requested.min(hw).min(workload.div_ceil(PAR_MIN_PER_THREAD))
+}
+
+/// Execute one round using up to `net.threads` workers. Called by
 /// [`Network::step`] when more than one thread is configured.
 pub(crate) fn step_parallel<P: Protocol>(net: &mut Network<P>) -> u64 {
-    let n = net.topo.len();
-    let round = net.round;
-    if n == 0 {
-        net.round += 1;
-        let allocs = net.take_alloc_delta();
-        net.stats.record_round_gauges(0, 0, allocs);
-        return 0;
+    match net.sched {
+        SchedMode::Sparse => step_parallel_sparse(net),
+        SchedMode::Dense => step_parallel_dense(net),
     }
-    let threads = net.threads.min(n);
+}
+
+/// Dense-mode parallel round: partition `0..n` into contiguous chunks.
+fn step_parallel_dense<P: Protocol>(net: &mut Network<P>) -> u64 {
+    let n = net.topo.len();
+    let threads = worker_cap(net.threads, n, net.force_parallel);
+    if threads <= 1 {
+        return net.step_dense_seq();
+    }
+    let round = net.round;
     let chunk = n.div_ceil(threads);
-    // Executor-owned scratch, deliberately not charged to the plane
-    // gauge: stats must be bit-identical across thread counts.
-    while net.worker_touched.len() < threads {
-        net.worker_touched.push(Vec::new());
+    while net.workers.len() < threads {
+        net.workers.push(WorkerScratch::default());
     }
     let (out_plane, in_plane) = split_planes(&mut net.planes, round);
     out_plane.advance();
@@ -55,9 +101,10 @@ pub(crate) fn step_parallel<P: Protocol>(net: &mut Network<P>) -> u64 {
         let mut nodes_rest = &mut net.nodes[..];
         let mut rngs_rest = &mut net.rngs[..];
         let mut halted_rest = &mut net.halted[..];
+        let mut dozing_rest = &mut net.dozing[..];
         let mut stamp_rest = &mut out_plane.stamp[..];
         let mut msg_rest = &mut out_plane.msg[..];
-        let mut touched_rest = &mut net.worker_touched[..threads];
+        let mut scratch_rest = &mut net.workers[..threads];
         let in_plane = &*in_plane;
         let mut base = 0usize;
         let mut port_base = 0usize;
@@ -66,6 +113,7 @@ pub(crate) fn step_parallel<P: Protocol>(net: &mut Network<P>) -> u64 {
             let (nodes_c, nr) = nodes_rest.split_at_mut(take);
             let (rngs_c, rr) = rngs_rest.split_at_mut(take);
             let (halted_c, hr) = halted_rest.split_at_mut(take);
+            let (dozing_c, dr) = dozing_rest.split_at_mut(take);
             // Contiguous nodes own a contiguous slab range.
             let port_end = if base + take < n {
                 topo.port_base((base + take) as NodeId)
@@ -74,20 +122,21 @@ pub(crate) fn step_parallel<P: Protocol>(net: &mut Network<P>) -> u64 {
             };
             let (stamp_c, sr) = stamp_rest.split_at_mut(port_end - port_base);
             let (msg_c, mr) = msg_rest.split_at_mut(port_end - port_base);
-            let (touched_c, tr) = touched_rest.split_at_mut(1);
+            let (scratch_c, tr) = scratch_rest.split_at_mut(1);
             nodes_rest = nr;
             rngs_rest = rr;
             halted_rest = hr;
+            dozing_rest = dr;
             stamp_rest = sr;
             msg_rest = mr;
-            touched_rest = tr;
+            scratch_rest = tr;
             let first = base;
             let chunk_port_base = port_base;
             base += take;
             port_base = port_end;
             scope.spawn(move || {
-                let touched = &mut touched_c[0];
-                touched.clear();
+                let scratch = &mut scratch_c[0];
+                scratch.reset();
                 for i in 0..nodes_c.len() {
                     if halted_c[i] {
                         continue;
@@ -98,6 +147,11 @@ pub(crate) fn step_parallel<P: Protocol>(net: &mut Network<P>) -> u64 {
                     } else {
                         0
                     };
+                    if dozing_c[i] && count == 0 {
+                        continue; // asleep and no mail: contract says skip
+                    }
+                    scratch.stepped += 1;
+                    dozing_c[i] = false;
                     let inbox = Inbox::new(topo, v, in_plane, count);
                     let nb = topo.port_base(v) - chunk_port_base;
                     let deg = topo.degree(v);
@@ -112,45 +166,190 @@ pub(crate) fn step_parallel<P: Protocol>(net: &mut Network<P>) -> u64 {
                         out_gen,
                         &mut sent_any,
                         &mut halted_c[i],
+                        &mut dozing_c[i],
                     );
                     nodes_c[i].on_round(&mut ctx, inbox);
+                    if halted_c[i] {
+                        scratch.halts += 1;
+                    }
                     if sent_any {
-                        touched.push(v);
+                        scratch.touched.push(v);
                     }
                 }
             });
         }
     });
 
-    // Merge per-chunk sender lists in node order, then account
-    // deliveries sequentially (fixed order ⇒ fixed loss-RNG stream).
-    net.touched.clear();
-    for wt in &net.worker_touched[..threads] {
-        net.touched.extend_from_slice(wt);
+    let stepped = merge_worker_scratch(net, threads, round, false);
+    net.finish_round(stepped, n as u64 - stepped)
+}
+
+/// Sparse-mode parallel round: partition the sorted **active list**
+/// into contiguous segments of roughly equal active-node count.
+fn step_parallel_sparse<P: Protocol>(net: &mut Network<P>) -> u64 {
+    let round = net.round;
+    if !net.wake_cur.is_sorted() {
+        net.wake_cur.sort_unstable();
     }
-    let out = deliver(
-        topo,
-        out_plane,
-        &net.touched,
-        &net.halted,
-        net.loss,
-        &mut net.loss_rng,
-        &mut net.dropped,
-        &mut net.stats,
-        &mut net.inbox_count,
-        &mut net.inbox_count_round,
-        round + 1,
-    );
-    net.in_flight = out.delivered;
-    net.round += 1;
-    let allocs = net.take_alloc_delta();
-    net.stats
-        .record_round_gauges(out.sent, out.peak_inbox, allocs);
-    out.sent
+    let active = net.wake_cur.len();
+    let threads = worker_cap(net.threads, active, net.force_parallel);
+    if threads <= 1 {
+        return net.step_sparse_seq();
+    }
+    let n = net.topo.len();
+    let chunk = active.div_ceil(threads);
+    while net.workers.len() < threads {
+        net.workers.push(WorkerScratch::default());
+    }
+    let (out_plane, in_plane) = split_planes(&mut net.planes, round);
+    out_plane.advance();
+    let out_gen = out_plane.gen;
+    let topo = &net.topo;
+    let inbox_count = &net.inbox_count[..];
+    let inbox_count_round = &net.inbox_count_round[..];
+    let wake_stamp = &net.wake_stamp[..];
+    let wake_cur = &net.wake_cur[..];
+
+    std::thread::scope(|scope| {
+        let mut nodes_rest = &mut net.nodes[..];
+        let mut rngs_rest = &mut net.rngs[..];
+        let mut halted_rest = &mut net.halted[..];
+        let mut dozing_rest = &mut net.dozing[..];
+        let mut stamp_rest = &mut out_plane.stamp[..];
+        let mut msg_rest = &mut out_plane.msg[..];
+        let mut scratch_rest = &mut net.workers[..threads];
+        let in_plane = &*in_plane;
+        // Nodes/ports consumed so far (everything before the current
+        // segment's first active node is skipped, not assigned).
+        let mut consumed = 0usize;
+        let mut port_consumed = 0usize;
+        let mut lo = 0usize;
+        while lo < active {
+            let hi = (lo + chunk).min(active);
+            // The wake list is sorted and duplicate-free, so segment
+            // id ranges are disjoint and ascending.
+            let first = wake_cur[lo] as usize;
+            let last = wake_cur[hi - 1] as usize;
+            let skip = first - consumed;
+            nodes_rest = nodes_rest.split_at_mut(skip).1;
+            rngs_rest = rngs_rest.split_at_mut(skip).1;
+            halted_rest = halted_rest.split_at_mut(skip).1;
+            dozing_rest = dozing_rest.split_at_mut(skip).1;
+            let seg_port_base = topo.port_base(first as NodeId);
+            let port_skip = seg_port_base - port_consumed;
+            stamp_rest = stamp_rest.split_at_mut(port_skip).1;
+            msg_rest = msg_rest.split_at_mut(port_skip).1;
+            let take = last - first + 1;
+            let port_end = if last + 1 < n {
+                topo.port_base((last + 1) as NodeId)
+            } else {
+                topo.total_ports()
+            };
+            let (nodes_c, nr) = nodes_rest.split_at_mut(take);
+            let (rngs_c, rr) = rngs_rest.split_at_mut(take);
+            let (halted_c, hr) = halted_rest.split_at_mut(take);
+            let (dozing_c, dr) = dozing_rest.split_at_mut(take);
+            let (stamp_c, sr) = stamp_rest.split_at_mut(port_end - seg_port_base);
+            let (msg_c, mr) = msg_rest.split_at_mut(port_end - seg_port_base);
+            let (scratch_c, tr) = scratch_rest.split_at_mut(1);
+            nodes_rest = nr;
+            rngs_rest = rr;
+            halted_rest = hr;
+            dozing_rest = dr;
+            stamp_rest = sr;
+            msg_rest = mr;
+            scratch_rest = tr;
+            consumed = last + 1;
+            port_consumed = port_end;
+            let wake_slice = &wake_cur[lo..hi];
+            lo = hi;
+            scope.spawn(move || {
+                let scratch = &mut scratch_c[0];
+                scratch.reset();
+                for &vid in wake_slice {
+                    let v = vid as usize;
+                    let i = v - first;
+                    if halted_c[i] || wake_stamp[v] != round {
+                        continue; // stale entry (e.g. woken then halted)
+                    }
+                    scratch.stepped += 1;
+                    dozing_c[i] = false;
+                    let count = if inbox_count_round[v] == round {
+                        inbox_count[v]
+                    } else {
+                        0
+                    };
+                    let inbox = Inbox::new(topo, vid, in_plane, count);
+                    let nb = topo.port_base(vid) - seg_port_base;
+                    let deg = topo.degree(vid);
+                    let mut sent_any = false;
+                    let mut ctx = Ctx::new(
+                        vid,
+                        round,
+                        topo,
+                        &mut rngs_c[i],
+                        &mut stamp_c[nb..nb + deg],
+                        &mut msg_c[nb..nb + deg],
+                        out_gen,
+                        &mut sent_any,
+                        &mut halted_c[i],
+                        &mut dozing_c[i],
+                    );
+                    nodes_c[i].on_round(&mut ctx, inbox);
+                    if halted_c[i] {
+                        scratch.halts += 1;
+                    } else if !dozing_c[i] {
+                        scratch.wake.push(vid);
+                    }
+                    if sent_any {
+                        scratch.touched.push(vid);
+                    }
+                }
+            });
+        }
+    });
+
+    let stepped = merge_worker_scratch(net, threads, round, true);
+    net.finish_round(stepped, active as u64 - stepped)
+}
+
+/// Merge per-chunk sender lists (and, under the sparse scheduler, the
+/// auto-reschedule lists, stamping each node) in node order, and settle
+/// the halt counter. Chunks are id-ordered and internally ascending, so
+/// concatenation preserves the global node order delivery depends on.
+fn merge_worker_scratch<P: Protocol>(
+    net: &mut Network<P>,
+    threads: usize,
+    round: u64,
+    sparse: bool,
+) -> u64 {
+    net.touched.clear();
+    if sparse {
+        net.wake_next.clear();
+    }
+    let mut stepped = 0u64;
+    // `workers` is borrowed disjointly from `touched`/`wake_next`, but
+    // the borrow checker cannot see that through `net`; split at the
+    // field level instead.
+    let workers = std::mem::take(&mut net.workers);
+    for w in &workers[..threads] {
+        net.touched.extend_from_slice(&w.touched);
+        stepped += w.stepped;
+        net.live -= w.halts as usize;
+        if sparse {
+            for &v in &w.wake {
+                net.wake_stamp[v as usize] = round + 1;
+                net.wake_next.push(v);
+            }
+        }
+    }
+    net.workers = workers;
+    stepped
 }
 
 #[cfg(test)]
 mod tests {
+    use crate::network::SchedMode;
     use crate::{Ctx, Inbox, Network, Protocol, Topology};
 
     /// A protocol with both randomness and message traffic, to stress
@@ -199,15 +398,20 @@ mod tests {
         let mut seq = Network::new(topo.clone(), mk(), 17);
         seq.run_until_halt(100);
 
-        for threads in [2, 3, 8] {
-            let mut par = Network::new(topo.clone(), mk(), 17).with_threads(threads);
-            par.run_until_halt(100);
-            for (a, b) in seq.nodes().iter().zip(par.nodes()) {
-                assert_eq!(a.acc, b.acc, "divergence with {threads} threads");
+        for sched in [SchedMode::Sparse, SchedMode::Dense] {
+            for threads in [2, 3, 8] {
+                let mut par = Network::new(topo.clone(), mk(), 17)
+                    .with_threads(threads)
+                    .with_sched(sched);
+                par.run_until_halt(100);
+                for (a, b) in seq.nodes().iter().zip(par.nodes()) {
+                    assert_eq!(a.acc, b.acc, "divergence with {threads} threads {sched:?}");
+                }
+                assert_eq!(seq.stats().messages, par.stats().messages);
+                assert_eq!(seq.stats().bits, par.stats().bits);
+                assert_eq!(seq.stats().peak_inbox, par.stats().peak_inbox);
+                assert_eq!(seq.stats().node_steps, par.stats().node_steps);
             }
-            assert_eq!(seq.stats().messages, par.stats().messages);
-            assert_eq!(seq.stats().bits, par.stats().bits);
-            assert_eq!(seq.stats().peak_inbox, par.stats().peak_inbox);
         }
     }
 
@@ -236,5 +440,113 @@ mod tests {
         let mut net = Network::new(topo, nodes, 9).with_threads(64);
         net.run_until_halt(100);
         assert!(net.all_halted());
+    }
+
+    /// Force true multi-worker execution — the fan-out throttle would
+    /// otherwise route every test-sized (and every single-core-machine)
+    /// round through the sequential path, leaving the partitioners
+    /// untested. `force_parallel` spawns one worker per requested
+    /// thread regardless of machine or workload.
+    #[test]
+    fn forced_workers_stay_identical_in_both_modes() {
+        let n = 64;
+        let topo = random_topo(n, 11);
+        let mk = || (0..n).map(|_| Gossip { acc: 0 }).collect::<Vec<_>>();
+        let mut seq = Network::new(topo.clone(), mk(), 29);
+        seq.run_until_halt(100);
+        for sched in [SchedMode::Sparse, SchedMode::Dense] {
+            for threads in [2, 3, 7] {
+                let mut par = Network::new(topo.clone(), mk(), 29)
+                    .with_threads(threads)
+                    .with_sched(sched);
+                par.force_parallel = true;
+                par.run_until_halt(100);
+                assert!(
+                    seq.nodes()
+                        .iter()
+                        .zip(par.nodes())
+                        .all(|(a, b)| a.acc == b.acc),
+                    "forced {threads}-worker {sched:?} diverged"
+                );
+                assert_eq!(seq.stats().messages, par.stats().messages);
+                assert_eq!(seq.stats().node_steps, par.stats().node_steps);
+                assert_eq!(seq.stats().peak_inbox, par.stats().peak_inbox);
+            }
+        }
+    }
+
+    /// The sparse partitioner slices the *active list*, whose node ids
+    /// are non-contiguous once nodes sleep or halt. Mix sleepers (every
+    /// third node parks between pings) and early-halting nodes into the
+    /// gossip so forced multi-worker rounds must split the slab around
+    /// real gaps, and compare against sequential execution.
+    #[derive(Clone)]
+    struct Patchy {
+        acc: u64,
+    }
+    impl Protocol for Patchy {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: Inbox<'_, u64>) {
+            for e in inbox.iter() {
+                self.acc = self.acc.rotate_left(5) ^ *e.msg;
+            }
+            let id = ctx.id();
+            if id % 5 == 4 && ctx.round() >= 3 {
+                ctx.halt(); // punch permanent holes in the id space
+                return;
+            }
+            if id.is_multiple_of(3) && !ctx.round().is_multiple_of(4) {
+                ctx.sleep(); // transient holes: woken by gossip mail
+                return;
+            }
+            if ctx.round() < 24 {
+                let token = ctx.rng().next();
+                ctx.send_all(token ^ self.acc);
+            } else {
+                ctx.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn forced_workers_partition_a_gappy_active_list() {
+        let n = 97; // odd size: uneven chunks + a trailing partial segment
+        let topo = random_topo(n, 13);
+        let mk = || (0..n).map(|_| Patchy { acc: 0 }).collect::<Vec<_>>();
+        let mut seq = Network::new(topo.clone(), mk(), 31);
+        seq.run_rounds(30);
+        for threads in [2, 5, 8] {
+            let mut par = Network::new(topo.clone(), mk(), 31).with_threads(threads);
+            par.force_parallel = true;
+            par.run_rounds(30);
+            assert!(
+                seq.nodes()
+                    .iter()
+                    .zip(par.nodes())
+                    .all(|(a, b)| a.acc == b.acc),
+                "{threads} forced workers diverged on a gappy active list"
+            );
+            assert_eq!(
+                seq.stats(),
+                par.stats(),
+                "{threads} workers: stats diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_mode_wake_does_not_grow_the_wake_list() {
+        let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let nodes = (0..4).map(|_| Gossip { acc: 0 }).collect::<Vec<_>>();
+        let mut net = Network::new(topo, nodes, 5).with_sched(SchedMode::Dense);
+        let baseline = net.wake_cur.len();
+        for _ in 0..50 {
+            net.wake(2);
+            net.step();
+        }
+        assert!(
+            net.wake_cur.len() <= baseline,
+            "dense-mode wake() must not accumulate wake-list entries"
+        );
     }
 }

@@ -18,6 +18,16 @@ pub struct RoundTrace {
     /// future changes that reintroduce per-round allocation show up
     /// here and can be regressed against.
     pub plane_allocs: u64,
+    /// Nodes actually stepped this round. Identical between the dense
+    /// and sparse schedulers (they step the same set by contract); the
+    /// sparse plane's round cost is proportional to this, not to `n`.
+    pub active: u64,
+    /// Scheduler slots examined that did *not* result in a step: the
+    /// dense sweep charges `n - active` here (the cost the sparse plane
+    /// removes), the sparse drain charges its stale wake-list entries
+    /// (normally 0). The one gauge that legitimately differs between
+    /// scheduling modes.
+    pub sched_overhead: u64,
 }
 
 /// Cumulative network statistics.
@@ -36,6 +46,13 @@ pub struct NetStats {
     /// Total message-plane allocations (construction + growth; a
     /// constant per network in steady state).
     pub plane_allocs: u64,
+    /// Total node steps executed (sum of [`RoundTrace::active`]). With
+    /// the sparse scheduler this is the quantity round cost is
+    /// proportional to; `node_steps ≪ rounds · n` is the asymptotic
+    /// win the activity-driven plane delivers.
+    pub node_steps: u64,
+    /// Total scheduler overhead (sum of [`RoundTrace::sched_overhead`]).
+    pub sched_overhead: u64,
     /// Messages per round, in order.
     pub per_round: Vec<RoundTrace>,
 }
@@ -73,17 +90,28 @@ impl NetStats {
         });
     }
 
-    /// Close out a round with its message-plane gauges (used by the
-    /// simulator's delivery path).
+    /// Close out a round with its message-plane and scheduler gauges
+    /// (used by the simulator's delivery path).
     #[inline]
-    pub fn record_round_gauges(&mut self, messages: u64, peak_inbox: u64, plane_allocs: u64) {
+    pub fn record_round_gauges(
+        &mut self,
+        messages: u64,
+        peak_inbox: u64,
+        plane_allocs: u64,
+        active: u64,
+        sched_overhead: u64,
+    ) {
         self.rounds += 1;
         self.peak_inbox = self.peak_inbox.max(peak_inbox);
         self.plane_allocs += plane_allocs;
+        self.node_steps += active;
+        self.sched_overhead += sched_overhead;
         self.per_round.push(RoundTrace {
             messages,
             peak_inbox,
             plane_allocs,
+            active,
+            sched_overhead,
         });
     }
 
@@ -96,6 +124,8 @@ impl NetStats {
         self.max_msg_bits = self.max_msg_bits.max(other.max_msg_bits);
         self.peak_inbox = self.peak_inbox.max(other.peak_inbox);
         self.plane_allocs += other.plane_allocs;
+        self.node_steps += other.node_steps;
+        self.sched_overhead += other.sched_overhead;
         self.per_round.extend_from_slice(&other.per_round);
     }
 
@@ -105,6 +135,16 @@ impl NetStats {
             0.0
         } else {
             self.messages as f64 / self.rounds as f64
+        }
+    }
+
+    /// Mean nodes stepped per round — the sparse scheduler's cost
+    /// metric (the dense sweep pays `n` per round regardless).
+    pub fn avg_active_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.node_steps as f64 / self.rounds as f64
         }
     }
 }

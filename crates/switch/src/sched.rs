@@ -16,7 +16,7 @@
 //!   (Hopcroft–Karp / Hungarian) bounding what any scheduler can do.
 
 use dgraph::{Graph, GraphBuilder, NodeId};
-use simnet::SplitMix64;
+use simnet::{ExecCfg, SplitMix64};
 
 /// A scheduling decision: `out[input] = Some(output)`.
 pub type Decision = Vec<Option<usize>>;
@@ -59,12 +59,25 @@ pub enum SchedulerKind {
 impl SchedulerKind {
     /// Instantiate for an `n`-port switch.
     pub fn build(self, n: usize, seed: u64) -> Box<dyn Scheduler> {
+        self.build_cfg(n, seed, ExecCfg::default())
+    }
+
+    /// Instantiate for an `n`-port switch under explicit execution
+    /// knobs: the distributed schedulers (Israeli–Itai and the paper's
+    /// LPS algorithms) run their per-cycle matching networks with
+    /// `exec`'s scheduler mode, thread count, and fault injection.
+    /// Centralized and hardware schedulers ignore it.
+    pub fn build_cfg(self, n: usize, seed: u64, exec: ExecCfg) -> Box<dyn Scheduler> {
         match self {
             SchedulerKind::Pim { iterations } => Box::new(Pim::new(n, iterations, seed)),
             SchedulerKind::Islip { iterations } => Box::new(Islip::new(n, iterations, seed)),
-            SchedulerKind::DistMaximal => Box::new(DistMaximal::new(seed)),
-            SchedulerKind::LpsBipartite { k } => Box::new(LpsBipartite::new(k, seed)),
-            SchedulerKind::LpsWeighted { epsilon } => Box::new(LpsWeighted::new(epsilon, seed)),
+            SchedulerKind::DistMaximal => Box::new(DistMaximal::new(seed).with_exec(exec)),
+            SchedulerKind::LpsBipartite { k } => {
+                Box::new(LpsBipartite::new(k, seed).with_exec(exec))
+            }
+            SchedulerKind::LpsWeighted { epsilon } => {
+                Box::new(LpsWeighted::new(epsilon, seed).with_exec(exec))
+            }
             SchedulerKind::MaxCardinality => Box::new(MaxCardinality),
             SchedulerKind::MaxWeight => Box::new(MaxWeight),
             SchedulerKind::Ilqf { iterations } => Box::new(Ilqf::new(n, iterations)),
@@ -258,6 +271,7 @@ pub struct DistMaximal {
     seed: u64,
     cycle: u64,
     rounds: u64,
+    exec: ExecCfg,
 }
 
 impl DistMaximal {
@@ -267,7 +281,14 @@ impl DistMaximal {
             seed,
             cycle: 0,
             rounds: 0,
+            exec: ExecCfg::default(),
         }
+    }
+
+    /// Run the per-cycle matching network under `exec`.
+    pub fn with_exec(mut self, exec: ExecCfg) -> Self {
+        self.exec = exec;
+        self
     }
 }
 
@@ -279,8 +300,11 @@ impl Scheduler for DistMaximal {
     fn schedule(&mut self, occ: &[Vec<usize>]) -> Decision {
         self.cycle += 1;
         let (g, _) = request_graph(occ);
-        let (m, stats) =
-            dmatch::israeli_itai::maximal_matching(&g, self.seed.wrapping_add(self.cycle));
+        let (m, stats) = dmatch::israeli_itai::maximal_matching_cfg(
+            &g,
+            self.seed.wrapping_add(self.cycle),
+            self.exec,
+        );
         self.rounds += stats.rounds;
         decision_from_matching(occ.len(), &m)
     }
@@ -296,6 +320,7 @@ pub struct LpsBipartite {
     seed: u64,
     cycle: u64,
     rounds: u64,
+    exec: ExecCfg,
 }
 
 impl LpsBipartite {
@@ -306,7 +331,14 @@ impl LpsBipartite {
             seed,
             cycle: 0,
             rounds: 0,
+            exec: ExecCfg::default(),
         }
+    }
+
+    /// Run the per-cycle matching network under `exec`.
+    pub fn with_exec(mut self, exec: ExecCfg) -> Self {
+        self.exec = exec;
+        self
     }
 }
 
@@ -318,7 +350,13 @@ impl Scheduler for LpsBipartite {
     fn schedule(&mut self, occ: &[Vec<usize>]) -> Decision {
         self.cycle += 1;
         let (g, sides) = request_graph(occ);
-        let out = dmatch::bipartite::run(&g, &sides, self.k, self.seed.wrapping_add(self.cycle));
+        let out = dmatch::bipartite::run_cfg(
+            &g,
+            &sides,
+            self.k,
+            self.seed.wrapping_add(self.cycle),
+            self.exec,
+        );
         self.rounds += out.stats.rounds;
         decision_from_matching(occ.len(), &out.matching)
     }
@@ -334,6 +372,7 @@ pub struct LpsWeighted {
     seed: u64,
     cycle: u64,
     rounds: u64,
+    exec: ExecCfg,
 }
 
 impl LpsWeighted {
@@ -344,7 +383,14 @@ impl LpsWeighted {
             seed,
             cycle: 0,
             rounds: 0,
+            exec: ExecCfg::default(),
         }
+    }
+
+    /// Run the per-cycle matching network under `exec`.
+    pub fn with_exec(mut self, exec: ExecCfg) -> Self {
+        self.exec = exec;
+        self
     }
 }
 
@@ -356,11 +402,12 @@ impl Scheduler for LpsWeighted {
     fn schedule(&mut self, occ: &[Vec<usize>]) -> Decision {
         self.cycle += 1;
         let (g, _) = request_graph(occ);
-        let run = dmatch::weighted::run(
+        let run = dmatch::weighted::run_cfg(
             &g,
             self.epsilon,
             dmatch::weighted::MwmBox::SeqClass,
             self.seed.wrapping_add(self.cycle),
+            self.exec,
         );
         self.rounds += run.stats.rounds;
         decision_from_matching(occ.len(), &run.matching)

@@ -143,6 +143,7 @@ fn percentile(xs: &mut [u64], q: f64) -> u64 {
 /// An input-queued switch driven by a scheduler.
 pub struct Simulator {
     cfg: SimConfig,
+    kind: SchedulerKind,
     voqs: Voqs,
     traffic: TrafficGen,
     sched: Box<dyn Scheduler>,
@@ -156,9 +157,23 @@ impl Simulator {
             voqs: Voqs::new(cfg.ports),
             traffic: TrafficGen::new(cfg.traffic, cfg.ports, cfg.seed),
             sched: kind.build(cfg.ports, cfg.seed.wrapping_add(0x5C4ED)),
+            kind,
             links: None,
             cfg,
         }
+    }
+
+    /// Run the distributed schedulers' per-cycle matching networks
+    /// under explicit execution knobs (scheduler mode / threads /
+    /// loss); see [`SchedulerKind::build_cfg`]. Results are
+    /// bit-identical across `exec.threads` and `exec.sched`. Must be
+    /// applied before [`Simulator::run`] (it rebuilds the scheduler,
+    /// so call it construction-style, like the other builders).
+    pub fn with_exec(mut self, exec: simnet::ExecCfg) -> Self {
+        self.sched = self
+            .kind
+            .build_cfg(self.cfg.ports, self.cfg.seed.wrapping_add(0x5C4ED), exec);
+        self
     }
 
     /// Inject time-varying link failures: the port topology the
@@ -382,6 +397,38 @@ mod tests {
             "3/4 of links down must cost throughput"
         );
         assert!(failing.link_downtime > 0.5);
+    }
+
+    #[test]
+    fn exec_knobs_are_unobservable_for_distributed_schedulers() {
+        use simnet::ExecCfg;
+        for kind in [
+            SchedulerKind::DistMaximal,
+            SchedulerKind::LpsBipartite { k: 2 },
+        ] {
+            let mk = |exec: ExecCfg| {
+                Simulator::new(
+                    SimConfig {
+                        ports: 4,
+                        cycles: 300,
+                        warmup: 50,
+                        traffic: TrafficModel::Uniform { load: 0.6 },
+                        seed: 11,
+                    },
+                    kind,
+                )
+                .with_exec(exec)
+                .run()
+            };
+            let sparse = mk(ExecCfg::sequential());
+            let dense = mk(ExecCfg::sequential().dense());
+            let par = mk(ExecCfg::parallel(4));
+            for other in [&dense, &par] {
+                assert_eq!(sparse.delivered, other.delivered, "{}", sparse.scheduler);
+                assert_eq!(sparse.sched_rounds, other.sched_rounds);
+                assert_eq!(sparse.final_backlog, other.final_backlog);
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Property suite for the dynamic-network engine (`dchurn`): after
 //! every epoch the repaired matching is valid and meets its
 //! algorithm's stated bound on the *current* graph, repair is
-//! bit-identical sequential vs. 8-thread, and repair beats full
-//! recompute at low churn (the E15 claim, asserted at test scale).
+//! bit-identical sequential vs. 8-thread **and** dense vs. sparse
+//! scheduling (the repair protocol sleeps through quiet rounds — churn
+//! rewires and message arrivals are its only wake-ups, so this suite
+//! exercises every wake path: rewire dirty sets, mail, and re-asserted
+//! sleep), and repair beats full recompute at low churn (the E15
+//! claim, asserted at test scale).
 
 use distributed_matching::dchurn::{ChurnModel, DynEngine, MutationBatch, RepairAlgo};
 use distributed_matching::dgraph::generators::random::gnp;
@@ -74,32 +78,77 @@ fn generic_repair_meets_its_bound_on_the_current_graph() {
 }
 
 #[test]
-fn repair_is_bit_identical_sequential_vs_eight_threads() {
-    let run = |threads: usize| {
+fn repair_is_bit_identical_across_executors_and_schedulers() {
+    let run = |cfg: ExecCfg| {
         let g = gnp(260, 7.0 / 260.0, 12);
         let mut eng = DynEngine::with_cfg(
             g,
             ChurnModel::EdgeChurn { rate: 0.06 },
             RepairAlgo::IncrementalMaximal,
             77,
-            ExecCfg::parallel(threads),
+            cfg,
         );
         eng.bootstrap();
         for _ in 0..8 {
             eng.step_epoch();
         }
         let mates = eng.matching().mates().to_vec();
-        let costs: Vec<(u64, u64, u64, u64)> = eng
+        let costs: Vec<(u64, u64, u64, u64, usize)> = eng
             .reports
             .iter()
-            .map(|r| (r.epoch, r.rounds, r.messages, r.bits))
+            .map(|r| (r.epoch, r.rounds, r.messages, r.bits, r.woken))
             .collect();
         (mates, costs)
     };
-    let (m1, c1) = run(1);
-    let (m8, c8) = run(8);
+    let (m1, c1) = run(ExecCfg::sequential());
+    let (m8, c8) = run(ExecCfg::parallel(8));
+    let (md, cd) = run(ExecCfg::sequential().dense());
+    let (md8, cd8) = run(ExecCfg::parallel(8).dense());
     assert_eq!(m1, m8, "matchings diverged across thread counts");
     assert_eq!(c1, c8, "per-epoch costs diverged across thread counts");
+    assert_eq!(m1, md, "matchings diverged across schedulers");
+    assert_eq!(c1, cd, "per-epoch costs diverged across schedulers");
+    assert_eq!(m1, md8, "matchings diverged (dense, 8 threads)");
+    assert_eq!(c1, cd8, "per-epoch costs diverged (dense, 8 threads)");
+}
+
+#[test]
+fn sparse_repair_steps_few_nodes_for_local_damage() {
+    // The activity-driven scheduler's core claim at the engine level:
+    // repairing one churned edge on a large cycle must *step* O(damage
+    // ball) nodes per round after the sync round, not O(n). (Messages
+    // were always local; node steps are what the sparse plane makes
+    // local too.)
+    let n = 400u32;
+    let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n - 1, 0));
+    let g = Graph::new(n as usize, edges);
+    let mut eng = DynEngine::new(g, ChurnModel::Trace, RepairAlgo::IncrementalMaximal, 5);
+    eng.bootstrap();
+    let steps_before = eng.net_stats().expect("maximal variant").node_steps;
+    let (u, v) = (0..n)
+        .find_map(|v| {
+            eng.matching()
+                .mate(v)
+                .filter(|&m| m == v + 1)
+                .map(|m| (v, m))
+        })
+        .expect("some consecutive matched pair");
+    let rep = eng
+        .step_with(MutationBatch {
+            added: vec![],
+            removed: vec![(u, v)],
+        })
+        .clone();
+    assert!(rep.maximal);
+    let stats = eng.net_stats().expect("maximal variant");
+    let epoch_steps = stats.node_steps - steps_before;
+    assert!(
+        epoch_steps <= 12 * rep.rounds,
+        "{epoch_steps} node steps over {} rounds to repair one edge — \
+         the sparse plane should keep the per-round active set near the damage",
+        rep.rounds
+    );
 }
 
 #[test]

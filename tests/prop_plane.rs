@@ -1,21 +1,38 @@
-//! Message-plane equivalence suite: sequential and 8-thread execution
-//! must produce **bit-identical** matchings and `NetStats` (including
-//! the per-round traces and plane gauges) for every algorithm of the
-//! paper, across random topology families, with and without fault
-//! injection.
+//! Message-plane equivalence suite: sequential and 8-thread execution,
+//! and the dense and sparse round schedulers, must produce
+//! **bit-identical** matchings and `NetStats` (including the per-round
+//! traces and plane gauges) for every algorithm of the paper, across
+//! random topology families, with and without fault injection.
 //!
 //! This is the contract the double-buffered plane was built around:
-//! the executor (thread count) is unobservable, and the fault-injection
-//! RNG stream is consumed in a fixed delivery order.
+//! the executor (thread count) and the scheduler (wake list vs. dense
+//! sweep) are unobservable, and the fault-injection RNG stream is
+//! consumed in a fixed delivery order. The sole sanctioned difference
+//! between scheduling modes is the `sched_overhead` gauge (the dense
+//! sweep charges its skipped-node scan there), which the comparisons
+//! below mask out.
 
 use distributed_matching::dgraph::generators::random::{bipartite_gnp, gnp, random_tree};
 use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
 use distributed_matching::dgraph::Graph;
 use distributed_matching::dmatch::runner::{self, Algorithm, TerminationMode};
 use distributed_matching::dmatch::weighted::MwmBox;
-use distributed_matching::simnet::ExecCfg;
+use distributed_matching::simnet::{ExecCfg, NetStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+
+/// A `NetStats` with the scheduler-overhead gauge masked out — every
+/// other field (rounds, messages, bits, message sizes, inbox peaks,
+/// plane allocations, node steps, full per-round traces) must agree
+/// bit-for-bit between the dense and sparse schedulers.
+fn masked(stats: &NetStats) -> NetStats {
+    let mut s = stats.clone();
+    s.sched_overhead = 0;
+    for r in &mut s.per_round {
+        r.sched_overhead = 0;
+    }
+    s
+}
 
 /// Serializes the two tests below: the lossy test swaps the *global*
 /// panic hook, which would otherwise silence diagnostics of the sibling
@@ -163,6 +180,113 @@ fn sequential_vs_parallel_bit_identical_all_algorithms() {
 }
 
 #[test]
+fn dense_vs_sparse_bit_identical_all_algorithms() {
+    let _serial = HOOK_LOCK.lock().unwrap();
+    for (label, g0, sides) in topologies() {
+        for alg in algorithms() {
+            if !applicable(&alg, &sides) {
+                continue;
+            }
+            let g = if weighted_input(&alg) {
+                apply_weights(&g0, WeightModel::Uniform(0.5, 4.0), 11)
+            } else {
+                g0.clone()
+            };
+            let sides_ref = sides.as_deref();
+            let sparse = runner::run_cfg(
+                &g,
+                sides_ref,
+                alg,
+                31,
+                TerminationMode::Oracle,
+                ExecCfg::sequential(),
+            );
+            let dense = runner::run_cfg(
+                &g,
+                sides_ref,
+                alg,
+                31,
+                TerminationMode::Oracle,
+                ExecCfg::sequential().dense(),
+            );
+            // 8-thread sparse against 8-thread dense as well: the
+            // active-list partitioner must agree with the dense chunks.
+            let dense_par = runner::run_cfg(
+                &g,
+                sides_ref,
+                alg,
+                31,
+                TerminationMode::Oracle,
+                ExecCfg::parallel(8).dense(),
+            );
+            assert_eq!(
+                sparse.matching, dense.matching,
+                "{label} / {}: matchings diverged between schedulers",
+                sparse.name
+            );
+            assert_eq!(
+                masked(&sparse.stats),
+                masked(&dense.stats),
+                "{label} / {}: NetStats diverged between schedulers",
+                sparse.name
+            );
+            assert_eq!(sparse.matching, dense_par.matching, "{label}");
+            assert_eq!(masked(&sparse.stats), masked(&dense_par.stats), "{label}");
+        }
+    }
+}
+
+#[test]
+fn dense_vs_sparse_bit_identical_under_loss() {
+    let _serial = HOOK_LOCK.lock().unwrap();
+    let hook = HookGuard::silence();
+    let mut outcomes = Vec::new();
+    for (label, g0, sides) in topologies() {
+        for alg in algorithms() {
+            if !applicable(&alg, &sides) {
+                continue;
+            }
+            let g = if weighted_input(&alg) {
+                apply_weights(&g0, WeightModel::Uniform(0.5, 4.0), 11)
+            } else {
+                g0.clone()
+            };
+            let sides_ref = sides.as_deref();
+            let lossy = |dense: bool| {
+                let cfg = ExecCfg {
+                    loss: 0.1,
+                    ..ExecCfg::sequential()
+                };
+                if dense {
+                    cfg.dense()
+                } else {
+                    cfg
+                }
+            };
+            let sparse = run_caught(&g, sides_ref, alg, 13, lossy(false));
+            let dense = run_caught(&g, sides_ref, alg, 13, lossy(true));
+            outcomes.push((label.clone(), alg, sparse, dense));
+        }
+    }
+    drop(hook);
+    for (label, alg, sparse, dense) in outcomes {
+        assert_eq!(
+            sparse.is_ok(),
+            dense.is_ok(),
+            "{label} / {alg:?}: one scheduler panicked, the other did not"
+        );
+        if let (Ok(s), Ok(d)) = (sparse, dense) {
+            assert_eq!(s.0, d.0, "{label} / {alg:?}: lossy matchings diverged");
+            assert_eq!(
+                masked(&s.1),
+                masked(&d.1),
+                "{label} / {alg:?}: lossy NetStats diverged"
+            );
+        }
+    }
+}
+
+#[test]
 fn sequential_vs_parallel_bit_identical_under_loss() {
     // Under 10% message loss some algorithms legitimately trip internal
     // invariants (a lost token breaks an augmentation); the contract
@@ -182,7 +306,10 @@ fn sequential_vs_parallel_bit_identical_under_loss() {
                 g0.clone()
             };
             let sides_ref = sides.as_deref();
-            let lossy = |threads| ExecCfg { threads, loss: 0.1 };
+            let lossy = |threads| ExecCfg {
+                loss: 0.1,
+                ..ExecCfg::parallel(threads)
+            };
             let seq = run_caught(&g, sides_ref, alg, 7, lossy(1));
             let par = run_caught(&g, sides_ref, alg, 7, lossy(8));
             outcomes.push((label.clone(), alg, seq, par));
