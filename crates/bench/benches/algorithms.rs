@@ -10,6 +10,7 @@ use bench_harness::timing::bench;
 use dgraph::generators::random::{bipartite_gnp, bipartite_regular, gnp};
 use dgraph::generators::weights::{apply_weights, WeightModel};
 use dmatch::weighted::MwmBox;
+use dmatch::{Algorithm, Session};
 use std::hint::black_box;
 
 fn report(group: &str, name: &str, runs: u32, f: impl FnMut()) {
@@ -21,36 +22,60 @@ fn bench_distributed() {
     for &n in &[256usize, 1024] {
         let g = gnp(n, 6.0 / n as f64, 1);
         report("distributed", &format!("israeli_itai/{n}"), 10, || {
-            black_box(dmatch::israeli_itai::maximal_matching(black_box(&g), 7));
+            black_box(
+                Session::on(black_box(&g))
+                    .algorithm(Algorithm::IsraeliItai)
+                    .seed(7)
+                    .build()
+                    .run_to_completion(),
+            );
         });
         let (bg, sides) = bipartite_regular(n / 2, 3, 2);
         report("distributed", &format!("bipartite_k3/{n}"), 10, || {
-            black_box(dmatch::bipartite::run(black_box(&bg), &sides, 3, 5));
+            black_box(
+                Session::on(black_box(&bg))
+                    .algorithm(Algorithm::Bipartite { k: 3 })
+                    .sides(&sides)
+                    .seed(5)
+                    .build()
+                    .run_to_completion(),
+            );
         });
     }
     let g = gnp(96, 0.06, 3);
     report("distributed", "generic_k2_n96", 10, || {
-        black_box(dmatch::generic::run(black_box(&g), 2, 9));
+        black_box(
+            Session::on(black_box(&g))
+                .algorithm(Algorithm::Generic { k: 2 })
+                .seed(9)
+                .build()
+                .run_to_completion(),
+        );
     });
     report("distributed", "general_k2_n96", 10, || {
-        black_box(dmatch::general::run_with(
-            black_box(&g),
-            2,
-            9,
-            dmatch::general::GeneralOpts {
-                iterations: None,
-                early_stop_after: Some(8),
-            },
-        ));
+        black_box(
+            Session::on(black_box(&g))
+                .algorithm(Algorithm::General {
+                    k: 2,
+                    early_stop: Some(8),
+                })
+                .seed(9)
+                .build()
+                .run_to_completion(),
+        );
     });
     let wg = apply_weights(&gnp(256, 0.03, 4), WeightModel::Exponential(1.0), 5);
     report("distributed", "weighted_eps02_n256", 10, || {
-        black_box(dmatch::weighted::run(
-            black_box(&wg),
-            0.2,
-            MwmBox::SeqClass,
-            3,
-        ));
+        black_box(
+            Session::on(black_box(&wg))
+                .algorithm(Algorithm::Weighted {
+                    epsilon: 0.2,
+                    mwm_box: MwmBox::SeqClass,
+                })
+                .seed(3)
+                .build()
+                .run_to_completion(),
+        );
     });
 }
 

@@ -9,8 +9,9 @@
 use bench_harness::{banner, f3, Table};
 use dgraph::generators::random::{bipartite_regular, gnp};
 use dgraph::generators::weights::{apply_weights, WeightModel};
-use dmatch::runner::{self, Algorithm, TerminationMode};
+use dmatch::runner;
 use dmatch::weighted::MwmBox;
+use dmatch::{Algorithm, Session, TerminationMode};
 
 fn main() {
     banner("E0", "all algorithms at a glance", "the whole paper");
@@ -46,7 +47,12 @@ fn main() {
             "2/3 whp".to_string(),
         ),
     ] {
-        let r = runner::run(&g, None, alg, 5, TerminationMode::Oracle);
+        let r = Session::on(&g)
+            .algorithm(alg)
+            .seed(5)
+            .termination(TerminationMode::Oracle)
+            .build()
+            .run_to_completion();
         t.row(vec![
             r.name.clone(),
             bound,
@@ -71,13 +77,12 @@ fn main() {
         "maxmsg(bits)",
     ]);
     for k in [2usize, 3, 5] {
-        let r = runner::run(
-            &bg,
-            Some(&sides),
-            Algorithm::Bipartite { k },
-            3,
-            TerminationMode::Oracle,
-        );
+        let r = Session::on(&bg)
+            .algorithm(Algorithm::Bipartite { k })
+            .sides(&sides)
+            .seed(3)
+            .build()
+            .run_to_completion();
         t.row(vec![
             r.name.clone(),
             format!("1-1/{k}"),
@@ -133,7 +138,11 @@ fn main() {
             "1/2-0.05".to_string(),
         ),
     ] {
-        let r = runner::run(&wg, None, alg, 9, TerminationMode::Oracle);
+        let r = Session::on(&wg)
+            .algorithm(alg)
+            .seed(9)
+            .build()
+            .run_to_completion();
         t.row(vec![
             r.name.clone(),
             bound,

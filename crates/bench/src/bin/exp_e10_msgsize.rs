@@ -7,6 +7,7 @@
 
 use bench_harness::{banner, Table};
 use dgraph::generators::random::{bipartite_regular, gnp};
+use dmatch::{Algorithm, Session};
 
 fn main() {
     banner(
@@ -26,25 +27,33 @@ fn main() {
     for &exp in &[6u32, 7, 8] {
         let n = 1usize << exp;
         let g = gnp(n, 5.0 / n as f64, exp as u64);
-        let gen = dmatch::generic::run(&g, 2, 1);
         let (bg, sides) = bipartite_regular(n / 2, 3, exp as u64);
-        let bip = dmatch::bipartite::run(&bg, &sides, 3, 2);
-        let gal = dmatch::general::run_with(
-            &g,
-            2,
-            3,
-            dmatch::general::GeneralOpts {
-                iterations: None,
-                early_stop_after: Some(8),
+        let run = |alg, sides: Option<&[bool]>, seed| {
+            let mut b = Session::on(if sides.is_some() { &bg } else { &g })
+                .algorithm(alg)
+                .seed(seed);
+            if let Some(sides) = sides {
+                b = b.sides(sides);
+            }
+            b.build().run_to_completion()
+        };
+        let gen = run(Algorithm::Generic { k: 2 }, None, 1);
+        let bip = run(Algorithm::Bipartite { k: 3 }, Some(&sides), 2);
+        let gal = run(
+            Algorithm::General {
+                k: 2,
+                early_stop: Some(8),
             },
+            None,
+            3,
         );
-        let (_, ii) = dmatch::israeli_itai::maximal_matching(&g, 4);
+        let ii = run(Algorithm::IsraeliItai, None, 4);
         t.row(vec![
             n.to_string(),
             gen.stats.max_msg_bits.to_string(),
             bip.stats.max_msg_bits.to_string(),
             gal.stats.max_msg_bits.to_string(),
-            ii.max_msg_bits.to_string(),
+            ii.stats.max_msg_bits.to_string(),
         ]);
     }
     t.print();
@@ -54,7 +63,12 @@ fn main() {
     let mut t = Table::new(vec!["Δ", "count-msg max (bits)", "≈ 4+3·log2(Δ)"]);
     for &d in &[2usize, 4, 8, 16, 32] {
         let (bg, sides) = bipartite_regular(256, d, 5 + d as u64);
-        let (m, _) = dmatch::israeli_itai::maximal_matching(&bg, 1);
+        let m = Session::on(&bg)
+            .algorithm(Algorithm::IsraeliItai)
+            .seed(1)
+            .build()
+            .run_to_completion()
+            .matching;
         let spec = dmatch::bipartite::SubgraphSpec::full_bipartite(&bg, &sides);
         let pass = dmatch::bipartite::count::run(&bg, &m, &spec, 5, 2);
         t.row(vec![

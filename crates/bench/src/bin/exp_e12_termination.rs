@@ -7,7 +7,7 @@
 
 use bench_harness::{banner, f2, Table};
 use dgraph::generators::random::gnp;
-use dmatch::runner::{self, Algorithm, TerminationMode};
+use dmatch::{Algorithm, Session, TerminationMode};
 
 fn main() {
     banner(
@@ -16,13 +16,14 @@ fn main() {
         "Section 2 conventions (ablation)",
     );
 
+    let (oracle, honest) = (TerminationMode::Oracle, TerminationMode::Honest);
     let mut t = Table::new(vec![
-        "n",
-        "algorithm",
-        "checks",
-        "oracle rounds",
-        "honest rounds",
-        "overhead×",
+        "n".to_string(),
+        "algorithm".to_string(),
+        "checks".to_string(),
+        format!("{oracle} rounds"),
+        format!("{honest} rounds"),
+        "overhead×".to_string(),
     ]);
     for &n in &[64usize, 256, 1024] {
         // Dense enough to be connected (honest mode needs connectivity).
@@ -38,8 +39,15 @@ fn main() {
                 mwm_box: dmatch::weighted::MwmBox::SeqClass,
             },
         ] {
-            let o = runner::run(&g, None, alg, 5, TerminationMode::Oracle);
-            let h = runner::run(&g, None, alg, 5, TerminationMode::Honest);
+            let run = |termination: TerminationMode| {
+                Session::on(&g)
+                    .algorithm(alg)
+                    .seed(5)
+                    .termination(termination)
+                    .build()
+                    .run_to_completion()
+            };
+            let (o, h) = (run(TerminationMode::Oracle), run(TerminationMode::Honest));
             assert_eq!(
                 o.matching.size(),
                 h.matching.size(),

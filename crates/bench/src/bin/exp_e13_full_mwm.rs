@@ -10,7 +10,7 @@
 use bench_harness::{banner, f3, mean, Table};
 use dgraph::generators::random::gnp;
 use dgraph::generators::weights::{apply_weights, WeightModel};
-use dmatch::weighted::{self, full_approx, MwmBox};
+use dmatch::weighted::{full_approx, MwmBox};
 
 fn main() {
     banner(
@@ -46,7 +46,14 @@ fn main() {
             ratios.push(r.matching.weight(&g) / opt);
             iters.push(r.iterations as f64);
             rounds.push(r.stats.rounds as f64);
-            let a5 = weighted::run(&g, 0.1, MwmBox::SeqClass, seed);
+            let a5 = dmatch::Session::on(&g)
+                .algorithm(dmatch::Algorithm::Weighted {
+                    epsilon: 0.1,
+                    mwm_box: MwmBox::SeqClass,
+                })
+                .seed(seed)
+                .build()
+                .run_to_completion();
             alg5.push(a5.matching.weight(&g) / opt);
         }
         t.row(vec![

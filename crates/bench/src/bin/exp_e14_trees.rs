@@ -1,4 +1,4 @@
-//! E14 — related work [12]: constant-round matching on trees.
+//! E14 — related work \[12\]: constant-round matching on trees.
 //!
 //! Hoepman, Kutten & Lotker (cited in the paper's history section)
 //! show a `(½-ε)`-MCM on trees in *expected constant* time. We measure

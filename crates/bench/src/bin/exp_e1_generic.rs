@@ -9,6 +9,7 @@
 
 use bench_harness::{banner, f2, f3, Table};
 use dgraph::generators::random::gnp;
+use dmatch::{Algorithm, Session};
 
 fn main() {
     banner(
@@ -33,14 +34,12 @@ fn main() {
             let mut maxmsg = 0u64;
             for seed in 0..3u64 {
                 let g = gnp(n, p, 1000 + seed);
-                let r = dmatch::generic::run(&g, k, seed);
-                let opt = dgraph::blossom::max_matching(&g).size();
-                let ratio = if opt == 0 {
-                    1.0
-                } else {
-                    r.matching.size() as f64 / opt as f64
-                };
-                ratios.push(ratio);
+                let r = Session::on(&g)
+                    .algorithm(Algorithm::Generic { k })
+                    .seed(seed)
+                    .build()
+                    .run_to_completion();
+                ratios.push(r.mcm_ratio(&g));
                 rounds.push(r.stats.rounds as f64);
                 maxmsg = maxmsg.max(r.stats.max_msg_bits);
             }

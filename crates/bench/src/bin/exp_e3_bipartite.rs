@@ -9,6 +9,7 @@
 
 use bench_harness::{banner, f2, f3, Table};
 use dgraph::generators::random::{bipartite_gnp, bipartite_regular};
+use dmatch::{Algorithm, Session};
 
 fn main() {
     banner(
@@ -29,7 +30,12 @@ fn main() {
         "maxmsg(bits)",
     ]);
     let mut run_case = |label: &str, g: &dgraph::Graph, sides: &[bool], k: usize, seed: u64| {
-        let out = dmatch::bipartite::run(g, sides, k, seed);
+        let out = Session::on(g)
+            .algorithm(Algorithm::Bipartite { k })
+            .sides(sides)
+            .seed(seed)
+            .build()
+            .run_to_completion();
         let opt = dgraph::hopcroft_karp::max_matching(g, sides).size();
         let ratio = if opt == 0 {
             1.0

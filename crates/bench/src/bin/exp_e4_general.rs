@@ -10,7 +10,7 @@
 use bench_harness::{banner, f3, Table};
 use dgraph::generators::random::gnp;
 use dgraph::generators::structured::cycle;
-use dmatch::general::{self, GeneralOpts};
+use dmatch::{general, Algorithm, Session};
 
 fn main() {
     banner(
@@ -38,17 +38,17 @@ fn main() {
     ];
     for (label, g) in &cases {
         for k in [2usize, 3] {
-            let opts = GeneralOpts {
-                iterations: None,
-                early_stop_after: Some(25),
-            };
-            let r = general::run_with(g, k, 17 + k as u64, opts);
-            let opt = dgraph::blossom::max_matching(g).size();
-            let ratio = if opt == 0 {
-                1.0
-            } else {
-                r.matching.size() as f64 / opt as f64
-            };
+            let mut s = Session::on(g)
+                .algorithm(Algorithm::General {
+                    k,
+                    early_stop: Some(25),
+                })
+                .seed(17 + k as u64)
+                .build();
+            let r = s.run_to_completion();
+            let iterations = s.phase_log().len() as u64;
+            let applied: u64 = s.phase_log().iter().map(|p| p.applied).sum();
+            let ratio = r.mcm_ratio(g);
             t.row(vec![
                 label.to_string(),
                 g.n().to_string(),
@@ -56,8 +56,8 @@ fn main() {
                 f3(1.0 - 1.0 / k as f64),
                 f3(ratio),
                 general::iteration_bound(k).to_string(),
-                r.iterations.to_string(),
-                r.applied.to_string(),
+                iterations.to_string(),
+                applied.to_string(),
                 r.stats.rounds.to_string(),
             ]);
         }

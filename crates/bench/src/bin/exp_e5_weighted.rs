@@ -17,7 +17,8 @@ use bench_harness::{banner, f2, f3, mean, Table};
 use dgraph::generators::random::{bipartite_gnp, gnp};
 use dgraph::generators::weights::{apply_weights, WeightModel};
 use dgraph::{Graph, NodeId};
-use dmatch::weighted::{self, MwmBox};
+use dmatch::weighted::MwmBox;
+use dmatch::{Algorithm, Session};
 
 fn weighted_case(n: usize, seed: u64) -> (Graph, Vec<bool>) {
     let (g0, sides) = bipartite_gnp(n / 2, n / 2, 6.0 / (n / 2) as f64, seed);
@@ -51,7 +52,14 @@ fn main() {
         let mut iters = 0;
         for seed in 0..4u64 {
             let (g, sides) = weighted_case(64, 100 + seed);
-            let r = weighted::run(&g, eps, MwmBox::SeqClass, seed);
+            let mut s = Session::on(&g)
+                .algorithm(Algorithm::Weighted {
+                    epsilon: eps,
+                    mwm_box: MwmBox::SeqClass,
+                })
+                .seed(seed)
+                .build();
+            let r = s.run_to_completion();
             let opt = dgraph::hungarian::max_weight_matching(&g, &sides).weight(&g);
             ratios.push(if opt <= 0.0 {
                 1.0
@@ -59,7 +67,7 @@ fn main() {
                 r.matching.weight(&g) / opt
             });
             rounds.push(r.stats.rounds as f64);
-            iters = r.iterations;
+            iters = s.phase_log().len() as u64;
         }
         let delta = MwmBox::SeqClass.nominal_delta();
         let pred = 0.5 * (1.0 - (-2.0 * delta * iters as f64 / 3.0).exp());
@@ -108,7 +116,14 @@ fn main() {
             }
             let (m, _) = mwm_box.run(&g, seed);
             standalone.push(m.weight(&g) / opt);
-            let r = weighted::run(&g, 0.1, mwm_box, seed);
+            let r = Session::on(&g)
+                .algorithm(Algorithm::Weighted {
+                    epsilon: 0.1,
+                    mwm_box,
+                })
+                .seed(seed)
+                .build()
+                .run_to_completion();
             alg5.push(r.matching.weight(&g) / opt);
             rounds.push(r.stats.rounds as f64);
         }
@@ -137,7 +152,14 @@ fn main() {
         f3(ld.weight(&g) / opt),
         ld_stats.rounds.to_string(),
     ]);
-    let r = weighted::run(&g, 0.1, MwmBox::SeqClass, 2);
+    let r = Session::on(&g)
+        .algorithm(Algorithm::Weighted {
+            epsilon: 0.1,
+            mwm_box: MwmBox::SeqClass,
+        })
+        .seed(2)
+        .build()
+        .run_to_completion();
     t.row(vec![
         "Algorithm 5 (SeqClass box)".to_string(),
         f3(r.matching.weight(&g) / opt),

@@ -1,7 +1,7 @@
 //! E8 — the introduction's application: input-queued switch scheduling.
 //!
 //! The paper motivates matching quality with switch throughput and
-//! cites PIM [3] and iSLIP [23] as the practical lineage of
+//! cites PIM \[3\] and iSLIP \[23\] as the practical lineage of
 //! Israeli–Itai. We sweep offered load under uniform, diagonal, and
 //! bursty traffic and report normalized throughput and mean delay per
 //! scheduler, including the paper's algorithms as schedulers.

@@ -9,6 +9,7 @@ use bench_harness::{banner, f2, Table};
 use dgraph::generators::random::{bipartite_regular, gnp};
 use dgraph::generators::weights::{apply_weights, WeightModel};
 use dmatch::weighted::MwmBox;
+use dmatch::{Algorithm, Session};
 
 fn main() {
     banner(
@@ -35,31 +36,46 @@ fn main() {
 
         // Israeli–Itai on sparse gnp.
         let g = gnp(n, 6.0 / n as f64, 31 + exp as u64);
-        let (_, ii) = dmatch::israeli_itai::maximal_matching(&g, exp as u64);
+        let ii = Session::on(&g)
+            .algorithm(Algorithm::IsraeliItai)
+            .seed(exp as u64)
+            .build()
+            .run_to_completion();
 
         // Bipartite Theorem 3.8 on 3-regular bipartite (n/2 per side).
         let (bg, sides) = bipartite_regular(n / 2, 3, 77 + exp as u64);
-        let bip = dmatch::bipartite::run(&bg, &sides, 3, exp as u64);
+        let bip = Session::on(&bg)
+            .algorithm(Algorithm::Bipartite { k: 3 })
+            .sides(&sides)
+            .seed(exp as u64)
+            .build()
+            .run_to_completion();
 
         // General Algorithm 4 with early stop.
-        let gen = dmatch::general::run_with(
-            &g,
-            2,
-            exp as u64,
-            dmatch::general::GeneralOpts {
-                iterations: None,
-                early_stop_after: Some(10),
-            },
-        );
+        let gen = Session::on(&g)
+            .algorithm(Algorithm::General {
+                k: 2,
+                early_stop: Some(10),
+            })
+            .seed(exp as u64)
+            .build()
+            .run_to_completion();
 
         // Weighted Algorithm 5 (SeqClass box is O(log² n) itself).
         let wg = apply_weights(&g, WeightModel::Exponential(1.0), exp as u64);
-        let mwm = dmatch::weighted::run(&wg, 0.2, MwmBox::SeqClass, exp as u64);
+        let mwm = Session::on(&wg)
+            .algorithm(Algorithm::Weighted {
+                epsilon: 0.2,
+                mwm_box: MwmBox::SeqClass,
+            })
+            .seed(exp as u64)
+            .build()
+            .run_to_completion();
 
         t.row(vec![
             n.to_string(),
-            ii.rounds.to_string(),
-            f2(ii.rounds as f64 / logn),
+            ii.stats.rounds.to_string(),
+            f2(ii.stats.rounds as f64 / logn),
             bip.stats.rounds.to_string(),
             f2(bip.stats.rounds as f64 / logn),
             gen.stats.rounds.to_string(),

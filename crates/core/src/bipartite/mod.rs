@@ -212,21 +212,37 @@ pub struct PhaseOutcome {
 /// ```
 /// use dgraph::generators::random::bipartite_gnp;
 /// let (g, sides) = bipartite_gnp(30, 30, 0.1, 5);
+/// #[allow(deprecated)]
 /// let out = dmatch::bipartite::run(&g, &sides, 3, 42);
 /// let opt = dgraph::hopcroft_karp::max_matching(&g, &sides).size();
 /// assert!(out.matching.size() as f64 >= (1.0 - 1.0 / 3.0) * opt as f64);
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::Bipartite { k }).sides(sides)`"
+)]
+#[allow(deprecated)]
 pub fn run(g: &Graph, sides: &[bool], k: usize, seed: u64) -> AugOutcome {
     run_phased(g, sides, k, seed).0
 }
 
 /// [`run`] under explicit execution knobs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::Bipartite { k }).sides(sides).exec(cfg)`"
+)]
+#[allow(deprecated)]
 pub fn run_cfg(g: &Graph, sides: &[bool], k: usize, seed: u64, cfg: ExecCfg) -> AugOutcome {
     run_phased_cfg(g, sides, k, seed, cfg).0
 }
 
 /// Like [`run`], additionally returning a per-phase log (used by the
 /// E3 experiment and the phase-invariant tests).
+#[deprecated(
+    since = "0.1.0",
+    note = "drive a Bipartite session stepwise: `Session::step()` + `Session::phase_log()`"
+)]
+#[allow(deprecated)]
 pub fn run_phased(
     g: &Graph,
     sides: &[bool],
@@ -236,7 +252,14 @@ pub fn run_phased(
     run_phased_cfg(g, sides, k, seed, ExecCfg::default())
 }
 
-/// [`run_phased`] under explicit execution knobs.
+/// [`run_phased`] under explicit execution knobs. The phase schedule
+/// (`ℓ = 2·phase + 1`, seed offset `0x1000·ℓ`) must stay aligned with
+/// the `dmatch::session` Bipartite driver, which re-implements this
+/// loop stepwise (asserted bit-identical by `tests/prop_session.rs`).
+#[deprecated(
+    since = "0.1.0",
+    note = "drive a Bipartite session stepwise: `Session::step()` + `Session::phase_log()`"
+)]
 pub fn run_phased_cfg(
     g: &Graph,
     sides: &[bool],
@@ -328,6 +351,7 @@ pub(crate) fn mate_ports(g: &Graph, m: &Matching) -> Vec<Option<usize>> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay covered until they are removed
 mod tests {
     use super::*;
     use dgraph::generators::random::{bipartite_gnp, bipartite_regular};

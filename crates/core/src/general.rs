@@ -49,59 +49,95 @@ pub struct GeneralRun {
     pub stats: NetStats,
 }
 
+/// The RNG stream drawing the red/blue colorings. Both the legacy
+/// entry points and the `dmatch::session` driver must derive it
+/// identically (asserted bit-identical by `tests/prop_session.rs`).
+pub(crate) fn color_rng(seed: u64) -> SplitMix64 {
+    SplitMix64::for_node(seed, 0x000C_010B)
+}
+
+/// One sampling iteration of Algorithm 4 (Lines 3–6): color, build `Ĝ`,
+/// `Aug`, apply — the single source of truth shared by
+/// [`run_with_cfg`]'s loop and the stepwise `dmatch::session` driver.
+/// Returns the number of augmenting paths applied.
+#[allow(clippy::too_many_arguments)] // the phase contract: graph, state, schedule, knobs
+pub(crate) fn sample_iteration(
+    g: &Graph,
+    m: &mut Matching,
+    ell: usize,
+    it: u64,
+    seed: u64,
+    cfg: ExecCfg,
+    rng: &mut SplitMix64,
+    stats: &mut NetStats,
+) -> usize {
+    // Line 3: random red/blue coloring. Each node draws one bit and
+    // tells its neighbors — one round of 1-bit messages.
+    let colors: Vec<bool> = (0..g.n()).map(|_| rng.bernoulli(0.5)).collect();
+    stats.record_messages(2 * g.m() as u64, 1);
+    stats.record_round(2 * g.m() as u64);
+
+    // Line 4: Ĝ. Line 5: Aug(Ĝ, M, 2k-1). Line 6: M ← M ⊕ P.
+    let spec = SubgraphSpec::from_coloring(g, m, &colors);
+    let out =
+        bipartite::aug_until_maximal_cfg(g, m, &spec, ell, seed ^ (it.wrapping_mul(0x9E37)), cfg);
+    stats.absorb(&out.stats);
+    *m = out.matching;
+    out.applied
+}
+
 /// Run Algorithm 4 with the paper's default budget.
 ///
 /// ```
 /// use dgraph::generators::structured::cycle;
 /// // Odd cycles are non-bipartite: this is Algorithm 4's territory.
 /// let g = cycle(15);
+/// #[allow(deprecated)]
 /// let r = dmatch::general::run(&g, 2, 3);
 /// assert!(2 * r.matching.size() >= dgraph::blossom::max_matching(&g).size());
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::General { k, early_stop: None })`"
+)]
+#[allow(deprecated)]
 pub fn run(g: &Graph, k: usize, seed: u64) -> GeneralRun {
     run_with(g, k, seed, GeneralOpts::default())
 }
 
 /// Run Algorithm 4 with explicit options.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::General { k, early_stop })` \
+            (+ `.sampling_iterations(n)` for an explicit budget)"
+)]
+#[allow(deprecated)]
 pub fn run_with(g: &Graph, k: usize, seed: u64, opts: GeneralOpts) -> GeneralRun {
     run_with_cfg(g, k, seed, opts, ExecCfg::default())
 }
 
 /// [`run_with`] under explicit execution knobs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::General { k, early_stop }).exec(cfg)`"
+)]
 pub fn run_with_cfg(g: &Graph, k: usize, seed: u64, opts: GeneralOpts, cfg: ExecCfg) -> GeneralRun {
     assert!(k >= 1, "k must be positive");
     let budget = opts.iterations.unwrap_or_else(|| iteration_bound(k));
     let ell = 2 * k - 1;
     let mut m = Matching::new(g.n());
     let mut stats = NetStats::default();
-    let mut rng = SplitMix64::for_node(seed, 0x000C_010B);
+    let mut rng = color_rng(seed);
     let mut applied = 0usize;
     let mut idle_streak = 0u64;
     let mut iterations = 0u64;
 
     for it in 0..budget {
         iterations = it + 1;
-        // Line 3: random red/blue coloring. Each node draws one bit and
-        // tells its neighbors — one round of 1-bit messages.
-        let colors: Vec<bool> = (0..g.n()).map(|_| rng.bernoulli(0.5)).collect();
-        stats.record_messages(2 * g.m() as u64, 1);
-        stats.record_round(2 * g.m() as u64);
+        let newly = sample_iteration(g, &mut m, ell, it, seed, cfg, &mut rng, &mut stats);
+        applied += newly;
 
-        // Line 4: Ĝ. Line 5: Aug(Ĝ, M, 2k-1). Line 6: M ← M ⊕ P.
-        let spec = SubgraphSpec::from_coloring(g, &m, &colors);
-        let out = bipartite::aug_until_maximal_cfg(
-            g,
-            &m,
-            &spec,
-            ell,
-            seed ^ (it.wrapping_mul(0x9E37)),
-            cfg,
-        );
-        stats.absorb(&out.stats);
-        applied += out.applied;
-        m = out.matching;
-
-        if out.applied == 0 {
+        if newly == 0 {
             idle_streak += 1;
             if opts.early_stop_after.is_some_and(|s| idle_streak >= s) {
                 break;
@@ -119,6 +155,7 @@ pub fn run_with_cfg(g: &Graph, k: usize, seed: u64, opts: GeneralOpts, cfg: Exec
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay covered until they are removed
 mod tests {
     use super::*;
     use dgraph::generators::random::gnp;

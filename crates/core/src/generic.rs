@@ -268,14 +268,24 @@ pub struct GenericRun {
 /// Run Algorithm 1 with parameter `k` (phases `ℓ = 1, 3, …, 2k-1`),
 /// producing a `(1 - 1/(k+1))`-approximate maximum cardinality
 /// matching of `g`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dmatch::session::Session::on(g).algorithm(Algorithm::Generic { k })` (see the \
+            migration table in the crate docs)"
+)]
+#[allow(deprecated)]
 pub fn run(g: &Graph, k: usize, seed: u64) -> GenericRun {
     run_cfg(g, k, seed, ExecCfg::default())
 }
 
 /// [`run`] under explicit execution knobs (threads / fault injection
 /// apply to the measured ball-gathering phases).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::Generic { k }).exec(cfg)`"
+)]
 pub fn run_cfg(g: &Graph, k: usize, seed: u64, cfg: ExecCfg) -> GenericRun {
-    run_from_cfg(g, &Matching::new(g.n()), k, seed, cfg)
+    run_inner(g, &Matching::new(g.n()), k, seed, cfg, None)
 }
 
 /// Warm-start entry point: run the phases `ℓ = 1, 3, …, 2k-1` starting
@@ -289,11 +299,20 @@ pub fn run_cfg(g: &Graph, k: usize, seed: u64, cfg: ExecCfg) -> GenericRun {
 /// warm start (e.g. the surviving matching after churn) leaves far
 /// fewer augmenting paths, which shrinks the conflict graphs and the
 /// charged MIS/augmentation traffic.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::Generic { k }).warm_start(initial)`"
+)]
+#[allow(deprecated)]
 pub fn run_from(g: &Graph, initial: &Matching, k: usize, seed: u64) -> GenericRun {
     run_from_cfg(g, initial, k, seed, ExecCfg::default())
 }
 
 /// [`run_from`] under explicit execution knobs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::Generic { k }).warm_start(initial).exec(cfg)`"
+)]
 pub fn run_from_cfg(
     g: &Graph,
     initial: &Matching,
@@ -319,11 +338,20 @@ pub fn run_from_cfg(
 /// `damage`, so restricting the flooding region loses nothing
 /// (debug-asserted). With no damage the previous guarantee still holds
 /// and the repair is free.
+#[deprecated(
+    since = "0.1.0",
+    note = "complete a Generic session, then `Session::resume_after_rewire(RewirePatch::new(g, damage))`"
+)]
+#[allow(deprecated)]
 pub fn repair(g: &Graph, initial: &Matching, damage: &[NodeId], k: usize, seed: u64) -> GenericRun {
     repair_cfg(g, initial, damage, k, seed, ExecCfg::default())
 }
 
 /// [`repair`] under explicit execution knobs.
+#[deprecated(
+    since = "0.1.0",
+    note = "complete a Generic session, then `Session::resume_after_rewire(RewirePatch::new(g, damage))`"
+)]
 pub fn repair_cfg(
     g: &Graph,
     initial: &Matching,
@@ -343,8 +371,11 @@ pub fn repair_cfg(
     run_inner(g, initial, k, seed, cfg, Some(region))
 }
 
-/// `region[v]` = v is within `radius` hops of a seed.
-fn ball(g: &Graph, seeds: &[NodeId], radius: usize) -> Vec<bool> {
+/// `region[v]` = v is within `radius` hops of a seed. Shared with the
+/// session driver ([`crate::session::Session::resume_after_rewire`]),
+/// which restricts repair gathering to `B(damage, 4k+2)` exactly like
+/// [`repair_cfg`].
+pub(crate) fn ball(g: &Graph, seeds: &[NodeId], radius: usize) -> Vec<bool> {
     let mut dist = vec![usize::MAX; g.n()];
     let mut queue = std::collections::VecDeque::new();
     for &s in seeds {
@@ -368,6 +399,102 @@ fn ball(g: &Graph, seeds: &[NodeId], radius: usize) -> Vec<bool> {
     dist.into_iter().map(|d| d != usize::MAX).collect()
 }
 
+/// The RNG stream feeding the conflict-graph MIS priorities. Both the
+/// legacy entry points and the `dmatch::session` driver must derive the
+/// stream identically, or their runs diverge (asserted bit-identical by
+/// `tests/prop_session.rs`).
+pub(crate) fn mis_rng(seed: u64) -> SplitMix64 {
+    SplitMix64::for_node(seed, 0xA160)
+}
+
+/// One phase of Algorithm 1 (`ℓ = 2·phase_idx + 1`): ball gathering,
+/// conflict-graph MIS, augmentation — the single source of truth shared
+/// by [`run_from_cfg`]'s loop and the stepwise `dmatch::session` driver.
+#[allow(clippy::too_many_arguments)] // the phase contract: graph, state, schedule, knobs
+pub(crate) fn phase_step(
+    g: &Graph,
+    m: &mut Matching,
+    phase_idx: usize,
+    seed: u64,
+    cfg: ExecCfg,
+    region: Option<&[bool]>,
+    rng: &mut SplitMix64,
+    stats: &mut NetStats,
+) -> PhaseLog {
+    let ell = 2 * phase_idx + 1;
+    let id_bits = simnet::id_bits(g.n());
+    // Step 4 (Algorithm 2): gather distance-2ℓ balls, real messages.
+    let (views, gstats) =
+        gather_balls_region(g, m, 2 * ell, seed.wrapping_add(ell as u64), cfg, region);
+    stats.absorb(&gstats);
+
+    // Enumerate the conflict-graph nodes. (Each node could do this
+    // from its view — the tests verify that every path and its
+    // conflicts are visible in the gathered balls — but we run the
+    // enumeration once globally for speed.)
+    let paths = enumerate_augmenting_paths(g, m, ell);
+    if let Some(region) = region {
+        // Incremental runs: every augmenting path must live inside
+        // the damage ball (see `repair`). A path outside it means
+        // the warm start violated the precondition (it still had
+        // short augmenting paths away from the damage) — silently
+        // skipping such paths would return a matching below the
+        // promised bound, so fail loudly instead.
+        assert!(
+            paths.iter().all(|p| p.iter().all(|&v| region[v as usize])),
+            "phase {ell}: an augmenting path escaped the damage ball — \
+             incremental repair requires a warm start with no augmenting \
+             path of length ≤ 2k-1 outside the churned region (use a \
+             plain warm start for arbitrary starting matchings)"
+        );
+    }
+    debug_assert!(
+        paths.iter().all(|p| p.len() == ell + 1),
+        "phase {ell}: all augmenting paths must have length exactly ℓ (Lemma 3.4 invariant)"
+    );
+    debug_assert!(
+        paths.iter().all(|p| p.iter().all(|&v| {
+            p.windows(2).all(|w| {
+                let e = g.edge_between(w[0], w[1]).unwrap();
+                let (a, b) = g.endpoints(e);
+                views[v as usize].contains(&ViewItem::Edge(a, b, m.contains(g, e)))
+            })
+        })),
+        "phase {ell}: some node cannot see a path through it in its gathered ball"
+    );
+
+    // Step 5: MIS on C_M(ℓ) via Luby, charged per Lemma 3.3.
+    let cm = conflict_graph_mis(g.n(), &paths, rng);
+    debug_assert!({
+        let chosen = cm.chosen.clone();
+        is_maximal_disjoint(g, &paths, &chosen)
+    });
+    // Charging: each conflict-graph round is emulated by O(ℓ)
+    // routing rounds in G; each alive path moves one token of
+    // O(ℓ·log n) bits per hop.
+    let token_bits = (ell as u64) * (id_bits + 64);
+    for _ in 0..cm.iterations * ell as u64 {
+        stats.record_round(0);
+    }
+    stats.record_messages(cm.alive_work * ell as u64, token_bits);
+
+    // Step 7: apply the augmentations; leaders notify along paths.
+    for &i in &cm.chosen {
+        m.augment_path(g, &paths[i]);
+    }
+    for _ in 0..ell {
+        stats.record_round(cm.chosen.len() as u64);
+    }
+
+    PhaseLog {
+        ell,
+        conflict_nodes: paths.len(),
+        applied: cm.chosen.len(),
+        mis_iterations: cm.iterations,
+        matching_size: m.size(),
+    }
+}
+
 fn run_inner(
     g: &Graph,
     initial: &Matching,
@@ -381,90 +508,22 @@ fn run_inner(
     debug_assert!(m.validate(g).is_ok(), "warm start must be a valid matching");
     let mut stats = NetStats::default();
     let mut phases = Vec::new();
-    let mut rng = SplitMix64::for_node(seed, 0xA160); // MIS priorities
-    let id_bits = simnet::id_bits(g.n());
+    let mut rng = mis_rng(seed); // MIS priorities
 
     for phase_idx in 0..k {
-        let ell = 2 * phase_idx + 1;
         if g.n() == 0 {
             break;
         }
-        // Step 4 (Algorithm 2): gather distance-2ℓ balls, real messages.
-        let (views, gstats) = gather_balls_region(
+        phases.push(phase_step(
             g,
-            &m,
-            2 * ell,
-            seed.wrapping_add(ell as u64),
+            &mut m,
+            phase_idx,
+            seed,
             cfg,
             region.as_deref(),
-        );
-        stats.absorb(&gstats);
-
-        // Enumerate the conflict-graph nodes. (Each node could do this
-        // from its view — the tests verify that every path and its
-        // conflicts are visible in the gathered balls — but we run the
-        // enumeration once globally for speed.)
-        let paths = enumerate_augmenting_paths(g, &m, ell);
-        if let Some(region) = &region {
-            // Incremental runs: every augmenting path must live inside
-            // the damage ball (see `repair`). A path outside it means
-            // the warm start violated the precondition (it still had
-            // short augmenting paths away from the damage) — silently
-            // skipping such paths would return a matching below the
-            // promised bound, so fail loudly instead.
-            assert!(
-                paths.iter().all(|p| p.iter().all(|&v| region[v as usize])),
-                "phase {ell}: an augmenting path escaped the damage ball — \
-                 `repair` requires a warm start with no augmenting path of \
-                 length ≤ 2k-1 outside the churned region (use `run_from` \
-                 for arbitrary starting matchings)"
-            );
-        }
-        debug_assert!(
-            paths.iter().all(|p| p.len() == ell + 1),
-            "phase {ell}: all augmenting paths must have length exactly ℓ (Lemma 3.4 invariant)"
-        );
-        debug_assert!(
-            paths.iter().all(|p| p.iter().all(|&v| {
-                p.windows(2).all(|w| {
-                    let e = g.edge_between(w[0], w[1]).unwrap();
-                    let (a, b) = g.endpoints(e);
-                    views[v as usize].contains(&ViewItem::Edge(a, b, m.contains(g, e)))
-                })
-            })),
-            "phase {ell}: some node cannot see a path through it in its gathered ball"
-        );
-
-        // Step 5: MIS on C_M(ℓ) via Luby, charged per Lemma 3.3.
-        let cm = conflict_graph_mis(g.n(), &paths, &mut rng);
-        debug_assert!({
-            let chosen = cm.chosen.clone();
-            is_maximal_disjoint(g, &paths, &chosen)
-        });
-        // Charging: each conflict-graph round is emulated by O(ℓ)
-        // routing rounds in G; each alive path moves one token of
-        // O(ℓ·log n) bits per hop.
-        let token_bits = (ell as u64) * (id_bits + 64);
-        for _ in 0..cm.iterations * ell as u64 {
-            stats.record_round(0);
-        }
-        stats.record_messages(cm.alive_work * ell as u64, token_bits);
-
-        // Step 7: apply the augmentations; leaders notify along paths.
-        for &i in &cm.chosen {
-            m.augment_path(g, &paths[i]);
-        }
-        for _ in 0..ell {
-            stats.record_round(cm.chosen.len() as u64);
-        }
-
-        phases.push(PhaseLog {
-            ell,
-            conflict_nodes: paths.len(),
-            applied: cm.chosen.len(),
-            mis_iterations: cm.iterations,
-            matching_size: m.size(),
-        });
+            &mut rng,
+            &mut stats,
+        ));
     }
     GenericRun {
         matching: m,
@@ -474,6 +533,7 @@ fn run_inner(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay covered until they are removed
 mod tests {
     use super::*;
     use dgraph::generators::random::{bipartite_gnp, gnp};

@@ -13,7 +13,7 @@
 //! A node halts once it is matched (after announcing) or all of its
 //! neighbors are matched — so the result is always a *maximal*
 //! matching, which is a ½-approximation of the maximum. The number of
-//! iterations is `O(log n)` with high probability [15].
+//! iterations is `O(log n)` with high probability \[15\].
 //!
 //! Messages are constant-size (2-bit tags), well inside CONGEST.
 
@@ -161,13 +161,20 @@ pub fn round_budget(n: usize) -> u64 {
 /// Run Israeli–Itai to completion on `g`, starting from `initial`
 /// (pass the empty matching for the classical algorithm). Returns the
 /// resulting *maximal* matching and the network statistics.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::IsraeliItai).warm_start(initial)`"
+)]
 pub fn maximal_matching_from(g: &Graph, initial: &Matching, seed: u64) -> (Matching, NetStats) {
     maximal_matching_from_cfg(g, initial, seed, ExecCfg::default())
 }
 
-/// [`maximal_matching_from`] under explicit execution knobs (worker
+/// The Israeli–Itai primitive every higher layer builds on: run to
+/// completion from `initial` under explicit execution knobs (worker
 /// threads / fault injection) — results are bit-identical across
-/// thread counts.
+/// thread counts. Prefer driving it through `dmatch::session::Session`
+/// (`Algorithm::IsraeliItai`); this function stays public as the
+/// building block for compound protocols (weight classes, schedulers).
 pub fn maximal_matching_from_cfg(
     g: &Graph,
     initial: &Matching,
@@ -195,15 +202,24 @@ pub fn maximal_matching_from_cfg(
 /// ```
 /// use dgraph::generators::random::gnp;
 /// let g = gnp(100, 0.05, 1);
+/// #[allow(deprecated)]
 /// let (m, stats) = dmatch::israeli_itai::maximal_matching(&g, 7);
 /// assert!(m.is_maximal(&g));            // ⇒ a ½-approximation
 /// assert!(stats.max_msg_bits <= 2);     // constant-size messages
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::IsraeliItai)` (see the crate-docs migration table)"
+)]
 pub fn maximal_matching(g: &Graph, seed: u64) -> (Matching, NetStats) {
-    maximal_matching_from(g, &Matching::new(g.n()), seed)
+    maximal_matching_from_cfg(g, &Matching::new(g.n()), seed, ExecCfg::default())
 }
 
 /// [`maximal_matching`] under explicit execution knobs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::IsraeliItai).exec(cfg)`"
+)]
 pub fn maximal_matching_cfg(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
     maximal_matching_from_cfg(g, &Matching::new(g.n()), seed, cfg)
 }
@@ -211,7 +227,7 @@ pub fn maximal_matching_cfg(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, Ne
 /// Run exactly `iterations` Israeli–Itai iterations (3 rounds each) and
 /// return whatever matching exists then — *not* necessarily maximal.
 ///
-/// This is the constant-round regime of Hoepman–Kutten–Lotker [12]
+/// This is the constant-round regime of Hoepman–Kutten–Lotker \[12\]
 /// (cited by the paper): on trees, a constant number of iterations
 /// already yields a `(½-ε)`-approximation in expectation. Experiment
 /// E14 measures the ratio as a function of `iterations`.
@@ -255,6 +271,7 @@ pub fn lossy_matching(g: &Graph, seed: u64, rounds: u64, loss: f64) -> (Matching
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay covered until they are removed
 mod tests {
     use super::*;
     use dgraph::generators::random::gnp;

@@ -1,7 +1,7 @@
 //! Luby's randomized maximal independent set (MIS).
 //!
-//! The paper uses an MIS subroutine (citing Luby [20] and
-//! Alon–Babai–Itai [1]) in Step 5 of Algorithm 1, and its bipartite
+//! The paper uses an MIS subroutine (citing Luby \[20\] and
+//! Alon–Babai–Itai \[1\]) in Step 5 of Algorithm 1, and its bipartite
 //! token construction (Section 3.2) *emulates* exactly this variant:
 //! every node picks a random priority and joins the MIS when it beats
 //! all neighbors; winners and their neighbors drop out; repeat.

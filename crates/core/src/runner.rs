@@ -5,8 +5,15 @@
 use crate::{bipartite, general, generic, israeli_itai, weighted};
 use dgraph::{Graph, Matching};
 use simnet::{ExecCfg, NetStats};
+use std::cell::OnceCell;
+use std::fmt;
 
 /// Which algorithm to run.
+///
+/// `Eq`/`Hash` are deliberately **not** implemented: the `Weighted`
+/// variant carries an `f64` slack, for which bitwise equality and
+/// hashing are unsound (`NaN`, `-0.0`). Use [`Algorithm::name`] (or the
+/// `Display` impl) when a hashable label is needed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Algorithm {
     /// Israeli–Itai maximal matching (½-MCM baseline).
@@ -23,12 +30,36 @@ pub enum Algorithm {
         epsilon: f64,
         mwm_box: weighted::MwmBox,
     },
-    /// δ-MWM black box alone (the [18] substitute) — baseline for E5.
+    /// δ-MWM black box alone (the \[18\] substitute) — baseline for E5.
     DeltaMwm { mwm_box: weighted::MwmBox },
 }
 
+impl Algorithm {
+    /// Canonical human-readable label — the single source of the names
+    /// that used to be formatted ad hoc by `RunReport` construction and
+    /// the `exp_e*` binaries.
+    pub fn name(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::IsraeliItai => write!(f, "israeli-itai"),
+            Algorithm::Generic { k } => write!(f, "generic(k={k})"),
+            Algorithm::Bipartite { k } => write!(f, "bipartite(k={k})"),
+            Algorithm::General { k, .. } => write!(f, "general(k={k})"),
+            Algorithm::Weighted { epsilon, mwm_box } => {
+                write!(f, "weighted(\u{3b5}={epsilon}, box={mwm_box:?})")
+            }
+            Algorithm::DeltaMwm { mwm_box } => write!(f, "delta-mwm({mwm_box:?})"),
+        }
+    }
+}
+
 /// How global termination checks are charged.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TerminationMode {
     /// The simulator inspects global state for free (the paper's
     /// convention — termination detection is never charged).
@@ -40,24 +71,78 @@ pub enum TerminationMode {
     Honest,
 }
 
+impl fmt::Display for TerminationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TerminationMode::Oracle => write!(f, "oracle"),
+            TerminationMode::Honest => write!(f, "honest"),
+        }
+    }
+}
+
 /// Result of a run.
 #[derive(Debug)]
 pub struct RunReport {
-    /// Human-readable algorithm label.
+    /// Human-readable algorithm label ([`Algorithm::name`]).
     pub name: String,
     /// The computed matching.
     pub matching: Matching,
     /// Accumulated network statistics.
     pub stats: NetStats,
     /// Number of "global check" consultations (counting/token loop
-    /// iterations, sampling iterations, …) — what Honest mode charges.
+    /// iterations, sampling iterations, maximality consultations, …) —
+    /// what Honest mode charges.
     pub oracle_checks: u64,
+    /// Lazily computed exact maximum-matching size (blossom), cached so
+    /// the E-experiment loops can call [`RunReport::mcm_ratio`] per
+    /// data point without re-running the quadratic solver every time.
+    /// Tagged with a fingerprint of the graph it was computed on.
+    opt_cache: OnceCell<(GraphKey, usize)>,
+}
+
+/// Cheap structural fingerprint: `(n, m, edge-list hash)`. `(n, m)`
+/// alone is not enough — degree-preserving rewiring keeps both — so
+/// the tag also hashes the endpoint list (`O(m)` per check, orders of
+/// magnitude below re-running blossom).
+type GraphKey = (usize, usize, u64);
+
+fn graph_key(g: &Graph) -> GraphKey {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the endpoints
+    for &(u, v) in g.edge_list() {
+        h = (h ^ ((u as u64) << 32 | v as u64)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (g.n(), g.m(), h)
 }
 
 impl RunReport {
-    /// Cardinality ratio vs. the exact maximum (blossom).
+    /// Assemble a report (the optimum cache starts empty).
+    pub fn new(name: String, matching: Matching, stats: NetStats, oracle_checks: u64) -> Self {
+        RunReport {
+            name,
+            matching,
+            stats,
+            oracle_checks,
+            opt_cache: OnceCell::new(),
+        }
+    }
+
+    /// Exact maximum-matching size of `g` (Edmonds blossom), computed
+    /// on first use and cached for every later call on the same graph.
+    pub fn mcm_opt(&self, g: &Graph) -> usize {
+        let &(key, opt) = self
+            .opt_cache
+            .get_or_init(|| (graph_key(g), dgraph::blossom::max_matching(g).size()));
+        assert!(
+            key == graph_key(g),
+            "mcm_opt/mcm_ratio called with a different graph than the cached optimum's"
+        );
+        opt
+    }
+
+    /// Cardinality ratio vs. the exact maximum (blossom; cached after
+    /// the first call — see [`RunReport::mcm_opt`]).
     pub fn mcm_ratio(&self, g: &Graph) -> f64 {
-        let opt = dgraph::blossom::max_matching(g).size();
+        let opt = self.mcm_opt(g);
         if opt == 0 {
             1.0
         } else {
@@ -111,6 +196,12 @@ pub fn mwm_upper_bound(g: &Graph) -> f64 {
 /// [`Algorithm::Bipartite`]. In [`TerminationMode::Honest`], the
 /// measured cost of one distributed convergecast is added per oracle
 /// consultation (connected graphs only).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(alg).seed(seed).termination(termination).build()\
+            .run_to_completion()` (see the crate-docs migration table)"
+)]
+#[allow(deprecated)]
 pub fn run(
     g: &Graph,
     sides: Option<&[bool]>,
@@ -124,7 +215,15 @@ pub fn run(
 /// [`run`] under explicit execution knobs: every network phase of the
 /// chosen algorithm is stepped with `cfg.threads` workers and
 /// `cfg.loss` fault injection. Results are bit-identical across thread
-/// counts (asserted by the `prop_plane` workspace tests).
+/// counts (asserted by the `prop_plane` workspace tests) **and**
+/// bit-identical to the equivalent [`crate::session::Session`] run
+/// (asserted by `tests/prop_session.rs`).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(alg).seed(seed).termination(termination).exec(cfg)\
+            .build().run_to_completion()`"
+)]
+#[allow(deprecated)]
 pub fn run_cfg(
     g: &Graph,
     sides: Option<&[bool]>,
@@ -133,25 +232,23 @@ pub fn run_cfg(
     termination: TerminationMode,
     cfg: ExecCfg,
 ) -> RunReport {
-    let (name, matching, mut stats, oracle_checks) = match alg {
+    let (matching, mut stats, oracle_checks) = match alg {
         Algorithm::IsraeliItai => {
-            let (m, s) = israeli_itai::maximal_matching_cfg(g, seed, cfg);
-            ("israeli-itai".to_string(), m, s, 0)
+            let (m, s) =
+                israeli_itai::maximal_matching_from_cfg(g, &Matching::new(g.n()), seed, cfg);
+            // Each 3-round iteration ends with a maximality consult.
+            let checks = s.rounds.div_ceil(3);
+            (m, s, checks)
         }
         Algorithm::Generic { k } => {
             let r = generic::run_cfg(g, k, seed, cfg);
             let checks = r.phases.iter().map(|p| p.mis_iterations).sum();
-            (format!("generic(k={k})"), r.matching, r.stats, checks)
+            (r.matching, r.stats, checks)
         }
         Algorithm::Bipartite { k } => {
             let sides = sides.expect("Bipartite algorithm requires sides");
             let r = bipartite::run_cfg(g, sides, k, seed, cfg);
-            (
-                format!("bipartite(k={k})"),
-                r.matching,
-                r.stats,
-                r.iterations + k as u64,
-            )
+            (r.matching, r.stats, r.iterations + k as u64)
         }
         Algorithm::General { k, early_stop } => {
             let opts = general::GeneralOpts {
@@ -159,20 +256,16 @@ pub fn run_cfg(
                 early_stop_after: early_stop,
             };
             let r = general::run_with_cfg(g, k, seed, opts, cfg);
-            (format!("general(k={k})"), r.matching, r.stats, r.iterations)
+            (r.matching, r.stats, r.iterations)
         }
         Algorithm::Weighted { epsilon, mwm_box } => {
             let r = weighted::run_cfg(g, epsilon, mwm_box, seed, cfg);
-            (
-                format!("weighted(ε={epsilon}, box={mwm_box:?})"),
-                r.matching,
-                r.stats,
-                r.iterations,
-            )
+            (r.matching, r.stats, r.iterations)
         }
         Algorithm::DeltaMwm { mwm_box } => {
             let (m, s) = mwm_box.run_cfg(g, seed, cfg);
-            (format!("delta-mwm({mwm_box:?})"), m, s, 0)
+            // One global "is the box done" consult.
+            (m, s, 1)
         }
     };
     if termination == TerminationMode::Honest && oracle_checks > 0 && g.n() > 0 {
@@ -182,15 +275,11 @@ pub fn run_cfg(
             stats.absorb(&agg);
         }
     }
-    RunReport {
-        name,
-        matching,
-        stats,
-        oracle_checks,
-    }
+    RunReport::new(alg.name(), matching, stats, oracle_checks)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay covered until they are removed
 mod tests {
     use super::*;
     use dgraph::generators::random::{bipartite_gnp, gnp};

@@ -1,0 +1,1172 @@
+//! # The unified `Session` driver
+//!
+//! One builder-first surface for every algorithm of the paper, replacing
+//! the `run` / `run_cfg` / `run_from` / `run_phased` / `run_with` matrix
+//! of free functions that used to multiply with every new knob:
+//!
+//! ```
+//! use dgraph::generators::random::gnp;
+//! use dmatch::session::Session;
+//! use dmatch::{Algorithm, TerminationMode};
+//! use simnet::ExecCfg;
+//!
+//! let g = gnp(60, 0.1, 1);
+//! let report = Session::on(&g)
+//!     .algorithm(Algorithm::Generic { k: 3 })
+//!     .seed(42)
+//!     .exec(ExecCfg::sequential())
+//!     .termination(TerminationMode::Honest)
+//!     .build()
+//!     .run_to_completion();
+//! assert!(report.matching.validate(&g).is_ok());
+//! assert!(report.mcm_ratio(&g) >= 0.75 - 1e-9);
+//! ```
+//!
+//! A [`Session`] owns its graph and matching and advances in **phases**
+//! — the algorithm-specific unit of progress the paper's analyses are
+//! written in (a `ℓ`-phase of Algorithm 1, one `Aug` phase of
+//! Theorem 3.8, one sampling iteration of Algorithm 4, one black-box
+//! iteration of Algorithm 5, one full Israeli–Itai run). This is
+//! exactly the probe/step/observe cost interface of the LCA line of
+//! work the experiments benchmark against. Between phases the run can
+//! be inspected without being consumed ([`Session::snapshot`]), and an
+//! [`Observer`] receives a callback per simulated round and per phase.
+//!
+//! Completed sessions of the *incremental* algorithms
+//! (`Algorithm::IsraeliItai`, `Algorithm::Generic`) can absorb a churn
+//! batch and repair in place: [`Session::resume_after_rewire`] swaps in
+//! the post-churn graph, drops destroyed matching edges, and — for the
+//! generic algorithm — restricts all gathering traffic to the damage
+//! ball `B(damage, 4k+2)`, exactly like the dynamic engine's epoch
+//! repair. `dchurn::DynEngine` drives its generic arm through this
+//! path.
+//!
+//! Every legacy free function is now a thin `#[deprecated]` shim over
+//! the same per-phase primitives; `tests/prop_session.rs` asserts shim
+//! and session runs are bit-identical (matching *and* the full
+//! `NetStats` trace, including every per-round row).
+
+use crate::runner::{Algorithm, RunReport, TerminationMode};
+use crate::weighted::MwmBox;
+use crate::{bipartite, general, generic, israeli_itai, weighted};
+use dgraph::{Graph, Matching, NodeId, UNMATCHED};
+use simnet::{ExecCfg, NetStats, RoundTrace, SplitMix64};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Observer plane
+// ---------------------------------------------------------------------
+
+/// Verdict an [`Observer`] callback returns: keep going, or abort the
+/// session at the end of the current phase (phases are atomic — an
+/// abort can never leave a half-applied augmentation behind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Continue the run.
+    Continue,
+    /// Stop after the current phase; [`Session::step`] then reports
+    /// [`Phase::Aborted`] and the session keeps its partial result.
+    Abort,
+}
+
+/// One simulated (or charged) round, as seen by an observer.
+#[derive(Debug)]
+pub struct RoundEvent<'a> {
+    /// Global round index within the session (0-based).
+    pub round: u64,
+    /// Nodes actually stepped this round (the sparse scheduler's cost).
+    pub active: u64,
+    /// The full per-round statistics row.
+    pub trace: &'a RoundTrace,
+}
+
+/// Edges that entered / left the matching during one phase.
+#[derive(Debug, Clone, Default)]
+pub struct MatchingDelta {
+    /// Pairs newly matched this phase (endpoints, lower id first).
+    pub added: Vec<(NodeId, NodeId)>,
+    /// Pairs unmatched this phase (endpoints, lower id first).
+    pub removed: Vec<(NodeId, NodeId)>,
+}
+
+impl MatchingDelta {
+    /// Diff two matchings over the same vertex universe.
+    pub fn between(before: &Matching, after: &Matching) -> Self {
+        let n = after.mates().len();
+        debug_assert_eq!(
+            before.mates().len(),
+            n,
+            "matchings over different universes"
+        );
+        let mut delta = MatchingDelta::default();
+        for v in 0..n as NodeId {
+            if let Some(w) = after.mate(v) {
+                if v < w && before.mate(v) != Some(w) {
+                    delta.added.push((v, w));
+                }
+            }
+            if let Some(w) = before.mate(v) {
+                if v < w && after.mate(v) != Some(w) {
+                    delta.removed.push((v, w));
+                }
+            }
+        }
+        delta
+    }
+
+    /// No change at all?
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A completed phase, as seen by an observer.
+#[derive(Debug)]
+pub struct PhaseEvent<'a> {
+    /// The phase that just ran.
+    pub phase: &'a PhaseInfo,
+    /// The session's graph (current epoch).
+    pub graph: &'a Graph,
+    /// The matching after the phase.
+    pub matching: &'a Matching,
+    /// Matched-edge changes of this phase.
+    pub delta: &'a MatchingDelta,
+    /// Cumulative statistics after the phase.
+    pub stats: &'a NetStats,
+}
+
+/// Per-round / per-phase callbacks into a running [`Session`].
+///
+/// Round events carry the [`RoundTrace`] row (messages, active count,
+/// plane gauges); phase events carry the matching, its delta, and the
+/// cumulative [`NetStats`]. Either callback may return
+/// [`Control::Abort`] to stop the session at the next phase boundary.
+pub trait Observer {
+    /// Called once per simulated or charged round, in order.
+    fn on_round(&mut self, _ev: &RoundEvent<'_>) -> Control {
+        Control::Continue
+    }
+
+    /// Called at every phase boundary.
+    fn on_phase(&mut self, _ev: &PhaseEvent<'_>) -> Control {
+        Control::Continue
+    }
+}
+
+/// The do-nothing observer (the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// One point of a convergence curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Cumulative rounds when the point was taken.
+    pub round: u64,
+    /// Matching cardinality at that point.
+    pub matching_size: usize,
+    /// Matching weight at that point (equals the cardinality on
+    /// unweighted graphs).
+    pub weight: f64,
+}
+
+/// Records the matching size / weight after every phase — the
+/// ratio-vs-round series the E-experiments plot. The handle is shared:
+/// clone it, hand one clone to [`SessionBuilder::observe`], and read
+/// [`ConvergenceCurve::points`] from the other whenever you like
+/// (mid-run included).
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceCurve {
+    inner: Rc<RefCell<Vec<CurvePoint>>>,
+}
+
+impl ConvergenceCurve {
+    /// New, empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The points recorded so far.
+    pub fn points(&self) -> Vec<CurvePoint> {
+        self.inner.borrow().clone()
+    }
+}
+
+impl Observer for ConvergenceCurve {
+    fn on_phase(&mut self, ev: &PhaseEvent<'_>) -> Control {
+        self.inner.borrow_mut().push(CurvePoint {
+            round: ev.stats.rounds,
+            matching_size: ev.matching.size(),
+            weight: ev.matching.weight(ev.graph),
+        });
+        Control::Continue
+    }
+}
+
+/// Aborts the session once the cumulative round count exceeds a cap
+/// (at the next phase boundary — phases are atomic). The partial
+/// matching and statistics stay available on the session.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundBudget {
+    cap: u64,
+}
+
+impl RoundBudget {
+    /// Abort once more than `cap` rounds have been consumed.
+    pub fn new(cap: u64) -> Self {
+        RoundBudget { cap }
+    }
+}
+
+impl Observer for RoundBudget {
+    fn on_round(&mut self, ev: &RoundEvent<'_>) -> Control {
+        if ev.round >= self.cap {
+            Control::Abort
+        } else {
+            Control::Continue
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phases
+// ---------------------------------------------------------------------
+
+/// What one [`Session::step`] call did.
+#[derive(Debug)]
+pub enum Phase {
+    /// A phase ran; here is its log entry.
+    Ran(PhaseInfo),
+    /// The algorithm has completed (idempotent).
+    Done,
+    /// An observer aborted the run (idempotent).
+    Aborted,
+}
+
+/// Log entry of one phase (the algorithm-specific unit of progress).
+#[derive(Debug, Clone)]
+pub struct PhaseInfo {
+    /// 0-based sequence number within the session (epochs continue the
+    /// numbering).
+    pub index: usize,
+    /// Human-readable phase label.
+    pub label: String,
+    /// Augmenting-path length `ℓ` for phase-structured algorithms, 0
+    /// where the notion does not apply.
+    pub ell: usize,
+    /// Augmenting paths applied (phase-structured algorithms) / net
+    /// edges gained (Israeli–Itai, Weighted, DeltaMwm) during the phase.
+    pub applied: u64,
+    /// Inner iterations consumed (MIS iterations, count+token loops,
+    /// Israeli–Itai iterations, …).
+    pub iterations: u64,
+    /// Rounds consumed by this phase.
+    pub rounds: u64,
+    /// Matching cardinality after the phase.
+    pub matching_size: usize,
+}
+
+/// Mid-run view of a session: the current matching and cumulative
+/// statistics, cloned out without consuming or disturbing the run.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Matching after the last completed phase.
+    pub matching: Matching,
+    /// Cumulative statistics.
+    pub stats: NetStats,
+    /// Phases completed so far (all epochs).
+    pub phases_done: usize,
+    /// Oracle consultations so far.
+    pub oracle_checks: u64,
+}
+
+/// A churn batch handed to [`Session::resume_after_rewire`]: the
+/// post-churn graph (same vertex universe) plus the vertices whose
+/// incident structure changed (endpoints of inserted edges and of
+/// destroyed matched edges).
+#[derive(Debug, Clone)]
+pub struct RewirePatch {
+    /// The new communication graph.
+    pub graph: Graph,
+    /// Damage set (deduplicated not required; order irrelevant).
+    pub damage: Vec<NodeId>,
+}
+
+impl RewirePatch {
+    /// Bundle a post-churn graph with its damage set.
+    pub fn new(graph: Graph, damage: Vec<NodeId>) -> Self {
+        RewirePatch { graph, damage }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+/// Builder for a [`Session`]; start from [`Session::on`].
+pub struct SessionBuilder<'a> {
+    g: &'a Graph,
+    sides: Option<&'a [bool]>,
+    alg: Algorithm,
+    seed: u64,
+    cfg: ExecCfg,
+    termination: TerminationMode,
+    warm: Option<&'a Matching>,
+    observers: Vec<Box<dyn Observer>>,
+    sampling_iterations: Option<u64>,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Which algorithm to run (default: [`Algorithm::IsraeliItai`]).
+    pub fn algorithm(mut self, alg: Algorithm) -> Self {
+        self.alg = alg;
+        self
+    }
+
+    /// Bipartition for [`Algorithm::Bipartite`] (`false` = X side).
+    pub fn sides(mut self, sides: &'a [bool]) -> Self {
+        self.sides = Some(sides);
+        self
+    }
+
+    /// Master RNG seed (default 0). Identical seeds give bit-identical
+    /// runs regardless of [`ExecCfg::threads`] / scheduler mode.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Execution knobs: worker threads, fault injection, scheduler.
+    pub fn exec(mut self, cfg: ExecCfg) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// How termination detection is charged (default: Oracle).
+    pub fn termination(mut self, termination: TerminationMode) -> Self {
+        self.termination = termination;
+        self
+    }
+
+    /// Start from `initial` instead of the empty matching. Supported by
+    /// the incremental algorithms ([`Algorithm::IsraeliItai`],
+    /// [`Algorithm::Generic`]); `build` panics for the others, whose
+    /// analyses assume a cold start.
+    pub fn warm_start(mut self, initial: &'a Matching) -> Self {
+        self.warm = Some(initial);
+        self
+    }
+
+    /// Attach an observer (may be called repeatedly; all observers see
+    /// every event).
+    pub fn observe(mut self, obs: impl Observer + 'static) -> Self {
+        self.observers.push(Box::new(obs));
+        self
+    }
+
+    /// Explicit sampling budget for [`Algorithm::General`] (replaces
+    /// the paper's `⌈2^{2k+1}(k+1) ln k⌉` default); panics on other
+    /// algorithms.
+    pub fn sampling_iterations(mut self, iterations: u64) -> Self {
+        self.sampling_iterations = Some(iterations);
+        self
+    }
+
+    /// Validate the configuration and construct the [`Session`]
+    /// (cloning the graph and warm start into it).
+    ///
+    /// # Panics
+    ///
+    /// On invalid combinations: `Bipartite` without `sides`, a warm
+    /// start for a non-incremental algorithm, `sampling_iterations` for
+    /// a non-`General` algorithm, `k == 0`, or an invalid warm-start
+    /// matching.
+    pub fn build(self) -> Session {
+        let g = self.g.clone();
+        if let Some(m) = self.warm {
+            assert!(
+                matches!(self.alg, Algorithm::IsraeliItai | Algorithm::Generic { .. }),
+                "warm_start is supported by the incremental algorithms \
+                 (IsraeliItai, Generic); {} runs from a cold start",
+                self.alg
+            );
+            assert!(
+                m.validate(&g).is_ok(),
+                "warm start must be a valid matching"
+            );
+        }
+        assert!(
+            self.sampling_iterations.is_none() || matches!(self.alg, Algorithm::General { .. }),
+            "sampling_iterations only applies to Algorithm::General"
+        );
+        let m = self.warm.cloned().unwrap_or_else(|| Matching::new(g.n()));
+        let driver = match self.alg {
+            Algorithm::IsraeliItai => Driver::IsraeliItai { done: false },
+            Algorithm::Generic { k } => {
+                assert!(k >= 1, "k must be positive");
+                Driver::Generic {
+                    k,
+                    rng: generic::mis_rng(self.seed),
+                    region: None,
+                    next: 0,
+                }
+            }
+            Algorithm::Bipartite { k } => {
+                assert!(k >= 1, "k must be positive");
+                let sides = self.sides.expect("Bipartite algorithm requires sides");
+                Driver::Bipartite {
+                    k,
+                    spec: bipartite::SubgraphSpec::full_bipartite(&g, sides),
+                    next: 0,
+                }
+            }
+            Algorithm::General { k, early_stop } => {
+                assert!(k >= 1, "k must be positive");
+                Driver::General {
+                    ell: 2 * k - 1,
+                    rng: general::color_rng(self.seed),
+                    budget: self
+                        .sampling_iterations
+                        .unwrap_or_else(|| general::iteration_bound(k)),
+                    early_stop,
+                    it: 0,
+                    idle_streak: 0,
+                    stopped: false,
+                }
+            }
+            Algorithm::Weighted { epsilon, mwm_box } => Driver::Weighted {
+                mwm_box,
+                iters: weighted::iteration_bound(mwm_box.nominal_delta(), epsilon),
+                it: 0,
+            },
+            Algorithm::DeltaMwm { mwm_box } => Driver::DeltaMwm {
+                mwm_box,
+                done: false,
+            },
+        };
+        Session {
+            g,
+            alg: self.alg,
+            seed: self.seed,
+            cfg: self.cfg,
+            termination: self.termination,
+            observers: self.observers,
+            driver,
+            m,
+            stats: NetStats::default(),
+            oracle_checks: 0,
+            honest_charged: 0,
+            finish_bumped: false,
+            rounds_dispatched: 0,
+            phases: Vec::new(),
+            status: Status::Running,
+            epoch: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Running,
+    Done,
+    Aborted,
+}
+
+/// Per-algorithm phase cursor. Every arm replays the exact loop (and
+/// seed derivations) of the corresponding legacy entry point, via the
+/// shared per-phase primitives of the algorithm modules.
+enum Driver {
+    IsraeliItai {
+        done: bool,
+    },
+    Generic {
+        k: usize,
+        rng: SplitMix64,
+        /// Gathering region (damage ball) for repair epochs; `None` on
+        /// the initial run.
+        region: Option<Vec<bool>>,
+        next: usize,
+    },
+    Bipartite {
+        k: usize,
+        spec: bipartite::SubgraphSpec,
+        next: usize,
+    },
+    General {
+        ell: usize,
+        rng: SplitMix64,
+        budget: u64,
+        early_stop: Option<u64>,
+        it: u64,
+        idle_streak: u64,
+        stopped: bool,
+    },
+    Weighted {
+        mwm_box: MwmBox,
+        iters: u64,
+        it: u64,
+    },
+    DeltaMwm {
+        mwm_box: MwmBox,
+        done: bool,
+    },
+}
+
+/// The unified driver: owns the graph, the matching, the statistics,
+/// and the observer plane; see the [module docs](self) for the tour.
+pub struct Session {
+    g: Graph,
+    alg: Algorithm,
+    seed: u64,
+    cfg: ExecCfg,
+    termination: TerminationMode,
+    observers: Vec<Box<dyn Observer>>,
+    driver: Driver,
+    m: Matching,
+    stats: NetStats,
+    oracle_checks: u64,
+    /// Oracle consultations already surcharged under Honest mode (so a
+    /// resumed epoch only charges its fresh consultations).
+    honest_charged: u64,
+    /// Whether the Bipartite completion bump (`+k` schedule consults)
+    /// has been applied.
+    finish_bumped: bool,
+    /// `per_round` rows already delivered to observers.
+    rounds_dispatched: usize,
+    phases: Vec<PhaseInfo>,
+    status: Status,
+    /// Rewire epochs absorbed so far; epoch `e` derives its seeds as
+    /// `seed + e` (matching the dynamic engine's convention).
+    epoch: u64,
+}
+
+impl Session {
+    /// Start building a session over `g` (the graph is cloned into the
+    /// session at `build`; the paper's communication graph is the input
+    /// graph itself).
+    pub fn on(g: &Graph) -> SessionBuilder<'_> {
+        SessionBuilder {
+            g,
+            sides: None,
+            alg: Algorithm::IsraeliItai,
+            seed: 0,
+            cfg: ExecCfg::default(),
+            termination: TerminationMode::default(),
+            warm: None,
+            observers: Vec::new(),
+            sampling_iterations: None,
+        }
+    }
+
+    /// The algorithm this session runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.alg
+    }
+
+    /// The session's current graph (post-churn after a rewire).
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// The current matching (valid after every phase).
+    pub fn matching(&self) -> &Matching {
+        &self.m
+    }
+
+    /// Cumulative statistics across all phases and epochs.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Oracle consultations so far.
+    pub fn oracle_checks(&self) -> u64 {
+        self.oracle_checks
+    }
+
+    /// Log of every completed phase (all epochs).
+    pub fn phase_log(&self) -> &[PhaseInfo] {
+        &self.phases
+    }
+
+    /// Rewire epochs absorbed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Has the current epoch's run completed?
+    pub fn is_done(&self) -> bool {
+        self.status == Status::Done
+    }
+
+    /// Did an observer abort the run?
+    pub fn is_aborted(&self) -> bool {
+        self.status == Status::Aborted
+    }
+
+    /// Clone out the mid-run state without consuming the session.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            matching: self.m.clone(),
+            stats: self.stats.clone(),
+            phases_done: self.phases.len(),
+            oracle_checks: self.oracle_checks,
+        }
+    }
+
+    /// Advance the session by one phase. Idempotent once the run is
+    /// [`Phase::Done`] or [`Phase::Aborted`].
+    pub fn step(&mut self) -> Phase {
+        match self.status {
+            Status::Done => return Phase::Done,
+            Status::Aborted => return Phase::Aborted,
+            Status::Running => {}
+        }
+        let epoch_seed = self.seed.wrapping_add(self.epoch);
+        // The pre-phase matching is only needed for observer deltas —
+        // don't pay the O(n) clone on observer-less sessions (the
+        // dynamic engine steps thousands of repair phases with none).
+        let before_m = if self.observers.is_empty() {
+            None
+        } else {
+            Some(self.m.clone())
+        };
+        let before_size = self.m.size();
+        let before_rounds = self.stats.rounds;
+        let info = match &mut self.driver {
+            Driver::IsraeliItai { done } => {
+                if *done {
+                    None
+                } else {
+                    let (m, s) = israeli_itai::maximal_matching_from_cfg(
+                        &self.g, &self.m, epoch_seed, self.cfg,
+                    );
+                    // Each 3-round iteration ends with a maximality
+                    // consult.
+                    self.oracle_checks += s.rounds.div_ceil(3);
+                    let iterations = s.rounds.div_ceil(3);
+                    self.m = m;
+                    self.stats.absorb(&s);
+                    *done = true;
+                    Some(PhaseInfo {
+                        index: 0,
+                        label: "maximal-matching".into(),
+                        ell: 1,
+                        applied: self.m.size().saturating_sub(before_size) as u64,
+                        iterations,
+                        rounds: 0,
+                        matching_size: 0,
+                    })
+                }
+            }
+            Driver::Generic {
+                k,
+                rng,
+                region,
+                next,
+            } => {
+                if *next >= *k || self.g.n() == 0 {
+                    None
+                } else {
+                    let log = generic::phase_step(
+                        &self.g,
+                        &mut self.m,
+                        *next,
+                        epoch_seed,
+                        self.cfg,
+                        region.as_deref(),
+                        rng,
+                        &mut self.stats,
+                    );
+                    *next += 1;
+                    self.oracle_checks += log.mis_iterations;
+                    Some(PhaseInfo {
+                        index: 0,
+                        label: format!("augment \u{2113}={}", log.ell),
+                        ell: log.ell,
+                        applied: log.applied as u64,
+                        iterations: log.mis_iterations,
+                        rounds: 0,
+                        matching_size: 0,
+                    })
+                }
+            }
+            Driver::Bipartite { k, spec, next } => {
+                if *next >= *k {
+                    None
+                } else {
+                    let ell = 2 * *next + 1;
+                    let out = bipartite::aug_until_maximal_cfg(
+                        &self.g,
+                        &self.m,
+                        spec,
+                        ell,
+                        epoch_seed.wrapping_add(0x1000 * ell as u64),
+                        self.cfg,
+                    );
+                    *next += 1;
+                    self.m = out.matching;
+                    self.stats.absorb(&out.stats);
+                    self.oracle_checks += out.iterations;
+                    Some(PhaseInfo {
+                        index: 0,
+                        label: format!("aug \u{2113}={ell}"),
+                        ell,
+                        applied: out.applied as u64,
+                        iterations: out.iterations,
+                        rounds: 0,
+                        matching_size: 0,
+                    })
+                }
+            }
+            Driver::General {
+                ell,
+                rng,
+                budget,
+                early_stop,
+                it,
+                idle_streak,
+                stopped,
+            } => {
+                if *stopped || *it >= *budget {
+                    None
+                } else {
+                    let applied = general::sample_iteration(
+                        &self.g,
+                        &mut self.m,
+                        *ell,
+                        *it,
+                        epoch_seed,
+                        self.cfg,
+                        rng,
+                        &mut self.stats,
+                    );
+                    *it += 1;
+                    self.oracle_checks += 1;
+                    if applied == 0 {
+                        *idle_streak += 1;
+                        if early_stop.is_some_and(|s| *idle_streak >= s) {
+                            *stopped = true;
+                        }
+                    } else {
+                        *idle_streak = 0;
+                    }
+                    Some(PhaseInfo {
+                        index: 0,
+                        label: format!("sample {}", *it - 1),
+                        ell: *ell,
+                        applied: applied as u64,
+                        iterations: 1,
+                        rounds: 0,
+                        matching_size: 0,
+                    })
+                }
+            }
+            Driver::Weighted { mwm_box, iters, it } => {
+                if *it >= *iters {
+                    None
+                } else {
+                    weighted::iteration(
+                        &self.g,
+                        &mut self.m,
+                        *mwm_box,
+                        *it,
+                        epoch_seed,
+                        self.cfg,
+                        &mut self.stats,
+                    );
+                    *it += 1;
+                    self.oracle_checks += 1;
+                    Some(PhaseInfo {
+                        index: 0,
+                        label: format!("box iteration {}", *it - 1),
+                        ell: 0,
+                        applied: self.m.size().saturating_sub(before_size) as u64,
+                        iterations: 1,
+                        rounds: 0,
+                        matching_size: 0,
+                    })
+                }
+            }
+            Driver::DeltaMwm { mwm_box, done } => {
+                if *done {
+                    None
+                } else {
+                    let (m, s) = mwm_box.run_cfg(&self.g, epoch_seed, self.cfg);
+                    self.m = m;
+                    self.stats.absorb(&s);
+                    // One global "is the box done" consult.
+                    self.oracle_checks += 1;
+                    *done = true;
+                    Some(PhaseInfo {
+                        index: 0,
+                        label: "\u{3b4}-box".into(),
+                        ell: 0,
+                        applied: self.m.size().saturating_sub(before_size) as u64,
+                        iterations: 1,
+                        rounds: 0,
+                        matching_size: 0,
+                    })
+                }
+            }
+        };
+        match info {
+            None => {
+                self.finish_epoch();
+                self.status = Status::Done;
+                Phase::Done
+            }
+            Some(mut info) => {
+                info.index = self.phases.len();
+                info.rounds = self.stats.rounds - before_rounds;
+                info.matching_size = self.m.size();
+                let abort = self.emit_phase_events(&info, before_m.as_ref());
+                self.phases.push(info.clone());
+                if abort {
+                    self.status = Status::Aborted;
+                    Phase::Aborted
+                } else {
+                    Phase::Ran(info)
+                }
+            }
+        }
+    }
+
+    /// Step until the epoch completes (or an observer aborts) and
+    /// return the [`RunReport`] — bit-identical, shims included, to the
+    /// legacy `runner::run_cfg` for the same configuration.
+    pub fn run_to_completion(&mut self) -> RunReport {
+        while let Phase::Ran(_) = self.step() {}
+        self.report()
+    }
+
+    /// The report for the work done so far (clones the matching and
+    /// statistics; the session remains usable, e.g. for
+    /// [`Session::resume_after_rewire`]).
+    pub fn report(&self) -> RunReport {
+        RunReport::new(
+            self.alg.name(),
+            self.m.clone(),
+            self.stats.clone(),
+            self.oracle_checks,
+        )
+    }
+
+    /// Absorb a churn batch into a *completed* session and re-arm it to
+    /// repair the matching on the post-churn graph: matched edges that
+    /// no longer exist are dropped (their endpoints must be in
+    /// `patch.damage`), and the next [`Session::step`] /
+    /// [`Session::run_to_completion`] runs the repair epoch. Epoch `e`
+    /// derives its seeds as `seed + e`.
+    ///
+    /// Supported by the incremental algorithms: `IsraeliItai`
+    /// (warm-started re-run — the surviving matching never regresses)
+    /// and `Generic { k }` (damage-local repair: all gathering traffic
+    /// stays inside `B(damage, 4k+2)`, the invariant the dynamic-engine
+    /// experiments measure). Panics for the cold-start algorithms.
+    pub fn resume_after_rewire(&mut self, patch: RewirePatch) {
+        assert!(
+            self.status == Status::Done,
+            "resume_after_rewire requires a completed epoch (status: {:?})",
+            self.status
+        );
+        assert_eq!(
+            patch.graph.n(),
+            self.g.n(),
+            "rewire must preserve the vertex universe (node churn uses a fixed universe)"
+        );
+        self.g = patch.graph;
+        // Drop matched pairs whose edge the churn destroyed.
+        let mates: Vec<NodeId> = (0..self.g.n() as NodeId)
+            .map(|v| match self.m.mate(v) {
+                Some(w) if self.g.edge_between(v, w).is_some() => w,
+                _ => UNMATCHED,
+            })
+            .collect();
+        self.m = Matching::from_mates(mates);
+        debug_assert!(self.m.validate(&self.g).is_ok());
+        self.epoch += 1;
+        let epoch_seed = self.seed.wrapping_add(self.epoch);
+        match &mut self.driver {
+            Driver::IsraeliItai { done } => *done = false,
+            Driver::Generic {
+                k,
+                rng,
+                region,
+                next,
+            } => {
+                *rng = generic::mis_rng(epoch_seed);
+                if patch.damage.is_empty() {
+                    // No damage ⇒ the previous guarantee still holds
+                    // and the repair is free.
+                    *region = None;
+                    *next = *k;
+                } else {
+                    *region = Some(generic::ball(&self.g, &patch.damage, 4 * *k + 2));
+                    *next = 0;
+                }
+            }
+            _ => panic!(
+                "resume_after_rewire is supported by the incremental algorithms \
+                 (IsraeliItai, Generic); {} runs from a cold start",
+                self.alg
+            ),
+        }
+        self.status = Status::Running;
+    }
+
+    /// End-of-epoch bookkeeping: the Bipartite schedule bump and the
+    /// Honest-mode termination surcharge for this epoch's fresh oracle
+    /// consultations.
+    fn finish_epoch(&mut self) {
+        if let Algorithm::Bipartite { k } = self.alg {
+            if !self.finish_bumped {
+                // The phase schedule itself consults the oracle once
+                // per phase (matching the legacy accounting).
+                self.oracle_checks += k as u64;
+                self.finish_bumped = true;
+            }
+        }
+        if self.termination == TerminationMode::Honest && self.g.n() > 0 {
+            let fresh = self.oracle_checks - self.honest_charged;
+            if fresh > 0 {
+                let topo = crate::state::topology_of(&self.g);
+                let (_, agg) = simnet::tree::aggregate(
+                    &topo,
+                    &vec![0u64; self.g.n()],
+                    simnet::tree::AggOp::Max,
+                );
+                for _ in 0..fresh {
+                    self.stats.absorb(&agg);
+                }
+                self.honest_charged = self.oracle_checks;
+            }
+        }
+        // Charged rounds (Honest convergecasts) still reach observers.
+        self.emit_round_events();
+    }
+
+    /// Deliver pending round events; true if any observer aborted.
+    fn emit_round_events(&mut self) -> bool {
+        if self.observers.is_empty() {
+            self.rounds_dispatched = self.stats.per_round.len();
+            return false;
+        }
+        let mut observers = std::mem::take(&mut self.observers);
+        let mut abort = false;
+        for idx in self.rounds_dispatched..self.stats.per_round.len() {
+            let trace = &self.stats.per_round[idx];
+            let ev = RoundEvent {
+                round: idx as u64,
+                active: trace.active,
+                trace,
+            };
+            for obs in &mut observers {
+                if obs.on_round(&ev) == Control::Abort {
+                    abort = true;
+                }
+            }
+        }
+        self.rounds_dispatched = self.stats.per_round.len();
+        self.observers = observers;
+        abort
+    }
+
+    /// Deliver this phase's round events plus the phase event; true if
+    /// any observer aborted.
+    fn emit_phase_events(&mut self, info: &PhaseInfo, before: Option<&Matching>) -> bool {
+        let mut abort = self.emit_round_events();
+        if self.observers.is_empty() {
+            return abort;
+        }
+        let delta = match before {
+            Some(before) => MatchingDelta::between(before, &self.m),
+            None => MatchingDelta::default(),
+        };
+        let mut observers = std::mem::take(&mut self.observers);
+        let ev = PhaseEvent {
+            phase: info,
+            graph: &self.g,
+            matching: &self.m,
+            delta: &delta,
+            stats: &self.stats,
+        };
+        for obs in &mut observers {
+            if obs.on_phase(&ev) == Control::Abort {
+                abort = true;
+            }
+        }
+        self.observers = observers;
+        abort
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgraph::generators::random::{bipartite_gnp, gnp};
+
+    #[test]
+    fn builder_defaults_run_israeli_itai() {
+        let g = gnp(30, 0.1, 1);
+        let r = Session::on(&g).seed(7).build().run_to_completion();
+        assert_eq!(r.name, "israeli-itai");
+        assert!(r.matching.is_maximal(&g));
+        assert!(r.oracle_checks > 0);
+    }
+
+    #[test]
+    fn stepwise_equals_one_shot() {
+        let g = gnp(24, 0.15, 2);
+        let mut stepwise = Session::on(&g)
+            .algorithm(Algorithm::Generic { k: 3 })
+            .seed(9)
+            .build();
+        let mut phases = 0;
+        while let Phase::Ran(_) = stepwise.step() {
+            phases += 1;
+        }
+        assert_eq!(phases, 3);
+        let one_shot = Session::on(&g)
+            .algorithm(Algorithm::Generic { k: 3 })
+            .seed(9)
+            .build()
+            .run_to_completion();
+        assert_eq!(stepwise.matching(), &one_shot.matching);
+        assert_eq!(stepwise.stats(), &one_shot.stats);
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let g = gnp(24, 0.15, 3);
+        let mut s = Session::on(&g)
+            .algorithm(Algorithm::Generic { k: 2 })
+            .seed(4)
+            .build();
+        s.step();
+        let snap = s.snapshot();
+        assert_eq!(snap.phases_done, 1);
+        let r = s.run_to_completion();
+        assert!(r.matching.size() >= snap.matching.size());
+    }
+
+    #[test]
+    fn convergence_curve_records_phases() {
+        let g = gnp(30, 0.12, 5);
+        let curve = ConvergenceCurve::new();
+        let mut s = Session::on(&g)
+            .algorithm(Algorithm::Generic { k: 3 })
+            .seed(11)
+            .observe(curve.clone())
+            .build();
+        s.run_to_completion();
+        let pts = curve.points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts
+            .windows(2)
+            .all(|w| w[0].matching_size <= w[1].matching_size));
+    }
+
+    #[test]
+    fn round_budget_aborts() {
+        let g = gnp(40, 0.2, 6);
+        let mut s = Session::on(&g)
+            .algorithm(Algorithm::Generic { k: 3 })
+            .seed(1)
+            .observe(RoundBudget::new(1))
+            .build();
+        let r = s.run_to_completion();
+        assert!(s.is_aborted());
+        assert!(s.phase_log().len() < 3, "abort must cut the schedule short");
+        assert!(r.matching.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn bipartite_requires_sides() {
+        let (g, sides) = bipartite_gnp(8, 8, 0.3, 1);
+        let r = Session::on(&g)
+            .algorithm(Algorithm::Bipartite { k: 2 })
+            .sides(&sides)
+            .seed(3)
+            .build()
+            .run_to_completion();
+        assert!(r.matching.validate(&g).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires sides")]
+    fn bipartite_without_sides_panics() {
+        let g = gnp(8, 0.3, 1);
+        let _ = Session::on(&g)
+            .algorithm(Algorithm::Bipartite { k: 2 })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "warm_start is supported")]
+    fn warm_start_rejected_for_cold_algorithms() {
+        let g = gnp(8, 0.3, 1);
+        let m = Matching::new(g.n());
+        let _ = Session::on(&g)
+            .algorithm(Algorithm::General {
+                k: 2,
+                early_stop: None,
+            })
+            .warm_start(&m)
+            .build();
+    }
+
+    #[test]
+    fn rewire_repairs_with_generic() {
+        use dgraph::augmenting::has_augmenting_path_within;
+        let g = gnp(40, 0.08, 9);
+        let k = 2;
+        let mut s = Session::on(&g)
+            .algorithm(Algorithm::Generic { k })
+            .seed(5)
+            .build();
+        s.run_to_completion();
+        // Remove one matched edge.
+        let e = s.matching().edge_ids(&g)[0];
+        let (a, b) = g.endpoints(e);
+        let (g2, _) = g.edge_subgraph(|x| x != e);
+        s.resume_after_rewire(RewirePatch::new(g2.clone(), vec![a, b]));
+        let r = s.run_to_completion();
+        assert!(r.matching.validate(&g2).is_ok());
+        assert!(!has_augmenting_path_within(&g2, &r.matching, 2 * k - 1));
+        assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn rewire_with_no_damage_is_free() {
+        let g = gnp(20, 0.15, 3);
+        let mut s = Session::on(&g)
+            .algorithm(Algorithm::Generic { k: 2 })
+            .seed(1)
+            .build();
+        let before = s.run_to_completion();
+        let rounds0 = s.stats().rounds;
+        s.resume_after_rewire(RewirePatch::new(g.clone(), vec![]));
+        let after = s.run_to_completion();
+        assert_eq!(before.matching, after.matching);
+        assert_eq!(s.stats().rounds, rounds0, "no damage ⇒ free epoch");
+    }
+
+    #[test]
+    fn matching_delta_diffs_pairs() {
+        let g = dgraph::generators::structured::path(4);
+        let before = Matching::from_edges(&g, &[1]);
+        let mut after = Matching::new(4);
+        after.add(&g, 0);
+        after.add(&g, 2);
+        let d = MatchingDelta::between(&before, &after);
+        assert_eq!(d.added, vec![(0, 1), (2, 3)]);
+        assert_eq!(d.removed, vec![(1, 2)]);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,5 +1,5 @@
 //! Class-based constant-factor MWM — our stand-in for the
-//! Lotker–Patt-Shamir–Rosén `(¼-ε)`-MWM black box [18] that Algorithm 5
+//! Lotker–Patt-Shamir–Rosén `(¼-ε)`-MWM black box \[18\] that Algorithm 5
 //! plugs in (the paper only needs *some* `δ`-MWM with constant
 //! `δ > 0`).
 //!
@@ -17,7 +17,7 @@
 //!
 //! **Cost:** `O(log n)` classes × `O(log n)` rounds per maximal
 //! matching = `O(log² n)` rounds with `O(1)`-bit messages. The real
-//! [18] achieves `O(log n)` by running classes concurrently; the
+//! \[18\] achieves `O(log n)` by running classes concurrently; the
 //! parallel variant here ([`run_parallel`]) does the same by batching
 //! per-class messages (message size grows to `O(log n)` tags), which is
 //! the ablation of experiment E5b.
@@ -25,6 +25,11 @@
 use crate::israeli_itai;
 use dgraph::{EdgeId, Graph, Matching};
 use simnet::{ExecCfg, NetStats};
+
+/// The per-class maximal-matching primitive (empty warm start).
+fn class_maximal(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
+    israeli_itai::maximal_matching_from_cfg(g, &Matching::new(g.n()), seed, cfg)
+}
 
 /// Number of retained classes for a graph on `n` nodes: weights below
 /// `W/n³` cannot matter (see module docs).
@@ -74,8 +79,7 @@ pub fn run_cfg(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
         if sub.m() == 0 {
             continue;
         }
-        let (cm, cstats) =
-            israeli_itai::maximal_matching_cfg(&sub, seed.wrapping_add(j as u64), cfg);
+        let (cm, cstats) = class_maximal(&sub, seed.wrapping_add(j as u64), cfg);
         stats.absorb(&cstats);
         for e in cm.edge_ids(&sub) {
             m.add(g, back[e as usize]);
@@ -89,12 +93,33 @@ pub fn run_cfg(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
 /// every vertex, only the heaviest-class matched edge (both endpoints
 /// must agree). Fewer rounds, larger (batched) messages; the measured δ
 /// is compared against the sequential variant in E5b.
+#[deprecated(
+    since = "0.1.0",
+    note = "route through `MwmBox::ParClass` (e.g. \
+            `Session::on(g).algorithm(Algorithm::DeltaMwm { mwm_box: MwmBox::ParClass })`), \
+            which threads the session's `ExecCfg` into every per-class network"
+)]
+#[allow(deprecated)]
 pub fn run_parallel(g: &Graph, seed: u64) -> (Matching, NetStats) {
     run_parallel_cfg(g, seed, ExecCfg::default())
 }
 
 /// [`run_parallel`] under explicit execution knobs.
+#[deprecated(
+    since = "0.1.0",
+    note = "route through `MwmBox::ParClass` with a session/`MwmBox::run_cfg` `ExecCfg`"
+)]
 pub fn run_parallel_cfg(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
+    run_parallel_inner(g, seed, cfg)
+}
+
+/// The [`MwmBox::ParClass`](crate::weighted::MwmBox) implementation:
+/// every per-class Israeli–Itai network runs under the *caller's*
+/// [`ExecCfg`] (scheduler mode, worker threads, fault injection) — no
+/// thread choice is hard-coded here, and results are bit-identical
+/// across `cfg.threads` like every other entry point (asserted by
+/// `tests/prop_session.rs`).
+pub(crate) fn run_parallel_inner(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
     let mut stats = NetStats::default();
     if g.m() == 0 {
         return (Matching::new(g.n()), stats);
@@ -112,8 +137,7 @@ pub fn run_parallel_cfg(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetSta
         if sub.m() == 0 {
             continue;
         }
-        let (cm, cstats) =
-            israeli_itai::maximal_matching_cfg(&sub, seed.wrapping_add(999 + j as u64), cfg);
+        let (cm, cstats) = class_maximal(&sub, seed.wrapping_add(999 + j as u64), cfg);
         max_rounds = max_rounds.max(cstats.rounds);
         let tag_bits = simnet::id_bits(classes as usize);
         stats.record_messages(cstats.messages, 2 + tag_bits);
@@ -154,6 +178,7 @@ pub fn run_parallel_cfg(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetSta
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay covered until they are removed
 mod tests {
     use super::*;
     use dgraph::generators::random::gnp;

@@ -1,6 +1,6 @@
 //! The paper's closing Remark (Section 4): *"(1-ε)-MWM can be obtained
 //! in `O(ε⁻⁴ log² n)` time, using messages of linear size, by adapting
-//! the PRAM algorithm of Hougardy and Vinkemeier [14] to the
+//! the PRAM algorithm of Hougardy and Vinkemeier \[14\] to the
 //! distributed setting using Algorithm 2. Details are omitted."*
 //!
 //! We supply the details. With `k = ⌈1/ε⌉`:

@@ -1,5 +1,5 @@
-//! Distributed local-dominant weighted matching (Preis [25] / Hoepman
-//! [11] style): an edge joins the matching when both endpoints point at
+//! Distributed local-dominant weighted matching (Preis \[25\] / Hoepman
+//! \[11\] style): an edge joins the matching when both endpoints point at
 //! it as their heaviest remaining incident edge.
 //!
 //! Deterministic ½-MWM. Round complexity is `O(n)` in the worst case

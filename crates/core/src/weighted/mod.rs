@@ -13,7 +13,7 @@
 //!
 //! After `(3/2δ)·ln(2/ε)` iterations, `w(M) ≥ (½-ε)·w(M*)` (Lemmas
 //! 4.2–4.3). The paper instantiates the box with the `(¼-ε)`-MWM of
-//! [18] at `δ = 1/5`; we provide three substitutes (see `DESIGN.md`):
+//! \[18\] at `δ = 1/5`; we provide three substitutes (see `DESIGN.md`):
 //! the sequential and parallel class algorithms ([`classes`]) and the
 //! deterministic local-dominant ½-MWM ([`local_dominant`]).
 //!
@@ -33,7 +33,7 @@ use std::collections::HashSet;
 /// The δ-MWM black box plugged into Algorithm 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MwmBox {
-    /// Sequential weight classes (δ = ¼): our [18] substitute.
+    /// Sequential weight classes (δ = ¼): our \[18\] substitute.
     SeqClass,
     /// Concurrent weight classes: fewer rounds, bigger messages.
     ParClass,
@@ -61,7 +61,7 @@ impl MwmBox {
     pub fn run_cfg(self, g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
         match self {
             MwmBox::SeqClass => classes::run_cfg(g, seed, cfg),
-            MwmBox::ParClass => classes::run_parallel_cfg(g, seed, cfg),
+            MwmBox::ParClass => classes::run_parallel_inner(g, seed, cfg),
             MwmBox::LocalDominant => local_dominant::run_cfg(g, seed, cfg),
         }
     }
@@ -157,47 +157,75 @@ pub struct WeightedRun {
 /// ```
 /// use dgraph::generators::{random::gnp, weights::{apply_weights, WeightModel}};
 /// let g = apply_weights(&gnp(14, 0.3, 1), WeightModel::Integer(1, 9), 2);
+/// #[allow(deprecated)]
 /// let r = dmatch::weighted::run(&g, 0.1, dmatch::weighted::MwmBox::SeqClass, 3);
 /// let opt = dgraph::mwm_exact::max_weight_exact(&g);
 /// assert!(r.matching.weight(&g) >= (0.5 - 0.1) * opt);
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::Weighted { epsilon, mwm_box })`"
+)]
+#[allow(deprecated)]
 pub fn run(g: &Graph, epsilon: f64, mwm_box: MwmBox, seed: u64) -> WeightedRun {
     run_cfg(g, epsilon, mwm_box, seed, ExecCfg::default())
 }
 
+/// One iteration of Algorithm 5 (Lines 3–5): announce matched weights,
+/// run the black box on the derived graph, apply the wraps — the single
+/// source of truth shared by [`run_cfg`]'s loop and the stepwise
+/// `dmatch::session` driver (both must derive the per-iteration seed as
+/// `seed + it·0x5EED` for bit-identity).
+pub(crate) fn iteration(
+    g: &Graph,
+    m: &mut Matching,
+    mwm_box: MwmBox,
+    it: u64,
+    seed: u64,
+    cfg: ExecCfg,
+    stats: &mut NetStats,
+) {
+    let id_bits = simnet::id_bits(g.n());
+    // Matched nodes announce their matched weight so both endpoints
+    // of every edge can evaluate w_M locally: one round, one
+    // weight-sized message per edge endpoint.
+    stats.record_messages(2 * g.m() as u64, 64);
+    stats.record_round(2 * g.m() as u64);
+
+    let (gp, back) = derived_graph(g, m);
+    let (mp, box_stats) = mwm_box.run_cfg(&gp, seed.wrapping_add(it * 0x5EED), cfg);
+    stats.absorb(&box_stats);
+
+    let mprime: Vec<EdgeId> = mp.edge_ids(&gp).iter().map(|&e| back[e as usize]).collect();
+    let wm_gain: f64 = mprime.iter().map(|&e| derived_weight(g, m, e)).sum();
+    let (next, realized) = apply_wraps(g, m, &mprime);
+    assert!(
+        realized >= wm_gain - 1e-9,
+        "Lemma 4.1 violated: realized {realized} < w_M(M') = {wm_gain}"
+    );
+    *m = next;
+    // Wrap application: each M' endpoint tells its (old) mate to
+    // release; two rounds of id-sized messages.
+    stats.record_messages(2 * mprime.len() as u64, id_bits);
+    stats.record_round(2 * mprime.len() as u64);
+    stats.record_round(0);
+}
+
 /// [`run`] under explicit execution knobs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).algorithm(Algorithm::Weighted { epsilon, mwm_box }).exec(cfg)`; \
+            the weight trajectory comes from the `ConvergenceCurve` observer"
+)]
 pub fn run_cfg(g: &Graph, epsilon: f64, mwm_box: MwmBox, seed: u64, cfg: ExecCfg) -> WeightedRun {
     let delta = mwm_box.nominal_delta();
     let iters = iteration_bound(delta, epsilon);
     let mut m = Matching::new(g.n());
     let mut stats = NetStats::default();
     let mut weights = Vec::with_capacity(iters as usize);
-    let id_bits = simnet::id_bits(g.n());
     for it in 0..iters {
-        // Matched nodes announce their matched weight so both endpoints
-        // of every edge can evaluate w_M locally: one round, one
-        // weight-sized message per edge endpoint.
-        stats.record_messages(2 * g.m() as u64, 64);
-        stats.record_round(2 * g.m() as u64);
-
-        let (gp, back) = derived_graph(g, &m);
-        let (mp, box_stats) = mwm_box.run_cfg(&gp, seed.wrapping_add(it * 0x5EED), cfg);
-        stats.absorb(&box_stats);
-
-        let mprime: Vec<EdgeId> = mp.edge_ids(&gp).iter().map(|&e| back[e as usize]).collect();
-        let wm_gain: f64 = mprime.iter().map(|&e| derived_weight(g, &m, e)).sum();
-        let (next, realized) = apply_wraps(g, &m, &mprime);
-        assert!(
-            realized >= wm_gain - 1e-9,
-            "Lemma 4.1 violated: realized {realized} < w_M(M') = {wm_gain}"
-        );
-        m = next;
+        iteration(g, &mut m, mwm_box, it, seed, cfg, &mut stats);
         weights.push(m.weight(g));
-        // Wrap application: each M' endpoint tells its (old) mate to
-        // release; two rounds of id-sized messages.
-        stats.record_messages(2 * mprime.len() as u64, id_bits);
-        stats.record_round(2 * mprime.len() as u64);
-        stats.record_round(0);
     }
     WeightedRun {
         matching: m,
@@ -208,6 +236,7 @@ pub fn run_cfg(g: &Graph, epsilon: f64, mwm_box: MwmBox, seed: u64, cfg: ExecCfg
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay covered until they are removed
 mod tests {
     use super::*;
     use dgraph::generators::random::{bipartite_gnp, gnp};

@@ -7,6 +7,7 @@ use dgraph::generators::weights::{apply_weights, WeightModel};
 use dgraph::Matching;
 use dmatch::bipartite::{aug_until_maximal, count, SubgraphSpec};
 use dmatch::weighted::MwmBox;
+use dmatch::{Algorithm, Session};
 
 #[test]
 fn aug_applies_exactly_the_shortfall_on_simple_instances() {
@@ -15,7 +16,12 @@ fn aug_applies_exactly_the_shortfall_on_simple_instances() {
     for seed in 0..5 {
         let (g, sides) = bipartite_gnp(16, 16, 0.25, seed);
         let opt = dgraph::hopcroft_karp::max_matching(&g, &sides).size();
-        let out = dmatch::bipartite::run(&g, &sides, 4, seed);
+        let out = Session::on(&g)
+            .algorithm(Algorithm::Bipartite { k: 4 })
+            .sides(&sides)
+            .seed(seed)
+            .build()
+            .run_to_completion();
         assert!(opt - out.matching.size() <= opt / 4 + 1, "seed {seed}");
     }
 }
@@ -91,7 +97,14 @@ fn weighted_iterations_respect_black_box_contract() {
             },
             seed,
         );
-        let r = dmatch::weighted::run(&g, 0.2, MwmBox::ParClass, seed);
+        let r = Session::on(&g)
+            .algorithm(Algorithm::Weighted {
+                epsilon: 0.2,
+                mwm_box: MwmBox::ParClass,
+            })
+            .seed(seed)
+            .build()
+            .run_to_completion();
         assert!(r.matching.validate(&g).is_ok());
         let opt = dgraph::mwm_exact::max_weight_exact(&g);
         assert!(
@@ -107,7 +120,12 @@ fn line_graph_mm_and_israeli_itai_are_both_valid_baselines() {
     for seed in 0..5 {
         let g = gnp(30, 0.12, seed);
         let (a, _) = dmatch::line_mm::maximal_matching(&g, seed);
-        let (b, _) = dmatch::israeli_itai::maximal_matching(&g, seed);
+        let b = Session::on(&g)
+            .algorithm(Algorithm::IsraeliItai)
+            .seed(seed)
+            .build()
+            .run_to_completion()
+            .matching;
         let opt = dgraph::blossom::max_matching(&g).size();
         assert!(2 * a.size() >= opt);
         assert!(2 * b.size() >= opt);

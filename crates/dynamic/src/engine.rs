@@ -4,6 +4,8 @@ use crate::churn::{ChurnGen, ChurnModel};
 use crate::mutation::MutationBatch;
 use crate::repair::RepairNode;
 use dgraph::{Graph, Matching, NodeId, UNMATCHED};
+use dmatch::session::{RewirePatch, Session};
+use dmatch::Algorithm;
 use simnet::{ExecCfg, NetStats, Network};
 use std::collections::HashSet;
 
@@ -15,7 +17,9 @@ pub enum RepairAlgo {
     /// message-plane remap — the same slabs live across all epochs.
     IncrementalMaximal,
     /// Warm-started generic `(1-1/(k+1))`-MCM with damage-local
-    /// gathering ([`dmatch::generic::repair`]).
+    /// gathering, driven through a persistent [`Session`] via
+    /// [`Session::resume_after_rewire`] (one epoch = one rewire +
+    /// repair run).
     IncrementalGeneric { k: usize },
 }
 
@@ -64,8 +68,13 @@ pub struct DynEngine {
     seed: u64,
     epoch: u64,
     /// Persistent network for [`RepairAlgo::IncrementalMaximal`]; its
-    /// slabs and RNG streams live across every epoch.
+    /// slabs and RNG streams live across every epoch. This arm lives
+    /// *below* the `Session` surface: its protocol state never leaves
+    /// the simulator, which is what makes zero-rebuild epochs possible.
     net: Option<Network<RepairNode>>,
+    /// Persistent session for [`RepairAlgo::IncrementalGeneric`]; each
+    /// epoch resumes it with a [`RewirePatch`].
+    session: Option<Session>,
     /// Per-epoch reports, in order (index 0 = bootstrap).
     pub reports: Vec<EpochReport>,
 }
@@ -95,6 +104,7 @@ impl DynEngine {
             seed,
             epoch: 0,
             net: None,
+            session: None,
             reports: Vec::new(),
         }
     }
@@ -144,8 +154,13 @@ impl DynEngine {
                 self.reports.push(report);
             }
             RepairAlgo::IncrementalGeneric { k } => {
-                let r = dmatch::generic::run_cfg(&self.g, k, self.seed, self.cfg);
-                let report = self.generic_report(MutationBatch::empty(), 0, r, 0);
+                let session = Session::on(&self.g)
+                    .algorithm(Algorithm::Generic { k })
+                    .seed(self.seed)
+                    .exec(self.cfg)
+                    .build();
+                self.session = Some(session);
+                let report = self.run_generic_epoch(MutationBatch::empty(), 0, None, 0);
                 self.reports.push(report);
             }
         }
@@ -218,16 +233,9 @@ impl DynEngine {
                 self.net.as_mut().expect("checked").rewire(&patch);
                 self.run_maximal_epoch(batch, epoch, Some(&damage), invalidated)
             }
-            RepairAlgo::IncrementalGeneric { k } => {
-                let r = dmatch::generic::repair_cfg(
-                    &self.g,
-                    &self.m,
-                    &damage,
-                    k,
-                    self.seed.wrapping_add(epoch),
-                    self.cfg,
-                );
-                self.generic_report(batch, epoch, r, invalidated)
+            RepairAlgo::IncrementalGeneric { .. } => {
+                let patch = RewirePatch::new(self.g.clone(), damage);
+                self.run_generic_epoch(batch, epoch, Some(patch), invalidated)
             }
         };
         self.reports.push(report);
@@ -292,14 +300,30 @@ impl DynEngine {
         }
     }
 
-    fn generic_report(
+    /// One epoch of the session-driven generic arm: resume the
+    /// persistent session with the rewire patch (epoch `e` seeds as
+    /// `seed + e`, the engine's long-standing convention) and run the
+    /// repair to completion; cost is the session's stats delta.
+    fn run_generic_epoch(
         &mut self,
         batch: MutationBatch,
         epoch: u64,
-        r: dmatch::generic::GenericRun,
+        patch: Option<RewirePatch>,
         invalidated: usize,
     ) -> EpochReport {
-        self.m = r.matching;
+        let session = self
+            .session
+            .as_mut()
+            .expect("bootstrap created the session");
+        let before = snapshot(session.stats());
+        let phases_before = session.phase_log().len();
+        if let Some(patch) = patch {
+            session.resume_after_rewire(patch);
+        }
+        session.run_to_completion();
+        self.m = session.matching().clone();
+        let after = snapshot(session.stats());
+        debug_assert_eq!(session.epoch(), epoch, "session epochs track engine epochs");
         let damage = if epoch == 0 {
             self.g.n()
         } else {
@@ -311,10 +335,10 @@ impl DynEngine {
             removed: batch.removed.len(),
             invalidated,
             damage,
-            rounds: r.stats.rounds,
-            messages: r.stats.messages,
-            bits: r.stats.bits,
-            iterations: r.phases.len() as u64,
+            rounds: after.0 - before.0,
+            messages: after.1 - before.1,
+            bits: after.2 - before.2,
+            iterations: (session.phase_log().len() - phases_before) as u64,
             woken: 0,
             locality_radius: None,
             matching_size: self.m.size(),
@@ -327,15 +351,17 @@ impl DynEngine {
     /// against. Deterministic in `(graph, seed, epoch)`.
     pub fn recompute_baseline(&self) -> (Matching, NetStats) {
         let seed = self.seed.wrapping_mul(0x9E37).wrapping_add(self.epoch);
-        match self.algo {
-            RepairAlgo::IncrementalMaximal => {
-                dmatch::israeli_itai::maximal_matching_cfg(&self.g, seed, self.cfg)
-            }
-            RepairAlgo::IncrementalGeneric { k } => {
-                let r = dmatch::generic::run_cfg(&self.g, k, seed, self.cfg);
-                (r.matching, r.stats)
-            }
-        }
+        let alg = match self.algo {
+            RepairAlgo::IncrementalMaximal => Algorithm::IsraeliItai,
+            RepairAlgo::IncrementalGeneric { k } => Algorithm::Generic { k },
+        };
+        let r = Session::on(&self.g)
+            .algorithm(alg)
+            .seed(seed)
+            .exec(self.cfg)
+            .build()
+            .run_to_completion();
+        (r.matching, r.stats)
     }
 
     /// Ground-truth check of the protocol's liveness knowledge: every

@@ -8,7 +8,7 @@
 
 /// Node identifier (compatible with `simnet::NodeId`).
 pub type NodeId = u32;
-/// Edge identifier: index into [`Graph::edges`].
+/// Edge identifier: index into the graph's edge list.
 pub type EdgeId = u32;
 
 /// Sentinel for "no mate" in mate arrays.

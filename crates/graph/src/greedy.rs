@@ -3,7 +3,7 @@
 //! The paper's introduction: *"the greedy algorithm (that repeatedly
 //! adds the heaviest remaining edge to the matching and removes all its
 //! incident edges) finds a ½-MCM or ½-MWM"*. These are the classical
-//! centralized comparators (Preis [25], Drake–Hougardy [6]).
+//! centralized comparators (Preis \[25\], Drake–Hougardy \[6\]).
 
 use crate::graph::{EdgeId, Graph};
 use crate::matching::Matching;
@@ -40,7 +40,7 @@ pub fn maximal_in_order(g: &Graph, order: &[EdgeId]) -> Matching {
     m
 }
 
-/// Path-growing algorithm of Drake & Hougardy [6]: grows paths from
+/// Path-growing algorithm of Drake & Hougardy \[6\]: grows paths from
 /// arbitrary vertices always extending along the heaviest incident
 /// edge, alternately assigning edges to two matchings; returns the
 /// heavier one. ½-MWM in linear time.

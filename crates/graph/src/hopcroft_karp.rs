@@ -2,7 +2,7 @@
 //!
 //! The paper builds directly on this algorithm's structure (phases of
 //! shortest augmenting paths, Lemmas 3.4/3.5 are from the same paper
-//! [13]); here it serves as the exact baseline for every bipartite
+//! \[13\]); here it serves as the exact baseline for every bipartite
 //! approximation-ratio measurement. `O(E·√V)`.
 
 use crate::graph::{Graph, NodeId, UNMATCHED};

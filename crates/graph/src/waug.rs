@@ -1,7 +1,7 @@
 //! Weighted augmentations: alternating paths *and cycles* with a
 //! bounded number of unmatched edges, and their gains.
 //!
-//! This is the machinery behind Lemma 4.2 (Pettie–Sanders [24]): for
+//! This is the machinery behind Lemma 4.2 (Pettie–Sanders \[24\]): for
 //! every `k` there is a collection of disjoint augmentations, each with
 //! at most `k` unmatched edges, realizing a `(k+1)/(2k+1)` fraction of
 //! the remaining headroom `k/(k+1)·w(M*) - w(M)`. The paper's closing

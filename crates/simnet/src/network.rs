@@ -847,7 +847,7 @@ impl<P: Protocol> Network<P> {
     /// Install the new topology of `patch` at an epoch boundary,
     /// carrying the network across:
     ///
-    /// * both message-plane slabs are remapped ([`Slab::remap`]):
+    /// * both message-plane slabs are remapped (`Slab::remap`):
     ///   in-flight messages on surviving directed edges keep their
     ///   slots (and are delivered next round as usual); messages on
     ///   removed edges are dropped; the whole migration moves payloads

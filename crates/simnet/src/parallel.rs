@@ -15,7 +15,7 @@
 //! contiguous id range from its first to its last active node (idle
 //! nodes inside the range are simply never visited). Fan-out is
 //! throttled by the amount of actual work: with fewer than
-//! [`PAR_MIN_PER_THREAD`] active nodes per worker the round falls back
+//! `PAR_MIN_PER_THREAD` active nodes per worker the round falls back
 //! to the sequential path, so a quiet tail (or a tiny network) never
 //! pays thread-spawn latency for a handful of node steps — the
 //! pathology the first `BENCH_step_plane.json` capture measured as a

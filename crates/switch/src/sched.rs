@@ -4,9 +4,9 @@
 //! partial permutation (a matching of inputs to outputs, restricted to
 //! non-empty VOQs). The lineup spans the history the paper sketches:
 //!
-//! * [`Pim`] — Parallel Iterative Matching (Anderson et al. [3]),
+//! * [`Pim`] — Parallel Iterative Matching (Anderson et al. \[3\]),
 //!   the AN2 scheduler built on Israeli–Itai's ideas;
-//! * [`Islip`] — iSLIP (McKeown [23]), PIM with round-robin pointers,
+//! * [`Islip`] — iSLIP (McKeown \[23\]), PIM with round-robin pointers,
 //!   "the algorithm of choice in many of today's routers";
 //! * [`DistMaximal`] — Israeli–Itai itself on the request graph;
 //! * [`LpsBipartite`] — the paper's Theorem 3.8 `(1-1/k)`-MCM;
@@ -16,6 +16,8 @@
 //!   (Hopcroft–Karp / Hungarian) bounding what any scheduler can do.
 
 use dgraph::{Graph, GraphBuilder, NodeId};
+use dmatch::session::Session;
+use dmatch::Algorithm;
 use simnet::{ExecCfg, SplitMix64};
 
 /// A scheduling decision: `out[input] = Some(output)`.
@@ -103,7 +105,7 @@ pub fn is_valid_decision(occ: &[Vec<usize>], d: &Decision) -> bool {
 
 // ---------------------------------------------------------------- PIM
 
-/// Parallel Iterative Matching [3].
+/// Parallel Iterative Matching \[3\].
 pub struct Pim {
     n: usize,
     iterations: usize,
@@ -165,7 +167,7 @@ impl Scheduler for Pim {
 
 // -------------------------------------------------------------- iSLIP
 
-/// iSLIP [23]: PIM with deterministic round-robin pointers.
+/// iSLIP \[23\]: PIM with deterministic round-robin pointers.
 pub struct Islip {
     n: usize,
     iterations: usize,
@@ -300,13 +302,14 @@ impl Scheduler for DistMaximal {
     fn schedule(&mut self, occ: &[Vec<usize>]) -> Decision {
         self.cycle += 1;
         let (g, _) = request_graph(occ);
-        let (m, stats) = dmatch::israeli_itai::maximal_matching_cfg(
-            &g,
-            self.seed.wrapping_add(self.cycle),
-            self.exec,
-        );
-        self.rounds += stats.rounds;
-        decision_from_matching(occ.len(), &m)
+        let r = Session::on(&g)
+            .algorithm(Algorithm::IsraeliItai)
+            .seed(self.seed.wrapping_add(self.cycle))
+            .exec(self.exec)
+            .build()
+            .run_to_completion();
+        self.rounds += r.stats.rounds;
+        decision_from_matching(occ.len(), &r.matching)
     }
 
     fn rounds_used(&self) -> u64 {
@@ -350,15 +353,15 @@ impl Scheduler for LpsBipartite {
     fn schedule(&mut self, occ: &[Vec<usize>]) -> Decision {
         self.cycle += 1;
         let (g, sides) = request_graph(occ);
-        let out = dmatch::bipartite::run_cfg(
-            &g,
-            &sides,
-            self.k,
-            self.seed.wrapping_add(self.cycle),
-            self.exec,
-        );
-        self.rounds += out.stats.rounds;
-        decision_from_matching(occ.len(), &out.matching)
+        let r = Session::on(&g)
+            .algorithm(Algorithm::Bipartite { k: self.k })
+            .sides(&sides)
+            .seed(self.seed.wrapping_add(self.cycle))
+            .exec(self.exec)
+            .build()
+            .run_to_completion();
+        self.rounds += r.stats.rounds;
+        decision_from_matching(occ.len(), &r.matching)
     }
 
     fn rounds_used(&self) -> u64 {
@@ -402,15 +405,17 @@ impl Scheduler for LpsWeighted {
     fn schedule(&mut self, occ: &[Vec<usize>]) -> Decision {
         self.cycle += 1;
         let (g, _) = request_graph(occ);
-        let run = dmatch::weighted::run_cfg(
-            &g,
-            self.epsilon,
-            dmatch::weighted::MwmBox::SeqClass,
-            self.seed.wrapping_add(self.cycle),
-            self.exec,
-        );
-        self.rounds += run.stats.rounds;
-        decision_from_matching(occ.len(), &run.matching)
+        let r = Session::on(&g)
+            .algorithm(Algorithm::Weighted {
+                epsilon: self.epsilon,
+                mwm_box: dmatch::weighted::MwmBox::SeqClass,
+            })
+            .seed(self.seed.wrapping_add(self.cycle))
+            .exec(self.exec)
+            .build()
+            .run_to_completion();
+        self.rounds += r.stats.rounds;
+        decision_from_matching(occ.len(), &r.matching)
     }
 
     fn rounds_used(&self) -> u64 {

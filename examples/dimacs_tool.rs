@@ -8,7 +8,7 @@
 //! and read back — exercising the full I/O round trip.
 
 use distributed_matching::dgraph::{blossom, io};
-use distributed_matching::dmatch::{general, israeli_itai};
+use distributed_matching::dmatch::{Algorithm, Session};
 use std::io::Write as _;
 
 fn main() {
@@ -54,22 +54,25 @@ fn main() {
     let opt = blossom::max_matching(&g).size();
     println!("maximum matching (centralized blossom): {opt}\n");
 
-    let (m, stats) = israeli_itai::maximal_matching(&g, 1);
+    let r = Session::on(&g)
+        .algorithm(Algorithm::IsraeliItai)
+        .seed(1)
+        .build()
+        .run_to_completion();
     println!(
         "Israeli–Itai:      {:>4} edges ({:>5.1}%)   {:>5} rounds",
-        m.size(),
-        100.0 * m.size() as f64 / opt.max(1) as f64,
-        stats.rounds
+        r.matching.size(),
+        100.0 * r.matching.size() as f64 / opt.max(1) as f64,
+        r.stats.rounds
     );
-    let r = general::run_with(
-        &g,
-        k,
-        2,
-        general::GeneralOpts {
-            iterations: None,
-            early_stop_after: Some(25),
-        },
-    );
+    let r = Session::on(&g)
+        .algorithm(Algorithm::General {
+            k,
+            early_stop: Some(25),
+        })
+        .seed(2)
+        .build()
+        .run_to_completion();
     println!(
         "Algorithm 4 (k={k}): {:>4} edges ({:>5.1}%)   {:>5} rounds   guarantee ≥ {:.1}% whp",
         r.matching.size(),

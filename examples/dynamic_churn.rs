@@ -11,6 +11,7 @@
 
 use distributed_matching::dchurn::{ChurnModel, DynEngine, RepairAlgo};
 use distributed_matching::dgraph::generators::random::gnp;
+use distributed_matching::dmatch::{Algorithm, RewirePatch, Session};
 
 fn main() {
     let n = 1000;
@@ -56,5 +57,28 @@ fn main() {
         eng.matching().size(),
         eng.matching().validate(eng.graph()).is_ok(),
         eng.matching().is_maximal(eng.graph()),
+    );
+
+    // The same epoch loop, hand-driven through the Session API (how the
+    // engine's generic arm works internally): complete a run, then
+    // resume it with a rewire patch and pay only for the damage ball.
+    println!("\n-- hand-driven Session repair (generic k=2, one lost edge) --");
+    let g = gnp(400, 8.0 / 400.0, 11);
+    let mut session = Session::on(&g)
+        .algorithm(Algorithm::Generic { k: 2 })
+        .seed(3)
+        .build();
+    let boot = session.run_to_completion();
+    let full_rounds = boot.stats.rounds;
+    let e = boot.matching.edge_ids(&g)[0];
+    let (a, b) = g.endpoints(e);
+    let (g2, _) = g.edge_subgraph(|x| x != e);
+    session.resume_after_rewire(RewirePatch::new(g2, vec![a, b]));
+    let repaired = session.run_to_completion();
+    println!(
+        "bootstrap: {} rounds; repair after losing ({a},{b}): {} rounds, |M| = {}",
+        full_rounds,
+        repaired.stats.rounds - full_rounds,
+        repaired.matching.size(),
     );
 }

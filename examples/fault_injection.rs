@@ -13,7 +13,7 @@
 
 use distributed_matching::dgraph::blossom;
 use distributed_matching::dgraph::generators::random::gnp;
-use distributed_matching::dmatch::israeli_itai;
+use distributed_matching::dmatch::{israeli_itai, Algorithm, Session};
 
 fn main() {
     let g = gnp(300, 0.03, 5);
@@ -22,6 +22,19 @@ fn main() {
         "graph: n = {}, m = {}; maximum matching = {opt}\n",
         g.n(),
         g.m()
+    );
+
+    // Fault-free reference through the unified driver: this is the
+    // matching quality the lossy runs below degrade from.
+    let r = Session::on(&g)
+        .algorithm(Algorithm::IsraeliItai)
+        .seed(0)
+        .build()
+        .run_to_completion();
+    println!(
+        "fault-free session reference: {} pairs ({:.1}% of opt)\n",
+        r.matching.size(),
+        100.0 * r.matching.size() as f64 / opt as f64
     );
     println!(
         "{:>10} {:>14} {:>12} {:>12}",
@@ -49,6 +62,8 @@ fn main() {
     println!(
         "\nReading: safety never breaks (every run produced a valid matching);\n\
          the matched fraction decays smoothly as loss increases — and the paper's\n\
-         fault-free guarantees are recovered exactly at loss = 0."
+         fault-free guarantees (the session reference above) are recovered at loss = 0.\n\
+         (The lossy rows use israeli_itai::lossy_matching — a fixed-round agreed-pairs\n\
+         regime below the Session surface, which models runs-to-completion.)"
     );
 }

@@ -14,7 +14,7 @@
 
 use distributed_matching::dgraph::blossom;
 use distributed_matching::dgraph::generators::random::barabasi_albert;
-use distributed_matching::dmatch::{general, israeli_itai};
+use distributed_matching::dmatch::{Algorithm, Session};
 
 fn main() {
     // A scale-free overlay (Barabási–Albert): hubs plus a long tail —
@@ -30,31 +30,34 @@ fn main() {
     println!("maximum pairing (centralized blossom): {opt} conversations\n");
 
     // Baseline: Israeli–Itai maximal matching — the 1986 answer.
-    let (m, stats) = israeli_itai::maximal_matching(&g, 5);
+    let r = Session::on(&g)
+        .algorithm(Algorithm::IsraeliItai)
+        .seed(5)
+        .build()
+        .run_to_completion();
     println!(
         "Israeli–Itai  (½ guarantee):   {:>3} conversations ({:>5.1}% of optimum), {:>4} rounds",
-        m.size(),
-        100.0 * m.size() as f64 / opt as f64,
-        stats.rounds
+        r.matching.size(),
+        100.0 * r.matching.size() as f64 / opt as f64,
+        r.stats.rounds
     );
 
     // The paper's Algorithm 4 at increasing quality targets.
     for k in [2usize, 3, 4] {
-        let r = general::run_with(
-            &g,
-            k,
-            13 + k as u64,
-            general::GeneralOpts {
-                iterations: None,
-                early_stop_after: Some(25),
-            },
-        );
+        let mut session = Session::on(&g)
+            .algorithm(Algorithm::General {
+                k,
+                early_stop: Some(25),
+            })
+            .seed(13 + k as u64)
+            .build();
+        let r = session.run_to_completion();
         println!(
             "Algorithm 4   (1-1/{k} whp):   {:>3} conversations ({:>5.1}% of optimum), {:>4} rounds, {} sampling iterations",
             r.matching.size(),
             100.0 * r.matching.size() as f64 / opt as f64,
             r.stats.rounds,
-            r.iterations,
+            session.phase_log().len(),
         );
         assert!(r.matching.validate(&g).is_ok());
     }

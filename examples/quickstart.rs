@@ -1,5 +1,5 @@
 //! Quickstart: compute approximate matchings with every algorithm of
-//! the paper on one random graph.
+//! the paper on one random graph, through the unified `Session` API.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,7 +7,8 @@
 
 use distributed_matching::dgraph::generators::random::gnp;
 use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
-use distributed_matching::dmatch::{self, runner, weighted::MwmBox};
+use distributed_matching::dmatch::weighted::MwmBox;
+use distributed_matching::dmatch::{runner, Algorithm, ConvergenceCurve, RunReport, Session};
 
 fn main() {
     // A sparse random graph on 200 nodes (expected degree 5).
@@ -24,51 +25,53 @@ fn main() {
     let opt = distributed_matching::dgraph::blossom::max_matching(&g).size();
     println!("maximum matching (blossom, centralized): {opt} edges\n");
 
+    // Every run is a Session: pick an algorithm, a seed, build, run.
     // 1. The classical baseline: Israeli–Itai maximal matching.
-    let r = runner::run(
-        &g,
-        None,
-        runner::Algorithm::IsraeliItai,
-        7,
-        runner::TerminationMode::Oracle,
-    );
+    let r = Session::on(&g)
+        .algorithm(Algorithm::IsraeliItai)
+        .seed(7)
+        .build()
+        .run_to_completion();
     report(&r, opt);
 
     // 2. The paper's generic (1-ε)-MCM (Theorem 3.1), k = 2 → ratio ≥ 2/3.
-    let r = runner::run(
-        &g,
-        None,
-        runner::Algorithm::Generic { k: 2 },
-        7,
-        runner::TerminationMode::Oracle,
-    );
+    //    A ConvergenceCurve observer records the size after each phase.
+    let curve = ConvergenceCurve::new();
+    let r = Session::on(&g)
+        .algorithm(Algorithm::Generic { k: 2 })
+        .seed(7)
+        .observe(curve.clone())
+        .build()
+        .run_to_completion();
     report(&r, opt);
+    let trail: Vec<String> = curve
+        .points()
+        .iter()
+        .map(|p| format!("{} edges @ round {}", p.matching_size, p.round))
+        .collect();
+    println!("    per-phase trail: {}", trail.join(" → "));
 
     // 3. General graphs with small messages (Theorem 3.11), k = 3 → ratio ≥ 2/3 whp.
-    let r = runner::run(
-        &g,
-        None,
-        runner::Algorithm::General {
+    let r = Session::on(&g)
+        .algorithm(Algorithm::General {
             k: 3,
             early_stop: Some(20),
-        },
-        7,
-        runner::TerminationMode::Oracle,
-    );
+        })
+        .seed(7)
+        .build()
+        .run_to_completion();
     report(&r, opt);
 
     // 4. Weighted matching (Theorem 4.5): (½-ε)-MWM on random weights.
     let wg = apply_weights(&g, WeightModel::Exponential(2.0), 9);
-    let r = runner::run(
-        &wg,
-        None,
-        runner::Algorithm::Weighted {
+    let r = Session::on(&wg)
+        .algorithm(Algorithm::Weighted {
             epsilon: 0.1,
             mwm_box: MwmBox::SeqClass,
-        },
-        7,
-        runner::TerminationMode::Oracle,
-    );
+        })
+        .seed(7)
+        .build()
+        .run_to_completion();
     let ub = runner::mwm_reference(&wg, None);
     println!(
         "{:<28} weight {:>8.2} (≥ {:.0}% of the exact/bound {:.2})   rounds {:>5}  maxmsg {:>4} bits",
@@ -80,12 +83,12 @@ fn main() {
         r.stats.max_msg_bits
     );
 
-    // The runner validates every matching; so can you:
+    // The session validates every matching; so can you:
     assert!(r.matching.validate(&wg).is_ok());
     println!("\nall matchings validated ✓");
 }
 
-fn report(r: &dmatch::RunReport, opt: usize) {
+fn report(r: &RunReport, opt: usize) {
     println!(
         "{:<28} {:>4} edges ({:>5.1}% of optimum)   rounds {:>5}  messages {:>7}  maxmsg {:>6} bits",
         r.name,

@@ -13,7 +13,8 @@
 use distributed_matching::dgraph::generators::random::bipartite_gnp;
 use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
 use distributed_matching::dgraph::hungarian;
-use distributed_matching::dmatch::weighted::{self, MwmBox};
+use distributed_matching::dmatch::weighted::MwmBox;
+use distributed_matching::dmatch::{Algorithm, Session};
 
 fn main() {
     let workers = 50;
@@ -42,7 +43,14 @@ fn main() {
     );
 
     for eps in [0.3, 0.1, 0.02] {
-        let r = weighted::run(&g, eps, MwmBox::SeqClass, 99);
+        let mut session = Session::on(&g)
+            .algorithm(Algorithm::Weighted {
+                epsilon: eps,
+                mwm_box: MwmBox::SeqClass,
+            })
+            .seed(99)
+            .build();
+        let r = session.run_to_completion();
         println!(
             "Algorithm 5, ε = {:<4}: utility {:>8.2} ({:>5.1}% of optimum, guarantee ≥ {:>4.1}%) — {} assignments, {} rounds, {} iterations",
             eps,
@@ -51,12 +59,19 @@ fn main() {
             100.0 * (0.5 - eps),
             r.matching.size(),
             r.stats.rounds,
-            r.iterations,
+            session.phase_log().len(),
         );
     }
 
     // Show a few concrete assignments.
-    let r = weighted::run(&g, 0.1, MwmBox::SeqClass, 99);
+    let r = Session::on(&g)
+        .algorithm(Algorithm::Weighted {
+            epsilon: 0.1,
+            mwm_box: MwmBox::SeqClass,
+        })
+        .seed(99)
+        .build()
+        .run_to_completion();
     println!("\nsample assignments (worker → task @ utility):");
     let mut shown = 0;
     for w in 0..workers as u32 {

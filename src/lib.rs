@@ -26,6 +26,12 @@
 //!   matching-based scheduler, under optionally time-varying port
 //!   topologies (link failures mid-run).
 //!
+//! Every algorithm is driven through the builder-first
+//! [`dmatch::Session`] (re-exported here): static runs, `dchurn` churn
+//! epochs (via `Session::resume_after_rewire`), and `switchsim` cycles
+//! all share the same driver, with a per-round/per-phase
+//! [`dmatch::Observer`] plane for mid-run visibility.
+//!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the experiment
 //! index mapping every theorem and figure of the paper to a reproducible
 //! measurement.
@@ -35,3 +41,8 @@ pub use dgraph;
 pub use dmatch;
 pub use simnet;
 pub use switchsim;
+
+pub use dmatch::{
+    Algorithm, ConvergenceCurve, Observer, RewirePatch, RoundBudget, RunReport, Session,
+    TerminationMode,
+};

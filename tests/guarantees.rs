@@ -10,7 +10,16 @@ use distributed_matching::dgraph::generators::structured::{
 };
 use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
 use distributed_matching::dgraph::{blossom, hopcroft_karp, hungarian, Graph};
-use distributed_matching::dmatch::{general, generic, israeli_itai, weighted};
+use distributed_matching::dmatch::{weighted, Algorithm, RunReport, Session};
+
+/// One unified-driver run with default (oracle) termination.
+fn run_alg(g: &Graph, alg: Algorithm, seed: u64) -> RunReport {
+    Session::on(g)
+        .algorithm(alg)
+        .seed(seed)
+        .build()
+        .run_to_completion()
+}
 
 fn general_zoo() -> Vec<(&'static str, Graph)> {
     vec![
@@ -32,7 +41,7 @@ fn general_zoo() -> Vec<(&'static str, Graph)> {
 #[test]
 fn israeli_itai_is_maximal_everywhere() {
     for (name, g) in general_zoo() {
-        let (m, _) = israeli_itai::maximal_matching(&g, 7);
+        let m = run_alg(&g, Algorithm::IsraeliItai, 7).matching;
         assert!(m.validate(&g).is_ok(), "{name}");
         assert!(m.is_maximal(&g), "{name}: not maximal");
         let opt = blossom::max_matching(&g).size();
@@ -44,7 +53,7 @@ fn israeli_itai_is_maximal_everywhere() {
 fn generic_algorithm_meets_bound_everywhere() {
     for (name, g) in general_zoo() {
         for k in [1usize, 2] {
-            let r = generic::run(&g, k, 11);
+            let r = run_alg(&g, Algorithm::Generic { k }, 11);
             assert!(r.matching.validate(&g).is_ok(), "{name}");
             let opt = blossom::max_matching(&g).size();
             let bound = 1.0 - 1.0 / (k as f64 + 1.0);
@@ -61,14 +70,13 @@ fn generic_algorithm_meets_bound_everywhere() {
 fn general_algorithm_meets_bound_on_the_zoo() {
     for (name, g) in general_zoo() {
         let k = 2;
-        let r = general::run_with(
+        let r = run_alg(
             &g,
-            k,
-            5,
-            general::GeneralOpts {
-                iterations: None,
-                early_stop_after: Some(30),
+            Algorithm::General {
+                k,
+                early_stop: Some(30),
             },
+            5,
         );
         assert!(r.matching.validate(&g).is_ok(), "{name}");
         let opt = blossom::max_matching(&g).size();
@@ -108,7 +116,12 @@ fn bipartite_algorithm_meets_bound_on_bipartite_zoo() {
     ];
     for (name, g, sides) in zoo {
         for k in [1usize, 2, 4] {
-            let out = distributed_matching::dmatch::bipartite::run(&g, &sides, k, 3);
+            let out = Session::on(&g)
+                .algorithm(Algorithm::Bipartite { k })
+                .sides(&sides)
+                .seed(3)
+                .build()
+                .run_to_completion();
             assert!(out.matching.validate(&g).is_ok(), "{name}");
             let opt = hopcroft_karp::max_matching(&g, &sides).size();
             let bound = 1.0 - 1.0 / k as f64;
@@ -150,7 +163,14 @@ fn weighted_algorithm_meets_bound_across_weight_models() {
         for seed in 0..3u64 {
             let (g0, sides) = bipartite_gnp(12, 12, 0.25, seed);
             let g = apply_weights(&g0, model, seed + 40);
-            let r = weighted::run(&g, eps, weighted::MwmBox::SeqClass, seed);
+            let r = run_alg(
+                &g,
+                Algorithm::Weighted {
+                    epsilon: eps,
+                    mwm_box: weighted::MwmBox::SeqClass,
+                },
+                seed,
+            );
             let opt = hungarian::max_weight_matching(&g, &sides).weight(&g);
             assert!(
                 r.matching.weight(&g) >= (0.5 - eps) * opt - 1e-9,
@@ -170,8 +190,10 @@ fn quality_ordering_holds_in_expectation() {
     let mut opt_total = 0usize;
     for seed in 0..5u64 {
         let g = gnp(40, 0.1, 100 + seed);
-        ii_total += israeli_itai::maximal_matching(&g, seed).0.size();
-        gen2_total += generic::run(&g, 2, seed).matching.size();
+        ii_total += run_alg(&g, Algorithm::IsraeliItai, seed).matching.size();
+        gen2_total += run_alg(&g, Algorithm::Generic { k: 2 }, seed)
+            .matching
+            .size();
         opt_total += blossom::max_matching(&g).size();
     }
     assert!(
@@ -188,21 +210,28 @@ fn empty_and_tiny_graphs_are_handled_by_everyone() {
         Graph::new(1, vec![]),
         Graph::new(2, vec![(0, 1)]),
     ] {
-        let (m, _) = israeli_itai::maximal_matching(&g, 0);
+        let m = run_alg(&g, Algorithm::IsraeliItai, 0).matching;
         assert!(m.validate(&g).is_ok());
-        let r = generic::run(&g, 2, 0);
+        let r = run_alg(&g, Algorithm::Generic { k: 2 }, 0);
         assert!(r.matching.validate(&g).is_ok());
-        let r = general::run_with(
+        let r = Session::on(&g)
+            .algorithm(Algorithm::General {
+                k: 2,
+                early_stop: None,
+            })
+            .sampling_iterations(4)
+            .seed(0)
+            .build()
+            .run_to_completion();
+        assert!(r.matching.validate(&g).is_ok());
+        let r = run_alg(
             &g,
-            2,
-            0,
-            general::GeneralOpts {
-                iterations: Some(4),
-                early_stop_after: None,
+            Algorithm::Weighted {
+                epsilon: 0.2,
+                mwm_box: weighted::MwmBox::SeqClass,
             },
+            0,
         );
-        assert!(r.matching.validate(&g).is_ok());
-        let r = weighted::run(&g, 0.2, weighted::MwmBox::SeqClass, 0);
         assert!(r.matching.validate(&g).is_ok());
         if g.m() == 1 {
             assert_eq!(r.matching.size(), 1, "a single edge must always be matched");

@@ -8,7 +8,7 @@
 use distributed_matching::dgraph::generators::random::{bipartite_gnp, gnp};
 use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
 use distributed_matching::dgraph::{blossom, hopcroft_karp};
-use distributed_matching::dmatch::{general, israeli_itai, luby, weighted};
+use distributed_matching::dmatch::{luby, weighted, Algorithm, ConvergenceCurve, Session};
 use distributed_matching::simnet::SplitMix64;
 
 /// Deterministic parameter stream: (n, edge probability, seed).
@@ -29,10 +29,14 @@ fn cases(tag: u64, count: usize, n_lo: usize, n_hi: usize) -> Vec<(usize, f64, u
 fn ii_maximal_valid_and_tiny_messages() {
     for (n, p, seed) in cases(1, 32, 2, 40) {
         let g = gnp(n, p, seed);
-        let (m, stats) = israeli_itai::maximal_matching(&g, seed ^ 0xABCD);
-        assert!(m.validate(&g).is_ok());
-        assert!(m.is_maximal(&g));
-        assert!(stats.max_msg_bits <= 2);
+        let r = Session::on(&g)
+            .algorithm(Algorithm::IsraeliItai)
+            .seed(seed ^ 0xABCD)
+            .build()
+            .run_to_completion();
+        assert!(r.matching.validate(&g).is_ok());
+        assert!(r.matching.is_maximal(&g));
+        assert!(r.stats.max_msg_bits <= 2);
     }
 }
 
@@ -60,7 +64,12 @@ fn bipartite_guarantee_and_congest() {
         let k = 1 + rng.below(3) as usize;
         let seed = rng.next();
         let (g, sides) = bipartite_gnp(a, b, p, seed);
-        let out = distributed_matching::dmatch::bipartite::run(&g, &sides, k, seed);
+        let out = Session::on(&g)
+            .algorithm(Algorithm::Bipartite { k })
+            .sides(&sides)
+            .seed(seed)
+            .build()
+            .run_to_completion();
         assert!(out.matching.validate(&g).is_ok());
         let opt = hopcroft_karp::max_matching(&g, &sides).size();
         assert!(
@@ -81,7 +90,15 @@ fn general_holds_with_paper_budget() {
     for (n, p, seed) in cases(4, 16, 4, 16) {
         let p = p.max(0.15);
         let g = gnp(n, p, seed);
-        let r = general::run(&g, 2, seed); // full 2^5·3·ln2 ≈ 67 iterations
+        // Full paper budget: 2^5·3·ln2 ≈ 67 iterations.
+        let r = Session::on(&g)
+            .algorithm(Algorithm::General {
+                k: 2,
+                early_stop: None,
+            })
+            .seed(seed)
+            .build()
+            .run_to_completion();
         assert!(r.matching.validate(&g).is_ok());
         let opt = blossom::max_matching(&g).size();
         assert!(2 * r.matching.size() >= opt);
@@ -101,10 +118,20 @@ fn weighted_monotone_and_valid() {
         let mwm_box = boxes[i % 3];
         let p = p.max(0.15);
         let g = apply_weights(&gnp(n, p, seed), WeightModel::Exponential(1.0), seed + 2);
-        let r = weighted::run(&g, 0.2, mwm_box, seed);
+        // The weight trajectory comes from the per-phase observer.
+        let curve = ConvergenceCurve::new();
+        let r = Session::on(&g)
+            .algorithm(Algorithm::Weighted {
+                epsilon: 0.2,
+                mwm_box,
+            })
+            .seed(seed)
+            .observe(curve.clone())
+            .build()
+            .run_to_completion();
         assert!(r.matching.validate(&g).is_ok());
-        for w in r.weights.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9);
+        for w in curve.points().windows(2) {
+            assert!(w[1].weight >= w[0].weight - 1e-9);
         }
     }
 }
@@ -115,18 +142,30 @@ fn weighted_monotone_and_valid() {
 fn runs_are_reproducible() {
     for (n, p, seed) in cases(6, 16, 4, 25) {
         let g = gnp(n, p, seed);
-        let (m1, s1) = israeli_itai::maximal_matching(&g, seed);
-        let (m2, s2) = israeli_itai::maximal_matching(&g, seed);
-        assert_eq!(m1, m2);
-        assert_eq!(s1.rounds, s2.rounds);
-        assert_eq!(s1.bits, s2.bits);
-
-        let opts = general::GeneralOpts {
-            iterations: Some(6),
-            early_stop_after: None,
+        let ii = |(): ()| {
+            Session::on(&g)
+                .algorithm(Algorithm::IsraeliItai)
+                .seed(seed)
+                .build()
+                .run_to_completion()
         };
-        let r1 = general::run_with(&g, 2, seed, opts);
-        let r2 = general::run_with(&g, 2, seed, opts);
+        let (r1, r2) = (ii(()), ii(()));
+        assert_eq!(r1.matching, r2.matching);
+        assert_eq!(r1.stats.rounds, r2.stats.rounds);
+        assert_eq!(r1.stats.bits, r2.stats.bits);
+
+        let gen = |(): ()| {
+            Session::on(&g)
+                .algorithm(Algorithm::General {
+                    k: 2,
+                    early_stop: None,
+                })
+                .sampling_iterations(6)
+                .seed(seed)
+                .build()
+                .run_to_completion()
+        };
+        let (r1, r2) = (gen(()), gen(()));
         assert_eq!(r1.matching, r2.matching);
         assert_eq!(r1.stats.messages, r2.stats.messages);
     }

@@ -15,8 +15,8 @@
 use distributed_matching::dgraph::generators::random::{bipartite_gnp, gnp, random_tree};
 use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
 use distributed_matching::dgraph::Graph;
-use distributed_matching::dmatch::runner::{self, Algorithm, TerminationMode};
 use distributed_matching::dmatch::weighted::MwmBox;
+use distributed_matching::dmatch::{Algorithm, RunReport, Session};
 use distributed_matching::simnet::{ExecCfg, NetStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
@@ -128,10 +128,25 @@ fn run_caught(
     cfg: ExecCfg,
 ) -> Result<(Vec<u32>, distributed_matching::simnet::NetStats), ()> {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        let r = runner::run_cfg(g, sides, alg, seed, TerminationMode::Oracle, cfg);
+        let r = session_run(g, sides, alg, seed, cfg);
         (r.matching.edge_ids(g), r.stats)
     }));
     result.map_err(|_| ())
+}
+
+/// One unified-driver run (oracle termination, explicit exec knobs).
+fn session_run(
+    g: &Graph,
+    sides: Option<&[bool]>,
+    alg: Algorithm,
+    seed: u64,
+    cfg: ExecCfg,
+) -> RunReport {
+    let mut b = Session::on(g).algorithm(alg).seed(seed).exec(cfg);
+    if let Some(sides) = sides {
+        b = b.sides(sides);
+    }
+    b.build().run_to_completion()
 }
 
 #[test]
@@ -148,22 +163,8 @@ fn sequential_vs_parallel_bit_identical_all_algorithms() {
                 g0.clone()
             };
             let sides_ref = sides.as_deref();
-            let seq = runner::run_cfg(
-                &g,
-                sides_ref,
-                alg,
-                99,
-                TerminationMode::Oracle,
-                ExecCfg::sequential(),
-            );
-            let par = runner::run_cfg(
-                &g,
-                sides_ref,
-                alg,
-                99,
-                TerminationMode::Oracle,
-                ExecCfg::parallel(8),
-            );
+            let seq = session_run(&g, sides_ref, alg, 99, ExecCfg::sequential());
+            let par = session_run(&g, sides_ref, alg, 99, ExecCfg::parallel(8));
             assert_eq!(
                 seq.matching, par.matching,
                 "{label} / {}: matchings diverged between executors",
@@ -193,32 +194,11 @@ fn dense_vs_sparse_bit_identical_all_algorithms() {
                 g0.clone()
             };
             let sides_ref = sides.as_deref();
-            let sparse = runner::run_cfg(
-                &g,
-                sides_ref,
-                alg,
-                31,
-                TerminationMode::Oracle,
-                ExecCfg::sequential(),
-            );
-            let dense = runner::run_cfg(
-                &g,
-                sides_ref,
-                alg,
-                31,
-                TerminationMode::Oracle,
-                ExecCfg::sequential().dense(),
-            );
+            let sparse = session_run(&g, sides_ref, alg, 31, ExecCfg::sequential());
+            let dense = session_run(&g, sides_ref, alg, 31, ExecCfg::sequential().dense());
             // 8-thread sparse against 8-thread dense as well: the
             // active-list partitioner must agree with the dense chunks.
-            let dense_par = runner::run_cfg(
-                &g,
-                sides_ref,
-                alg,
-                31,
-                TerminationMode::Oracle,
-                ExecCfg::parallel(8).dense(),
-            );
+            let dense_par = session_run(&g, sides_ref, alg, 31, ExecCfg::parallel(8).dense());
             assert_eq!(
                 sparse.matching, dense.matching,
                 "{label} / {}: matchings diverged between schedulers",

@@ -1,0 +1,380 @@
+//! The `Session` contract suite.
+//!
+//! The unified driver re-implements every legacy entry point's loop
+//! over shared per-phase primitives; this suite pins the two surfaces
+//! together: for every `Algorithm` variant, the deprecated shim and the
+//! equivalent `Session` run must be **bit-identical** — the matching,
+//! the label, the oracle-check count, and the *full* `NetStats`
+//! (rounds, messages, bits, message sizes, plane gauges, and every
+//! per-round trace row). It also covers the observer plane (mid-run
+//! snapshots, convergence curves, round budgets), warm starts, rewire
+//! repair, and Honest termination across all variants.
+
+#![allow(deprecated)] // the whole point: shims vs. the session
+
+use distributed_matching::dgraph::generators::random::{bipartite_gnp, gnp};
+use distributed_matching::dgraph::generators::weights::{apply_weights, WeightModel};
+use distributed_matching::dgraph::{Graph, Matching};
+use distributed_matching::dmatch::weighted::MwmBox;
+use distributed_matching::dmatch::{
+    generic, israeli_itai, runner, Algorithm, Phase, RewirePatch, Session, TerminationMode,
+};
+use distributed_matching::simnet::ExecCfg;
+
+/// Every `Algorithm` variant (both termination-relevant `Weighted`
+/// boxes included; `Bipartite` needs the sides of `bipartite_case`).
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::IsraeliItai,
+        Algorithm::Generic { k: 2 },
+        Algorithm::Generic { k: 3 },
+        Algorithm::Bipartite { k: 2 },
+        Algorithm::General {
+            k: 2,
+            early_stop: Some(8),
+        },
+        Algorithm::Weighted {
+            epsilon: 0.25,
+            mwm_box: MwmBox::SeqClass,
+        },
+        Algorithm::Weighted {
+            epsilon: 0.25,
+            mwm_box: MwmBox::ParClass,
+        },
+        Algorithm::DeltaMwm {
+            mwm_box: MwmBox::LocalDominant,
+        },
+    ]
+}
+
+fn needs_weights(alg: &Algorithm) -> bool {
+    matches!(alg, Algorithm::Weighted { .. } | Algorithm::DeltaMwm { .. })
+}
+
+/// (graph, sides) for one test case; weighted algorithms get weights.
+/// Graphs are *connected* (Honest mode runs a convergecast over the
+/// whole topology).
+fn case(alg: &Algorithm, seed: u64) -> (Graph, Option<Vec<bool>>) {
+    if matches!(alg, Algorithm::Bipartite { .. }) {
+        let (g, sides) = (0..)
+            .map(|i| bipartite_gnp(10, 11, 0.4, seed + 1000 * i))
+            .find(|(g, _)| g.components() == 1)
+            .expect("a connected bipartite sample exists");
+        (g, Some(sides))
+    } else {
+        let g = (0..)
+            .map(|i| gnp(22, 0.22, seed + 1000 * i))
+            .find(|g| g.components() == 1)
+            .expect("a connected sample exists");
+        if needs_weights(alg) {
+            (
+                apply_weights(&g, WeightModel::Uniform(0.5, 4.0), seed + 9),
+                None,
+            )
+        } else {
+            (g, None)
+        }
+    }
+}
+
+fn session_run(
+    g: &Graph,
+    sides: Option<&[bool]>,
+    alg: Algorithm,
+    seed: u64,
+    termination: TerminationMode,
+    cfg: ExecCfg,
+) -> distributed_matching::dmatch::RunReport {
+    let mut b = Session::on(g)
+        .algorithm(alg)
+        .seed(seed)
+        .termination(termination)
+        .exec(cfg);
+    if let Some(sides) = sides {
+        b = b.sides(sides);
+    }
+    b.build().run_to_completion()
+}
+
+/// Shim vs. session: bit-identity of matching + full NetStats + name +
+/// oracle checks, for every algorithm variant, in both termination
+/// modes and under both executors.
+#[test]
+fn shim_and_session_are_bit_identical_for_every_algorithm() {
+    for alg in all_algorithms() {
+        for seed in [3u64, 17] {
+            let (g, sides) = case(&alg, seed);
+            let sides_ref = sides.as_deref();
+            for termination in [TerminationMode::Oracle, TerminationMode::Honest] {
+                for cfg in [ExecCfg::sequential(), ExecCfg::parallel(4)] {
+                    let shim = runner::run_cfg(&g, sides_ref, alg, seed, termination, cfg);
+                    let sess = session_run(&g, sides_ref, alg, seed, termination, cfg);
+                    assert_eq!(shim.name, sess.name, "{alg}: label diverged");
+                    assert_eq!(
+                        shim.matching, sess.matching,
+                        "{alg}/{termination}: matching diverged"
+                    );
+                    assert_eq!(
+                        shim.stats, sess.stats,
+                        "{alg}/{termination}: NetStats diverged (incl. per-round rows)"
+                    );
+                    assert_eq!(
+                        shim.oracle_checks, sess.oracle_checks,
+                        "{alg}/{termination}: oracle accounting diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Warm starts route through the same code as the `_from` shims.
+#[test]
+fn warm_start_matches_from_shims() {
+    let g = gnp(26, 0.15, 5);
+    let init = distributed_matching::dgraph::greedy::greedy_maximal(&g);
+
+    let shim = generic::run_from_cfg(&g, &init, 2, 7, ExecCfg::sequential());
+    let sess = Session::on(&g)
+        .algorithm(Algorithm::Generic { k: 2 })
+        .warm_start(&init)
+        .seed(7)
+        .build()
+        .run_to_completion();
+    assert_eq!(shim.matching, sess.matching);
+    assert_eq!(shim.stats, sess.stats);
+
+    let (m_shim, s_shim) =
+        israeli_itai::maximal_matching_from_cfg(&g, &init, 7, ExecCfg::default());
+    let sess = Session::on(&g)
+        .algorithm(Algorithm::IsraeliItai)
+        .warm_start(&init)
+        .seed(7)
+        .build()
+        .run_to_completion();
+    assert_eq!(m_shim, sess.matching);
+    assert_eq!(s_shim, sess.stats);
+}
+
+/// `resume_after_rewire` reproduces the legacy damage-ball repair:
+/// same matching, same repair-phase statistics (the session's stats
+/// delta across the rewire equals the standalone `repair_cfg` run).
+#[test]
+fn rewire_repair_matches_repair_shim() {
+    for seed in [1u64, 8] {
+        let g = gnp(36, 0.09, 60 + seed);
+        let k = 2;
+        let mut sess = Session::on(&g)
+            .algorithm(Algorithm::Generic { k })
+            .seed(seed)
+            .build();
+        let boot = sess.run_to_completion();
+        let Some(&e) = boot.matching.edge_ids(&g).first() else {
+            continue;
+        };
+        let (a, b) = g.endpoints(e);
+        let (g2, _) = g.edge_subgraph(|x| x != e);
+        // Legacy path: surviving matching re-built by hand, repair_cfg.
+        let mut survived = Matching::new(g2.n());
+        for &eid in &boot.matching.edge_ids(&g) {
+            if eid != e {
+                let (u, v) = g.endpoints(eid);
+                survived.add(&g2, g2.edge_between(u, v).expect("surviving edge"));
+            }
+        }
+        // The engine convention: epoch 1 seeds as seed + 1.
+        let shim = generic::repair_cfg(&g2, &survived, &[a, b], k, seed + 1, ExecCfg::default());
+        // Session path: stats delta across the resumed epoch.
+        let before = sess.stats().clone();
+        sess.resume_after_rewire(RewirePatch::new(g2.clone(), vec![a, b]));
+        let after = sess.run_to_completion();
+        assert_eq!(shim.matching, after.matching, "seed {seed}");
+        assert_eq!(
+            shim.stats.rounds,
+            after.stats.rounds - before.rounds,
+            "seed {seed}: repair rounds diverged"
+        );
+        assert_eq!(shim.stats.messages, after.stats.messages - before.messages);
+        assert_eq!(shim.stats.bits, after.stats.bits - before.bits);
+    }
+}
+
+/// Acceptance test: observer-driven mid-run snapshots show the
+/// matching ratio monotonically improving for `Generic { k }` without
+/// consuming the run — and the final result is unchanged by observing.
+#[test]
+fn midrun_snapshots_show_monotone_ratio_without_consuming() {
+    let k = 4;
+    let g = gnp(40, 0.12, 21);
+    let opt = distributed_matching::dgraph::blossom::max_matching(&g)
+        .size()
+        .max(1);
+    let mut sess = Session::on(&g)
+        .algorithm(Algorithm::Generic { k })
+        .seed(2)
+        .build();
+    let mut ratios = Vec::new();
+    loop {
+        match sess.step() {
+            Phase::Ran(info) => {
+                let snap = sess.snapshot();
+                assert_eq!(snap.matching.size(), info.matching_size);
+                assert!(snap.matching.validate(&g).is_ok());
+                ratios.push(snap.matching.size() as f64 / opt as f64);
+            }
+            Phase::Done => break,
+            Phase::Aborted => unreachable!("no aborting observer attached"),
+        }
+    }
+    assert_eq!(ratios.len(), k, "one snapshot per phase");
+    assert!(
+        ratios.windows(2).all(|w| w[1] >= w[0]),
+        "ratio must improve monotonically: {ratios:?}"
+    );
+    assert!(*ratios.last().unwrap() >= 1.0 - 1.0 / (k as f64 + 1.0) - 1e-9);
+    // Snapshots consumed nothing: the run equals an unobserved one.
+    let oneshot = Session::on(&g)
+        .algorithm(Algorithm::Generic { k })
+        .seed(2)
+        .build()
+        .run_to_completion();
+    assert_eq!(&oneshot.matching, sess.matching());
+    assert_eq!(&oneshot.stats, sess.stats());
+}
+
+/// Satellite: `TerminationMode::Honest` across *all* algorithm
+/// variants — every run performs oracle checks, and honest charging
+/// can only add rounds (strictly, on these connected-enough graphs).
+#[test]
+fn honest_mode_charges_every_algorithm() {
+    for alg in all_algorithms() {
+        let (g, sides) = case(&alg, 9);
+        let sides_ref = sides.as_deref();
+        let oracle = session_run(
+            &g,
+            sides_ref,
+            alg,
+            4,
+            TerminationMode::Oracle,
+            ExecCfg::default(),
+        );
+        let honest = session_run(
+            &g,
+            sides_ref,
+            alg,
+            4,
+            TerminationMode::Honest,
+            ExecCfg::default(),
+        );
+        assert!(honest.oracle_checks > 0, "{alg}: no oracle checks counted");
+        assert_eq!(honest.oracle_checks, oracle.oracle_checks);
+        assert!(
+            honest.stats.rounds >= oracle.stats.rounds,
+            "{alg}: honest {} < oracle {}",
+            honest.stats.rounds,
+            oracle.stats.rounds
+        );
+        assert!(
+            honest.stats.rounds > oracle.stats.rounds || g.n() == 0,
+            "{alg}: honest mode must charge convergecasts"
+        );
+        assert_eq!(
+            honest.matching, oracle.matching,
+            "{alg}: termination charging must not change the result"
+        );
+    }
+}
+
+/// Satellite: the ParClass box (ex `run_parallel{,_cfg}`) routes the
+/// caller's `ExecCfg` into every per-class network — results are
+/// bit-identical across worker-thread counts and scheduler modes.
+#[test]
+fn parclass_box_threads_exec_cfg() {
+    let g = apply_weights(&gnp(24, 0.2, 13), WeightModel::Exponential(1.5), 14);
+    let alg = Algorithm::DeltaMwm {
+        mwm_box: MwmBox::ParClass,
+    };
+    let base = session_run(
+        &g,
+        None,
+        alg,
+        6,
+        TerminationMode::Oracle,
+        ExecCfg::sequential(),
+    );
+    for cfg in [ExecCfg::parallel(8), ExecCfg::sequential().dense()] {
+        let other = session_run(&g, None, alg, 6, TerminationMode::Oracle, cfg);
+        assert_eq!(base.matching, other.matching);
+        assert_eq!(base.stats.messages, other.stats.messages);
+        assert_eq!(base.stats.rounds, other.stats.rounds);
+    }
+    // And the deprecated free function is now a thin shim over the very
+    // same path the DeltaMwm session drives (seed = session epoch seed).
+    let (m, s) = distributed_matching::dmatch::weighted::classes::run_parallel_cfg(
+        &g,
+        6,
+        ExecCfg::sequential(),
+    );
+    assert_eq!(m, base.matching);
+    assert_eq!(s, base.stats);
+}
+
+/// The cached blossom optimum: repeated ratio queries agree, and the
+/// underlying solver runs only once (observable as stable identity of
+/// the result; the panic-on-different-graph guard has its own test).
+#[test]
+fn run_report_caches_the_optimum() {
+    let g = gnp(30, 0.15, 44);
+    let r = session_run(
+        &g,
+        None,
+        Algorithm::IsraeliItai,
+        1,
+        TerminationMode::Oracle,
+        ExecCfg::default(),
+    );
+    let first = r.mcm_ratio(&g);
+    for _ in 0..100 {
+        assert_eq!(r.mcm_ratio(&g), first);
+    }
+    assert_eq!(
+        r.mcm_opt(&g),
+        distributed_matching::dgraph::blossom::max_matching(&g).size()
+    );
+}
+
+#[test]
+#[should_panic(expected = "different graph")]
+fn run_report_cache_rejects_equal_sized_rewired_graph() {
+    // Degree-preserving rewiring keeps (n, m); the cache tag must
+    // still notice the edge list changed.
+    let g = Graph::new(4, vec![(0, 1), (2, 3)]);
+    let r = session_run(
+        &g,
+        None,
+        Algorithm::IsraeliItai,
+        1,
+        TerminationMode::Oracle,
+        ExecCfg::default(),
+    );
+    let _ = r.mcm_opt(&g);
+    let rewired = Graph::new(4, vec![(0, 2), (1, 3)]);
+    let _ = r.mcm_opt(&rewired);
+}
+
+#[test]
+#[should_panic(expected = "different graph")]
+fn run_report_cache_rejects_a_different_graph() {
+    let g = gnp(30, 0.15, 44);
+    let r = session_run(
+        &g,
+        None,
+        Algorithm::IsraeliItai,
+        1,
+        TerminationMode::Oracle,
+        ExecCfg::default(),
+    );
+    let _ = r.mcm_ratio(&g);
+    let other = gnp(31, 0.15, 45);
+    let _ = r.mcm_ratio(&other);
+}

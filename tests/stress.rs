@@ -6,23 +6,33 @@
 
 use distributed_matching::dgraph::generators::random::{bipartite_regular, gnp};
 use distributed_matching::dmatch;
+use distributed_matching::dmatch::{Algorithm, Session};
 
 #[test]
 #[ignore = "large: ~seconds in release, minutes in debug"]
 fn israeli_itai_at_sixty_five_thousand_nodes() {
     let n = 1 << 16;
     let g = gnp(n, 8.0 / n as f64, 1);
-    let (m, stats) = dmatch::israeli_itai::maximal_matching(&g, 2);
-    assert!(m.is_maximal(&g));
+    let r = Session::on(&g)
+        .algorithm(Algorithm::IsraeliItai)
+        .seed(2)
+        .build()
+        .run_to_completion();
+    assert!(r.matching.is_maximal(&g));
     // O(log n) iterations: 16·3·constant rounds is plenty.
-    assert!(stats.rounds <= 3 * 250, "{} rounds", stats.rounds);
+    assert!(r.stats.rounds <= 3 * 250, "{} rounds", r.stats.rounds);
 }
 
 #[test]
 #[ignore = "large"]
 fn bipartite_theorem_38_at_scale() {
     let (g, sides) = bipartite_regular(1 << 13, 3, 3);
-    let out = dmatch::bipartite::run(&g, &sides, 4, 5);
+    let out = Session::on(&g)
+        .algorithm(Algorithm::Bipartite { k: 4 })
+        .sides(&sides)
+        .seed(5)
+        .build()
+        .run_to_completion();
     assert!(out.matching.validate(&g).is_ok());
     let opt = distributed_matching::dgraph::hopcroft_karp::max_matching(&g, &sides).size();
     assert!(out.matching.size() as f64 >= 0.75 * opt as f64);
@@ -100,7 +110,14 @@ fn weighted_reduction_at_four_thousand_nodes() {
         WeightModel::Exponential(1.0),
         12,
     );
-    let r = dmatch::weighted::run(&g, 0.2, dmatch::weighted::MwmBox::SeqClass, 13);
+    let r = Session::on(&g)
+        .algorithm(Algorithm::Weighted {
+            epsilon: 0.2,
+            mwm_box: dmatch::weighted::MwmBox::SeqClass,
+        })
+        .seed(13)
+        .build()
+        .run_to_completion();
     assert!(r.matching.validate(&g).is_ok());
     // Certified bound: the result must clear (½-ε) of ½·Σ max-incident.
     let ub = dmatch::runner::mwm_upper_bound(&g);
