@@ -10,16 +10,23 @@
 //!   the exact (blossom) optimum after every epoch.
 //!
 //! Knobs: `CHURN16_N` (default 800), `CHURN16_EPOCHS` (default 60),
-//! `CHURN16_RATE` (percent, default 5).
+//! `CHURN16_RATE` (percent, default 5), `CHURN16_FAMILY` (a
+//! `workloads::Family` label, default `gnp`) — heavy-tailed families
+//! plus the hub-death model probe guarantee preservation when whole
+//! hub stars fall each epoch.
 
+use bench_harness::workloads::Family;
 use bench_harness::{banner, env_or, f2, f3, mean, Table};
 use dchurn::{ChurnModel, DynEngine, RepairAlgo};
-use dgraph::generators::random::gnp;
 
 fn main() {
     let n = env_or("CHURN16_N", 800) as usize;
     let epochs = env_or("CHURN16_EPOCHS", 60);
     let rate = env_or("CHURN16_RATE", 5) as f64 / 100.0;
+    let family = std::env::var("CHURN16_FAMILY")
+        .ok()
+        .map(|s| Family::parse(&s).unwrap_or_else(|| panic!("unknown CHURN16_FAMILY '{s}'")))
+        .unwrap_or(Family::Gnp);
     banner(
         "E16",
         "guarantee preservation under sustained churn",
@@ -28,7 +35,7 @@ fn main() {
 
     // --- Incremental maximal matching, across churn models.
     println!(
-        "incremental Israeli–Itai: gnp(n={n}, d̄=8), {epochs} epochs @ {:.0}% churn\n",
+        "incremental Israeli–Itai: {family}(n={n}, d̄≈8), {epochs} epochs @ {:.0}% churn\n",
         rate * 100.0
     );
     let mut t = Table::new(vec![
@@ -42,9 +49,10 @@ fn main() {
     for (label, model) in [
         ("edge churn", ChurnModel::EdgeChurn { rate }),
         ("node join/leave", ChurnModel::NodeChurn { rate, degree: 8 }),
+        ("hub death", ChurnModel::HubChurn { rate, degree: 8 }),
         ("rewiring", ChurnModel::Rewire { rate }),
     ] {
-        let g = gnp(n, 8.0 / n as f64, 3);
+        let g = family.instantiate_with_deg(n, 8.0, 3).graph;
         let mut eng = DynEngine::new(g, model, RepairAlgo::IncrementalMaximal, 17);
         eng.bootstrap();
         let mut violations = 0u64;
@@ -93,10 +101,10 @@ fn main() {
     let gepochs = (epochs / 4).max(8);
     let k = 2;
     println!(
-        "\nwarm-started generic (k={k}): gnp(n={gn}, d̄=6), {gepochs} epochs @ {:.0}% churn\n",
+        "\nwarm-started generic (k={k}): {family}(n={gn}, d̄≈6), {gepochs} epochs @ {:.0}% churn\n",
         rate * 100.0
     );
-    let g = gnp(gn, 6.0 / gn as f64, 5);
+    let g = family.instantiate_with_deg(gn, 6.0, 5).graph;
     let mut eng = DynEngine::new(
         g,
         ChurnModel::EdgeChurn { rate },

@@ -1,0 +1,199 @@
+//! E18 — the topology zoo: every algorithm family across
+//! heavy-tailed, geometric, regular, and skewed-bipartite workloads.
+//!
+//! The paper's guarantees are *graph-universal* — (½)-MCM from
+//! maximality, `(1-ε)`-MCM via k-augmenting phases, `(½-ε)`-MWM —
+//! yet E0–E17 exercised only Erdős–Rényi-style families. This sweep
+//! runs the whole algorithm matrix over the zoo of
+//! `bench_harness::workloads` and reports, per (family × algorithm):
+//!
+//! * **ratio** — cardinality vs. the exact blossom optimum
+//!   (unweighted algorithms), or weight vs. the certified per-vertex
+//!   upper bound (weighted algorithms; understates, never
+//!   overstates);
+//! * **rounds / messages / bits** — the paper's cost metrics;
+//! * **active %** — mean stepped-nodes fraction per round from the
+//!   sparse activity scheduler (`node_steps / (rounds·n)`), the
+//!   LCA-style "work ∝ probed region" gauge: heavy-tailed families
+//!   quiesce their periphery early, so this drops well below 100%.
+//!
+//! The bipartite algorithm (Theorem 3.8) needs a bipartition, so it
+//! runs where the family carries one (`zipf-bipartite`); the
+//! conformance suite additionally runs it on every family's double
+//! cover.
+//!
+//! Knobs: `E18_N` (default 800), `E18_SEEDS` (default 2).
+//! Writes `BENCH_e18_zoo.json` (machine-readable mirror) for the CI
+//! artifact trail.
+
+use bench_harness::workloads::{Family, ScenarioSpec, Workload};
+use bench_harness::{banner, env_or, f3, mean, Table};
+use dgraph::generators::weights::WeightModel;
+use dmatch::runner::mwm_upper_bound;
+use dmatch::weighted::MwmBox;
+use dmatch::Algorithm;
+use std::fmt::Write as _;
+
+/// One (family × algorithm) cell, averaged over seeds.
+struct Cell {
+    family: &'static str,
+    alg: String,
+    ratio: f64,
+    rounds: f64,
+    messages: f64,
+    bits: f64,
+    active_pct: f64,
+}
+
+/// Quality metric: exact blossom ratio for cardinality algorithms,
+/// certified-upper-bound ratio for weight algorithms.
+fn quality(w: &Workload, alg: &Algorithm, r: &dmatch::RunReport) -> f64 {
+    match alg {
+        Algorithm::Weighted { .. } | Algorithm::DeltaMwm { .. } => {
+            let ub = mwm_upper_bound(&w.graph);
+            if ub <= 0.0 {
+                1.0
+            } else {
+                r.matching.weight(&w.graph) / ub
+            }
+        }
+        _ => r.mcm_ratio(&w.graph),
+    }
+}
+
+fn sweep_cell(family: Family, alg: Algorithm, n: usize, seeds: u64, weighted: bool) -> Cell {
+    let model = if weighted {
+        WeightModel::Exponential(2.0)
+    } else {
+        WeightModel::Unit
+    };
+    let (mut ratios, mut rounds, mut msgs, mut bits, mut active) =
+        (vec![], vec![], vec![], vec![], vec![]);
+    for seed in 0..seeds {
+        let w = ScenarioSpec::new(family, n, model, 100 + seed).build();
+        let r = w.session(alg, seed).build().run_to_completion();
+        assert!(
+            r.matching.validate(&w.graph).is_ok(),
+            "{family}/{alg}: invalid matching"
+        );
+        ratios.push(quality(&w, &alg, &r));
+        rounds.push(r.stats.rounds as f64);
+        msgs.push(r.stats.messages as f64);
+        bits.push(r.stats.bits as f64);
+        if r.stats.rounds > 0 {
+            active.push(r.stats.node_steps as f64 / (r.stats.rounds as f64 * n as f64));
+        }
+    }
+    Cell {
+        family: family.label(),
+        alg: alg.name(),
+        ratio: mean(&ratios),
+        rounds: mean(&rounds),
+        messages: mean(&msgs),
+        bits: mean(&bits),
+        active_pct: 100.0 * mean(&active),
+    }
+}
+
+fn main() {
+    let n = env_or("E18_N", 800) as usize;
+    let seeds = env_or("E18_SEEDS", 2);
+    banner(
+        "E18",
+        "topology zoo: algorithm × family conformance sweep",
+        "graph-universality of Theorems 3.1/3.8/3.11/4.5; LCA stress families",
+    );
+    println!("n={n}, {seeds} seed(s) per cell, sparse scheduler, oracle termination\n");
+
+    let unweighted: Vec<Algorithm> = vec![
+        Algorithm::IsraeliItai,
+        Algorithm::Generic { k: 2 },
+        Algorithm::General {
+            k: 2,
+            early_stop: Some(8),
+        },
+    ];
+    let weighted: Vec<Algorithm> = vec![
+        Algorithm::Weighted {
+            epsilon: 0.25,
+            mwm_box: MwmBox::SeqClass,
+        },
+        Algorithm::DeltaMwm {
+            mwm_box: MwmBox::LocalDominant,
+        },
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for family in Family::ALL {
+        for alg in &unweighted {
+            cells.push(sweep_cell(family, *alg, n, seeds, false));
+        }
+        if family.is_bipartite() {
+            cells.push(sweep_cell(
+                family,
+                Algorithm::Bipartite { k: 2 },
+                n,
+                seeds,
+                false,
+            ));
+        }
+        for alg in &weighted {
+            cells.push(sweep_cell(family, *alg, n, seeds, true));
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "family",
+        "algorithm",
+        "ratio",
+        "rounds",
+        "messages",
+        "bits",
+        "active %",
+    ]);
+    for c in &cells {
+        t.row(vec![
+            c.family.to_string(),
+            c.alg.clone(),
+            f3(c.ratio),
+            format!("{:.0}", c.rounds),
+            format!("{:.0}", c.messages),
+            format!("{:.0}", c.bits),
+            format!("{:.1}", c.active_pct),
+        ]);
+    }
+    t.print();
+
+    // The graph-universal floors (the conformance suite asserts the
+    // exact per-algorithm bounds; here we sanity-gate the sweep).
+    for c in &cells {
+        assert!(
+            c.ratio >= 0.25,
+            "{}/{}: ratio {} collapsed",
+            c.family,
+            c.alg,
+            c.ratio
+        );
+    }
+    println!(
+        "\n  all cells above the sanity floor; exact bounds are asserted by tests/conformance.rs"
+    );
+
+    // Machine-readable mirror for the CI artifact trail.
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"e18_zoo\",\n");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"seeds\": {seeds},");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"family\": \"{}\", \"algorithm\": \"{}\", \"ratio\": {:.4}, \"rounds\": {:.1}, \"messages\": {:.0}, \"bits\": {:.0}, \"active_pct\": {:.2}}}",
+            c.family, c.alg, c.ratio, c.rounds, c.messages, c.bits, c.active_pct
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_e18_zoo.json", &json).expect("write BENCH_e18_zoo.json");
+    println!("  wrote BENCH_e18_zoo.json");
+}

@@ -2,7 +2,11 @@
 //!
 //! Each binary regenerates one experiment of `EXPERIMENTS.md`, printing
 //! an aligned table of *paper expectation vs. measured value*. The
-//! binaries are deterministic in their built-in seeds.
+//! binaries are deterministic in their built-in seeds. Graph setup
+//! goes through the [`workloads`] registry (family × size × weight
+//! model × seed) rather than per-binary ad-hoc generator calls.
+
+pub mod workloads;
 
 /// Minimal aligned-table printer (no external dependencies).
 pub struct Table {

@@ -23,6 +23,13 @@ pub enum ChurnModel {
     /// fixed — a departed node is simply isolated — which matches the
     /// fixed-capacity message plane.
     NodeChurn { rate: f64, degree: usize },
+    /// Hub death: like [`ChurnModel::NodeChurn`], but the leavers are
+    /// the *highest-degree* live nodes (ties broken by lower id)
+    /// instead of a uniform sample. On heavy-tailed families this
+    /// tears out a hub and its whole edge star every epoch — the
+    /// adversarial case for damage-ball repair locality, whose damage
+    /// is `Θ(max degree)` rather than `O(1)`.
+    HubChurn { rate: f64, degree: usize },
     /// Degree-preserving rewiring: `⌈rate·m/2⌉` double-edge swaps per
     /// epoch (`{a,b},{c,d} → {a,d},{c,b}`), keeping every node degree
     /// exactly as it was.
@@ -54,6 +61,7 @@ impl ChurnGen {
     pub fn new(model: ChurnModel, seed: u64) -> Self {
         if let ChurnModel::EdgeChurn { rate }
         | ChurnModel::NodeChurn { rate, .. }
+        | ChurnModel::HubChurn { rate, .. }
         | ChurnModel::Rewire { rate } = model
         {
             assert!((0.0..=1.0).contains(&rate), "churn rate must be in [0,1]");
@@ -77,7 +85,8 @@ impl ChurnGen {
     pub fn next_batch(&mut self, g: &Graph) -> MutationBatch {
         match self.model {
             ChurnModel::EdgeChurn { rate } => self.edge_churn(g, rate),
-            ChurnModel::NodeChurn { rate, degree } => self.node_churn(g, rate, degree),
+            ChurnModel::NodeChurn { rate, degree } => self.node_churn(g, rate, degree, false),
+            ChurnModel::HubChurn { rate, degree } => self.node_churn(g, rate, degree, true),
             ChurnModel::Rewire { rate } => self.rewire(g, rate),
             ChurnModel::Trace => self.trace.pop_front().unwrap_or_default(),
         }
@@ -117,7 +126,7 @@ impl ChurnGen {
         .normalized()
     }
 
-    fn node_churn(&mut self, g: &Graph, rate: f64, degree: usize) -> MutationBatch {
+    fn node_churn(&mut self, g: &Graph, rate: f64, degree: usize, hubs: bool) -> MutationBatch {
         let n = g.n();
         if n < 2 || rate == 0.0 {
             return MutationBatch::empty();
@@ -133,10 +142,26 @@ impl ChurnGen {
             return MutationBatch::empty();
         }
         let k = ((rate * live.len() as f64).round() as usize).clamp(1, live.len());
-        // Leavers: k distinct live nodes; all their edges disappear.
-        let mut leaving: HashSet<NodeId> = HashSet::new();
-        while leaving.len() < k {
-            leaving.insert(live[self.rng.below(live.len() as u64) as usize]);
+        // Leavers (k distinct live nodes; all their edges disappear):
+        // hub churn takes the top-degree live nodes (ties → lower id),
+        // node churn a uniform sample. Kept as an *ordered* Vec — the
+        // order feeds the departure FIFO, so iterating a HashSet here
+        // would leak per-instance hash state into later epochs'
+        // rejoin edges and break seed-determinism.
+        let mut leaving: Vec<NodeId> = Vec::with_capacity(k);
+        let mut is_leaving: HashSet<NodeId> = HashSet::new();
+        if hubs {
+            let mut ranked = live.clone();
+            ranked.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+            leaving.extend(&ranked[..k]);
+            is_leaving.extend(&leaving);
+        } else {
+            while leaving.len() < k {
+                let v = live[self.rng.below(live.len() as u64) as usize];
+                if is_leaving.insert(v) {
+                    leaving.push(v);
+                }
+            }
         }
         let mut removed: HashSet<(NodeId, NodeId)> = HashSet::new();
         for &v in &leaving {
@@ -149,7 +174,7 @@ impl ChurnGen {
         let staying: Vec<NodeId> = live
             .iter()
             .copied()
-            .filter(|v| !leaving.contains(v))
+            .filter(|v| !is_leaving.contains(v))
             .collect();
         let mut added: HashSet<(NodeId, NodeId)> = HashSet::new();
         for _ in 0..k.min(self.departed.len()) {
@@ -296,6 +321,79 @@ mod tests {
             g = apply(&g, &b);
         }
         assert!(saw_addition, "rejoining nodes must bring fresh edges");
+    }
+
+    #[test]
+    fn node_churn_is_deterministic_across_epochs() {
+        // Regression: the departure FIFO used to be filled by
+        // iterating a HashSet, so the *rejoin order* (and with it the
+        // added edges of later epochs) depended on per-instance hash
+        // state rather than the seed alone.
+        let mk = || {
+            let mut g = gnp(60, 0.12, 3);
+            let mut gen = ChurnGen::new(
+                ChurnModel::NodeChurn {
+                    rate: 0.15,
+                    degree: 4,
+                },
+                21,
+            );
+            let mut batches = Vec::new();
+            for _ in 0..8 {
+                let b = gen.next_batch(&g);
+                g = apply(&g, &b);
+                batches.push(b);
+            }
+            batches
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn hub_churn_kills_the_highest_degree_node() {
+        // Star: the center is the unique hub and must be the leaver.
+        let n = 20;
+        let edges: Vec<(NodeId, NodeId)> = (1..n as NodeId).map(|v| (0, v)).collect();
+        let g = Graph::new(n, edges);
+        let mut gen = ChurnGen::new(
+            ChurnModel::HubChurn {
+                rate: 0.05,
+                degree: 2,
+            },
+            7,
+        );
+        let b = gen.next_batch(&g);
+        assert_eq!(b.removed.len(), n - 1, "the whole star must fall");
+        assert!(b.removed.iter().all(|&(u, _)| u == 0));
+        let g2 = apply(&g, &b);
+        // Next epoch the hub is gone; the top-degree survivor leaves.
+        let b2 = gen.next_batch(&g2);
+        assert!(
+            b2.removed.is_empty(),
+            "isolated survivors have no edges to lose"
+        );
+    }
+
+    #[test]
+    fn hub_churn_is_deterministic() {
+        let mk = || {
+            let mut g = gnp(60, 0.1, 8);
+            let mut gen = ChurnGen::new(
+                ChurnModel::HubChurn {
+                    rate: 0.1,
+                    degree: 3,
+                },
+                5,
+            );
+            let mut batches = Vec::new();
+            for _ in 0..6 {
+                let b = gen.next_batch(&g);
+                g = apply(&g, &b);
+                batches.push(b);
+            }
+            batches
+        };
+        assert_eq!(mk(), mk());
     }
 
     #[test]

@@ -42,6 +42,28 @@ pub fn is_valid_bipartition(g: &Graph, sides: &[bool]) -> bool {
             .all(|&(u, v)| sides[u as usize] != sides[v as usize])
 }
 
+/// The bipartite double cover of `g`: vertices `(v, 0)` (ids `0..n`)
+/// and `(v, 1)` (ids `n..2n`), with `{u,v} ∈ E` lifted to the two
+/// edges `{(u,0),(v,1)}` and `{(v,0),(u,1)}`; each lifted edge keeps
+/// the original weight. The cover is bipartite by construction, every
+/// vertex keeps its degree, so it gives any family — heavy tails
+/// included — a bipartite incarnation for the bipartite-only
+/// algorithms. Returns the cover and its side array.
+pub fn double_cover(g: &Graph) -> (Graph, Vec<bool>) {
+    let n = g.n();
+    let mut edges = Vec::with_capacity(2 * g.m());
+    let mut weights = Vec::with_capacity(2 * g.m());
+    for (e, &(u, v)) in g.edge_list().iter().enumerate() {
+        let w = g.weight(e as u32);
+        edges.push((u, v + n as NodeId));
+        weights.push(w);
+        edges.push((v, u + n as NodeId));
+        weights.push(w);
+    }
+    let sides = (0..2 * n).map(|v| v >= n).collect();
+    (Graph::with_weights(2 * n, edges, weights), sides)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +80,20 @@ mod tests {
         let g = Graph::new(3, vec![(0, 1), (1, 2), (2, 0)]);
         assert!(two_color(&g).is_none());
         assert!(!is_bipartite(&g));
+    }
+
+    #[test]
+    fn double_cover_preserves_degrees_and_weights() {
+        let g = Graph::with_weights(3, vec![(0, 1), (1, 2), (2, 0)], vec![1.5, 2.5, 3.5]);
+        let (cover, sides) = double_cover(&g);
+        assert_eq!(cover.n(), 6);
+        assert_eq!(cover.m(), 6);
+        assert!(is_valid_bipartition(&cover, &sides));
+        for v in 0..3u32 {
+            assert_eq!(cover.degree(v), g.degree(v));
+            assert_eq!(cover.degree(v + 3), g.degree(v));
+        }
+        assert_eq!(cover.total_weight(), 2.0 * g.total_weight());
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Workload generators.
 //!
 //! Random families ([`random`]), structured families ([`structured`]),
-//! and weight models ([`weights`]). All generators are deterministic in
-//! their seed so every experiment is reproducible.
+//! the topology zoo ([`zoo`] — heavy-tailed, geometric, and regular
+//! families), and weight models ([`weights`]). All generators are
+//! deterministic in their seed so every experiment is reproducible.
 
 pub mod random;
 pub mod structured;
 pub mod weights;
+pub mod zoo;
 
 pub use random::{barabasi_albert, bipartite_gnp, bipartite_regular, gnm, gnp, random_tree};
 pub use structured::{
@@ -14,3 +16,4 @@ pub use structured::{
     p4_chain, path, star,
 };
 pub use weights::{apply_weights, WeightModel};
+pub use zoo::{chung_lu, d_regular, random_geometric, zipf_bipartite};

@@ -48,6 +48,9 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     assert!(m <= max_edges, "cannot place {m} edges on {n} nodes");
     let mut rng = Rng64::new(seed);
     let mut b = GraphBuilder::new(n);
+    // Rejection sampling is only correct because `GraphBuilder::len`
+    // counts *distinct* edges (duplicates neither grow the count nor
+    // the edge list) — pinned by `gnm_never_duplicates_edges`.
     while b.len() < m {
         let u = rng.index(n) as NodeId;
         let v = rng.index(n) as NodeId;
@@ -158,11 +161,17 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
             ends.push(v);
         }
     }
+    // Insertion-ordered target buffer: a HashSet here would make the
+    // edge order (and through `ends`, every later draw) depend on the
+    // per-instance hash seed, breaking seed-determinism.
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m);
     for v in m0..n {
-        let mut targets = std::collections::HashSet::new();
+        targets.clear();
         while targets.len() < m {
             let t = ends[rng.index(ends.len())];
-            targets.insert(t);
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
         }
         for &t in &targets {
             b.add_edge(v as NodeId, t);
@@ -211,6 +220,25 @@ mod tests {
     fn gnm_exact_count() {
         let g = gnm(30, 100, 3);
         assert_eq!(g.m(), 100);
+    }
+
+    #[test]
+    fn gnm_never_duplicates_edges() {
+        // Regression: the `while b.len() < m` loop re-draws the same
+        // pair often when m approaches the maximum; the builder's
+        // dedup must keep the edge list distinct and the count exact.
+        for (n, m) in [(8, 28), (10, 44), (40, 300)] {
+            let g = gnm(n, m, 5);
+            assert_eq!(g.m(), m, "n={n}");
+            let mut seen = std::collections::HashSet::new();
+            for &(u, v) in g.edge_list() {
+                assert_ne!(u, v, "self-loop in gnm({n},{m})");
+                assert!(
+                    seen.insert((u.min(v), u.max(v))),
+                    "duplicate edge {u}-{v} in gnm({n},{m})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! The topology zoo: heavy-tailed, geometric, and regular families.
+//!
+//! The SPAA'08 guarantees are graph-universal, but local/LCA-style
+//! analyses are most stressed by skewed degree distributions and
+//! rigid/regular structure — exactly what `gnp`/`gnm` never produce.
+//! Each generator here is deterministic in its seed and runs in
+//! (expected) `O(n + m)` up to the logarithmic factors noted per
+//! function, so the families compose with the stress suite at
+//! `2^15+` nodes. All of them combine with
+//! [`apply_weights`](crate::generators::weights::apply_weights).
+//!
+//! Together with [`barabasi_albert`](crate::generators::random::barabasi_albert)
+//! these are the five zoo families swept by the E18 conformance
+//! experiment: preferential attachment, Chung–Lu power law, random
+//! geometric, random `d`-regular, and Zipf-skewed bipartite.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::rng::Rng64;
+
+/// Chung–Lu random graph with a power-law expected-degree sequence.
+///
+/// Node `i` gets weight `w_i ∝ (i+1)^{-1/(exponent-1)}` scaled so the
+/// mean weight is `avg_deg`; the pair `{i, j}` is an edge with
+/// probability `min(1, w_i·w_j / Σw)`. For `exponent ∈ (2, 3]` the
+/// realized degree sequence is heavy-tailed with tail exponent
+/// `exponent`; node 0 is the largest hub (labels are sorted by
+/// expected degree — relabel if you need exchangeability).
+///
+/// Runs in expected `O(n + m)` via the Miller–Hagberg geometric
+/// skipping construction over the weight-sorted order (no `O(n²)`
+/// pair scan).
+///
+/// # Panics
+///
+/// If `exponent ≤ 1` or `avg_deg ≤ 0`.
+pub fn chung_lu(n: usize, exponent: f64, avg_deg: f64, seed: u64) -> Graph {
+    assert!(exponent > 1.0, "power-law exponent must exceed 1");
+    assert!(avg_deg > 0.0, "average degree must be positive");
+    let mut b = GraphBuilder::new(n);
+    if n >= 2 {
+        let gamma = -1.0 / (exponent - 1.0);
+        let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(gamma)).collect();
+        let raw: f64 = w.iter().sum();
+        let scale = avg_deg * n as f64 / raw;
+        for x in &mut w {
+            *x *= scale;
+        }
+        let s: f64 = w.iter().sum();
+        let mut rng = Rng64::new(seed);
+        // Miller–Hagberg: weights are already sorted descending, so the
+        // edge probability is monotone in j and geometric skips with the
+        // *current* upper bound p stay valid; each candidate is kept
+        // with probability q/p.
+        for i in 0..n - 1 {
+            let mut j = i + 1;
+            let mut p = (w[i] * w[j] / s).min(1.0);
+            while j < n && p > 0.0 {
+                if p < 1.0 {
+                    let r = rng.f64().max(f64::MIN_POSITIVE);
+                    j += (r.ln() / (1.0 - p).ln()).floor() as usize;
+                }
+                if j < n {
+                    let q = (w[i] * w[j] / s).min(1.0);
+                    if rng.f64() < q / p {
+                        b.add_edge(i as NodeId, j as NodeId);
+                    }
+                    p = q;
+                    j += 1;
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random geometric graph: `n` points uniform in the unit square,
+/// an edge whenever the Euclidean distance is at most `radius`.
+///
+/// Neighbor search is grid-bucketed (cell width `≥ radius`, 3×3
+/// stencil), so generation is expected `O(n + m)` rather than the
+/// naive `O(n²)`. The expected average degree is `≈ n·π·radius²`
+/// away from the boundary.
+///
+/// # Panics
+///
+/// If `radius` is not positive and finite.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "radius must be positive and finite"
+    );
+    let mut rng = Rng64::new(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64(), rng.f64())).collect();
+    // Cell width 1/dims ≥ radius, so any pair within `radius` lives in
+    // the same or an adjacent cell.
+    let dims = ((1.0 / radius).floor() as usize).clamp(1, n.max(1));
+    let cell_of = |x: f64| ((x * dims as f64) as usize).min(dims - 1);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); dims * dims];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        buckets[cell_of(y) * dims + cell_of(x)].push(i);
+    }
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = (cell_of(x), cell_of(y));
+        for ny in cy.saturating_sub(1)..=(cy + 1).min(dims - 1) {
+            for nx in cx.saturating_sub(1)..=(cx + 1).min(dims - 1) {
+                for &j in &buckets[ny * dims + nx] {
+                    // Each unordered pair is examined from both sides;
+                    // emit it from the lower id only.
+                    if j <= i {
+                        continue;
+                    }
+                    let (dx, dy) = (pts[j].0 - x, pts[j].1 - y);
+                    if dx * dx + dy * dy <= r2 {
+                        b.add_edge(i as NodeId, j as NodeId);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random `d`-regular graph via the configuration model: `d` stubs per
+/// node are shuffled and paired, then self-loops and duplicate edges
+/// are rejected by degree-preserving double-edge swaps against
+/// uniformly chosen partner pairs until the pairing is simple.
+///
+/// Every node ends with degree exactly `d`. Expected `O(n·d)` overall
+/// for `d ≪ n` (the expected number of defects is `O(d²)`,
+/// independent of `n`, and each swap repairs one in `O(1)` expected
+/// tries).
+///
+/// # Panics
+///
+/// If `n·d` is odd, `d ≥ n`, or the repair loop cannot simplify the
+/// pairing (only possible when `d` is close to `n`).
+pub fn d_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n·d must be even for a d-regular graph"
+    );
+    assert!(d < n, "degree {d} impossible on {n} nodes");
+    if n == 0 || d == 0 {
+        return Graph::new(n, vec![]);
+    }
+    let mut rng = Rng64::new(seed);
+    let mut stubs: Vec<NodeId> = (0..n as NodeId)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
+    for i in (1..stubs.len()).rev() {
+        let j = rng.index(i + 1);
+        stubs.swap(i, j);
+    }
+    let mut pairs: Vec<(NodeId, NodeId)> = stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    // Defect repair: swap endpoints with a random partner pair. The
+    // occupancy set counts multiplicities so duplicates are detected
+    // exactly; `key` normalizes orientation.
+    let key = |u: NodeId, v: NodeId| (u.min(v), u.max(v));
+    let mut count: std::collections::HashMap<(NodeId, NodeId), u32> =
+        std::collections::HashMap::new();
+    for &(u, v) in &pairs {
+        *count.entry(key(u, v)).or_insert(0) += 1;
+    }
+    let is_bad = |count: &std::collections::HashMap<(NodeId, NodeId), u32>,
+                  u: NodeId,
+                  v: NodeId| { u == v || count[&key(u, v)] > 1 };
+    let np = pairs.len();
+    let mut budget = 200usize * np + 10_000;
+    loop {
+        let bad: Vec<usize> = (0..np)
+            .filter(|&p| is_bad(&count, pairs[p].0, pairs[p].1))
+            .collect();
+        if bad.is_empty() {
+            break;
+        }
+        for &p in &bad {
+            let (a, bb) = pairs[p];
+            if !is_bad(&count, a, bb) {
+                continue; // an earlier swap already fixed it
+            }
+            loop {
+                assert!(
+                    budget > 0,
+                    "d-regular repair did not converge (d too close to n?)"
+                );
+                budget -= 1;
+                let q = rng.index(np);
+                if q == p {
+                    continue;
+                }
+                let (c, dd) = pairs[q];
+                // Proposed swap: (a,b),(c,d) → (a,d),(c,b).
+                if a == dd || c == bb {
+                    continue;
+                }
+                let (k1, k2) = (key(a, dd), key(c, bb));
+                let dup1 = count.get(&k1).copied().unwrap_or(0) > 0;
+                let dup2 = count.get(&k2).copied().unwrap_or(0) > 0 || k1 == k2;
+                if dup1 || dup2 {
+                    continue;
+                }
+                *count.get_mut(&key(a, bb)).unwrap() -= 1;
+                *count.get_mut(&key(c, dd)).unwrap() -= 1;
+                *count.entry(k1).or_insert(0) += 1;
+                *count.entry(k2).or_insert(0) += 1;
+                pairs[p] = (a, dd);
+                pairs[q] = (c, bb);
+                break;
+            }
+        }
+    }
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in pairs {
+        let fresh = b.add_edge(u, v);
+        debug_assert!(fresh, "repair loop left a duplicate");
+    }
+    b.build()
+}
+
+/// Skewed random bipartite graph on sides `X = 0..nx`, `Y = nx..nx+ny`
+/// (`nx ≠ ny` allowed): `m` distinct edges whose X endpoints are
+/// uniform and whose Y endpoints follow a Zipf law — column `j` of Y
+/// is drawn with probability `∝ (j+1)^{-skew}`. Column `nx+0` is the
+/// hot hub. Returns the graph and the side array (`false` = X).
+///
+/// Sampling is `O(m log ny)` (CDF binary search) plus a deterministic
+/// fill pass that tops up to exactly `m` edges when rejection stalls
+/// on saturated hub columns; duplicates never survive.
+///
+/// # Panics
+///
+/// If `m > nx·ny` or `skew` is negative.
+pub fn zipf_bipartite(nx: usize, ny: usize, m: usize, skew: f64, seed: u64) -> (Graph, Vec<bool>) {
+    assert!(m <= nx * ny, "cannot place {m} edges on {nx}×{ny} sides");
+    assert!(skew >= 0.0, "skew must be non-negative");
+    let n = nx + ny;
+    let mut b = GraphBuilder::new(n);
+    if m > 0 {
+        let mut rng = Rng64::new(seed);
+        // Cumulative Zipf masses over the Y columns.
+        let mut cdf: Vec<f64> = Vec::with_capacity(ny);
+        let mut acc = 0.0;
+        for j in 0..ny {
+            acc += ((j + 1) as f64).powf(-skew);
+            cdf.push(acc);
+        }
+        let total = acc;
+        let mut tries = 0usize;
+        let max_tries = 64 * m;
+        while b.len() < m && tries < max_tries {
+            tries += 1;
+            let u = rng.index(nx) as NodeId;
+            let t = rng.f64() * total;
+            let j = cdf.partition_point(|&c| c < t).min(ny - 1);
+            b.add_edge(u, (nx + j) as NodeId);
+        }
+        // Saturated hubs can make rejection stall; finish
+        // deterministically, scanning columns hot-first.
+        'fill: for j in 0..ny {
+            for u in 0..nx {
+                if b.len() >= m {
+                    break 'fill;
+                }
+                b.add_edge(u as NodeId, (nx + j) as NodeId);
+            }
+        }
+    }
+    let sides = (0..n).map(|v| v >= nx).collect();
+    (b.build(), sides)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::barabasi_albert;
+    use crate::generators::weights::{apply_weights, WeightModel};
+
+    /// No self-loops, no duplicate edges, degree sum = 2m — the
+    /// structural contract every zoo family must satisfy.
+    fn assert_simple(g: &Graph) {
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in g.edge_list() {
+            assert_ne!(u, v, "self-loop at {u}");
+            assert!(seen.insert((u.min(v), u.max(v))), "duplicate edge {u}-{v}");
+        }
+        let degree_sum: usize = (0..g.n() as NodeId).map(|v| g.degree(v)).sum();
+        assert_eq!(degree_sum, 2 * g.m(), "degree sum must be 2m");
+    }
+
+    #[test]
+    fn zoo_families_are_simple_and_deterministic() {
+        let cases: Vec<(&str, Graph, Graph, Graph)> = vec![
+            (
+                "chung_lu",
+                chung_lu(300, 2.5, 6.0, 9),
+                chung_lu(300, 2.5, 6.0, 9),
+                chung_lu(300, 2.5, 6.0, 10),
+            ),
+            (
+                "geometric",
+                random_geometric(300, 0.08, 9),
+                random_geometric(300, 0.08, 9),
+                random_geometric(300, 0.08, 10),
+            ),
+            (
+                "d_regular",
+                d_regular(300, 6, 9),
+                d_regular(300, 6, 9),
+                d_regular(300, 6, 10),
+            ),
+            (
+                "zipf",
+                zipf_bipartite(120, 180, 700, 1.1, 9).0,
+                zipf_bipartite(120, 180, 700, 1.1, 9).0,
+                zipf_bipartite(120, 180, 700, 1.1, 10).0,
+            ),
+            (
+                "ba",
+                barabasi_albert(300, 3, 9),
+                barabasi_albert(300, 3, 9),
+                barabasi_albert(300, 3, 10),
+            ),
+        ];
+        for (name, a, same, other) in cases {
+            assert_simple(&a);
+            assert_eq!(a.edge_list(), same.edge_list(), "{name}: seed-determinism");
+            assert_ne!(
+                a.edge_list(),
+                other.edge_list(),
+                "{name}: different seeds must differ"
+            );
+        }
+    }
+
+    #[test]
+    fn chung_lu_mean_degree_is_plausible() {
+        let n = 2000;
+        let g = chung_lu(n, 2.5, 8.0, 1);
+        let mean = 2.0 * g.m() as f64 / n as f64;
+        // min(1, ·) capping shaves the hubs, so the realized mean sits
+        // below the nominal 8 but must stay in its neighborhood.
+        assert!((4.0..=9.0).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    fn heavy_tail_max_degree_dwarfs_mean() {
+        for (name, g) in [
+            ("chung_lu", chung_lu(2000, 2.2, 6.0, 3)),
+            ("ba", barabasi_albert(2000, 3, 3)),
+        ] {
+            let mean = 2.0 * g.m() as f64 / g.n() as f64;
+            let max = g.max_degree() as f64;
+            assert!(
+                max >= 5.0 * mean,
+                "{name}: max degree {max} not ≫ mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_bucket_search_matches_brute_force() {
+        let n = 150;
+        let r = 0.13;
+        let g = random_geometric(n, r, 5);
+        // Re-derive the points (same RNG consumption order) and compare
+        // against the O(n²) scan — symmetry and completeness of the
+        // 3×3 stencil.
+        let mut rng = Rng64::new(5);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64(), rng.f64())).collect();
+        let mut brute = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let (dx, dy) = (pts[j].0 - pts[i].0, pts[j].1 - pts[i].1);
+                if dx * dx + dy * dy <= r * r {
+                    brute.insert((i as NodeId, j as NodeId));
+                }
+            }
+        }
+        let got: std::collections::HashSet<(NodeId, NodeId)> =
+            g.edge_list().iter().copied().collect();
+        assert_eq!(got, brute);
+    }
+
+    #[test]
+    fn geometric_extreme_radii() {
+        // Radius √2 covers the whole square: complete graph.
+        let g = random_geometric(20, 1.5, 1);
+        assert_eq!(g.m(), 20 * 19 / 2);
+        // A vanishing radius leaves (almost surely) no edges.
+        let g = random_geometric(50, 1e-9, 1);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn d_regular_exact_degrees() {
+        for (n, d) in [(10, 3), (31, 4), (200, 8), (64, 1), (9, 0)] {
+            let g = d_regular(n, d, 7);
+            assert_simple(&g);
+            assert_eq!(g.m(), n * d / 2, "n={n}, d={d}");
+            for v in 0..n as NodeId {
+                assert_eq!(g.degree(v), d, "n={n}, d={d}, node {v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn d_regular_rejects_odd_stub_count() {
+        d_regular(9, 3, 1);
+    }
+
+    #[test]
+    fn zipf_bipartite_shape_and_skew() {
+        let (nx, ny, m) = (200, 300, 1500);
+        let (g, sides) = zipf_bipartite(nx, ny, m, 1.2, 4);
+        assert_eq!(g.m(), m, "exact edge count");
+        assert!(crate::bipartite::is_valid_bipartition(&g, &sides));
+        assert_eq!(sides.iter().filter(|&&s| !s).count(), nx);
+        // Zipf column loads: the hottest column beats the mean column
+        // load by a wide margin.
+        let mean_col = m as f64 / ny as f64;
+        let hot = g.degree(nx as NodeId) as f64;
+        assert!(hot >= 4.0 * mean_col, "hub column {hot} vs mean {mean_col}");
+    }
+
+    #[test]
+    fn zipf_bipartite_saturated_hub_still_exact() {
+        // skew so strong the hub column saturates: the fill pass must
+        // still deliver exactly m distinct edges.
+        let (g, _) = zipf_bipartite(5, 40, 60, 4.0, 2);
+        assert_eq!(g.m(), 60);
+        assert_simple(&g);
+        assert!(g.degree(5) <= 5, "hub column capped by nx");
+    }
+
+    #[test]
+    fn zoo_composes_with_weight_models() {
+        let g = chung_lu(100, 2.5, 5.0, 1);
+        let w = apply_weights(&g, WeightModel::Exponential(2.0), 3);
+        assert_eq!(w.m(), g.m());
+        assert!(w.weight_list().iter().all(|&x| x > 0.0));
+    }
+}

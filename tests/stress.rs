@@ -126,3 +126,46 @@ fn weighted_reduction_at_four_thousand_nodes() {
         "too far below the certified bound"
     );
 }
+
+#[test]
+#[ignore = "large"]
+fn topology_zoo_generates_and_matches_at_scale() {
+    use bench_harness::workloads::Family;
+    use std::time::Instant;
+    // Every zoo family at 2^14 and 2^15 nodes: generation must behave
+    // like O(n+m) (the 2x-nodes run may not blow past ~4x the time of
+    // the half-size run — a generous envelope that still catches a
+    // quadratic pair scan), and a full Israeli–Itai run over the
+    // sparse scheduler must stay within its O(log n) round budget.
+    let n = 1 << 15;
+    for family in Family::ZOO {
+        let t0 = Instant::now();
+        let half = family.instantiate(n / 2, 3);
+        let t_half = t0.elapsed();
+        let t0 = Instant::now();
+        let w = family.instantiate(n, 3);
+        let t_full = t0.elapsed();
+        assert_eq!(w.graph.n(), n, "{family}");
+        assert!(
+            w.graph.m() >= w.graph.n(),
+            "{family}: too sparse to be interesting at scale"
+        );
+        // Generous constant: wall-clock is noisy in CI, but a
+        // quadratic generator is ~4x over this envelope already.
+        assert!(
+            t_full.as_secs_f64() <= 4.0 * t_half.as_secs_f64().max(0.05),
+            "{family}: {t_half:?} -> {t_full:?} for 2x nodes is super-linear"
+        );
+        assert!(half.graph.m() > 0);
+        let r = w
+            .session(Algorithm::IsraeliItai, 5)
+            .build()
+            .run_to_completion();
+        assert!(r.matching.is_maximal(&w.graph), "{family}");
+        assert!(
+            r.stats.rounds <= 3 * 250,
+            "{family}: {} rounds breaks the O(log n) budget",
+            r.stats.rounds
+        );
+    }
+}
