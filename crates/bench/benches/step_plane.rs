@@ -17,9 +17,9 @@
 //!
 //! The run also sweeps an n-ladder to locate the **sequential/parallel
 //! crossover**: the smallest network at which 8-thread stepping beats
-//! sequential. Below the crossover the executor's fan-out throttle
-//! (`PAR_MIN_PER_THREAD` nodes of work per worker before another
-//! thread spawns) keeps parallel runs on the sequential path, so
+//! sequential. Below the crossover the executor's per-round cost model
+//! (measured ns/node EWMAs plus a spawn-cost floor; see
+//! `simnet::parallel`) keeps parallel runs on the sequential path, so
 //! "8 threads" is never slower than sequential — the earlier capture
 //! of this file measured a ~100x parallel *slowdown* at n=10 because
 //! every round paid thread-spawn latency for five node steps.
@@ -305,7 +305,9 @@ fn main() {
             f2(ratio)
         );
         // First n where parallel wins by a margin beyond timer noise.
-        if crossover_n.is_none() && ratio > 1.05 {
+        // A "win" in which the cost model never actually spawned a
+        // worker is two sequential runs plus noise, not a crossover.
+        if crossover_n.is_none() && ratio > 1.05 && p.peak_workers() > 1 {
             crossover_n = Some(ln);
         }
         ladder_rows.push((ln, m_s.time_per_round, m_p.time_per_round, ratio));
@@ -344,8 +346,11 @@ fn main() {
             )
         })
         .collect();
+    let host = bench_harness::host::fingerprint();
     let json = format!
-        ("{{\n  \"bench\": \"step_plane\",\n  \"n\": {n},\n  \"rounds_per_run\": {rounds},\n  \"runs\": {runs},\n  \"planes\": [\n{},\n{},\n{}\n  ],\n  \"alloc_ratio\": {:.2},\n  \"speedup_sequential\": {:.3},\n  \"crossover\": {{\n  \"threads\": {threads},\n  \"sequential_parallel_crossover_n\": {},\n  \"ladder\": [\n{}\n  ]\n  }}\n}}\n",
+        ("{{\n  \"bench\": \"step_plane\",\n  \"host\": {},\n  \"threads_requested\": {threads},\n  \"threads_used_peak\": {},\n  \"n\": {n},\n  \"rounds_per_run\": {rounds},\n  \"runs\": {runs},\n  \"planes\": [\n{},\n{},\n{}\n  ],\n  \"alloc_ratio\": {:.2},\n  \"speedup_sequential\": {:.3},\n  \"crossover\": {{\n  \"threads\": {threads},\n  \"sequential_parallel_crossover_n\": {},\n  \"ladder\": [\n{}\n  ]\n  }}\n}}\n",
+        host.to_json(),
+        netp.peak_workers(),
         plane_json("legacy_vec_sort", &m_legacy),
         plane_json("slab_seq", &m_new),
         plane_json("slab_8_threads", &m_par),

@@ -362,6 +362,14 @@ fn main() {
     // Machine-readable mirror for the CI artifact trail.
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"e17_sparse\",\n");
+    let _ = writeln!(
+        json,
+        "  \"host\": {},",
+        bench_harness::host::fingerprint().to_json()
+    );
+    // This experiment measures the scheduler, not the executor: every
+    // run is sequential by construction.
+    json.push_str("  \"threads_requested\": 1,\n  \"threads_used_peak\": 1,\n");
     let _ = writeln!(json, "  \"n\": {n},");
     let _ = writeln!(json, "  \"rounds_per_run\": {rounds},");
     let _ = writeln!(json, "  \"runs\": {runs},");

@@ -182,6 +182,13 @@ fn main() {
     // Machine-readable mirror for the CI artifact trail.
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"e18_zoo\",\n");
+    let _ = writeln!(
+        json,
+        "  \"host\": {},",
+        bench_harness::host::fingerprint().to_json()
+    );
+    // Conformance cells run sequentially (quality, not wall-clock).
+    json.push_str("  \"threads_requested\": 1,\n  \"threads_used_peak\": 1,\n");
     let _ = writeln!(json, "  \"n\": {n},");
     let _ = writeln!(json, "  \"seeds\": {seeds},");
     json.push_str("  \"cells\": [\n");

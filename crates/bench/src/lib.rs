@@ -92,6 +92,57 @@ pub fn env_or(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Host execution-environment fingerprint for BENCH_*.json headers.
+///
+/// Every benchmark JSON embeds this next to the *requested* thread
+/// counts, so a `par_speedup ≈ 1.0` row or a `null` crossover is
+/// interpretable at a glance: on a 1-core CI container the cost model
+/// is *supposed* to keep everything sequential, and without the
+/// `available_parallelism` field that outcome is indistinguishable
+/// from a parallel path that failed to win on real cores.
+pub mod host {
+    /// What the machine offers (probed once per process).
+    #[derive(Debug, Clone)]
+    pub struct Fingerprint {
+        /// `std::thread::available_parallelism()` — cgroup/affinity
+        /// aware, so a 64-core box capped to 1 CPU reports 1.
+        pub available_parallelism: usize,
+        /// Target triple components baked in at compile time.
+        pub os: &'static str,
+        pub arch: &'static str,
+        /// Optimization profile the binary was built under ("release"
+        /// or "debug") — a debug-build bench number is not a number.
+        pub profile: &'static str,
+    }
+
+    /// Probe the host.
+    pub fn fingerprint() -> Fingerprint {
+        Fingerprint {
+            available_parallelism: std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get),
+            os: std::env::consts::OS,
+            arch: std::env::consts::ARCH,
+            profile: if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+        }
+    }
+
+    impl Fingerprint {
+        /// Render as a JSON object fragment, for the hand-rolled
+        /// BENCH_*.json writers:
+        /// `"host": {"available_parallelism": 8, ...}`.
+        pub fn to_json(&self) -> String {
+            format!(
+                "{{\"available_parallelism\": {}, \"os\": \"{}\", \"arch\": \"{}\", \"profile\": \"{}\"}}",
+                self.available_parallelism, self.os, self.arch, self.profile
+            )
+        }
+    }
+}
+
 /// Minimal wall-clock micro-benchmark support for the `benches/`
 /// targets (the workspace is dependency-free, so the benches are plain
 /// `harness = false` binaries rather than criterion suites).
@@ -161,5 +212,15 @@ mod tests {
     fn mean_handles_empty() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn host_fingerprint_is_sane() {
+        let fp = host::fingerprint();
+        assert!(fp.available_parallelism >= 1);
+        let json = fp.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"available_parallelism\""));
+        assert!(json.contains("\"profile\""));
     }
 }

@@ -94,14 +94,20 @@
 //! O(1).
 //!
 //! The dense `0..n` sweep survives as [`SchedMode::Dense`] (a
-//! fallback and reference); both schedulers step the same node set by
-//! construction, so results — matchings, RNG streams, `NetStats`
-//! traces — are bit-identical, with the single exception of the
+//! fallback and reference), and [`SchedMode::Hybrid`] switches
+//! between the two representations per round with a deterministic,
+//! counter-driven judge (see [`parallel`] for the thresholds and the
+//! determinism contract). All schedulers step the same node set by
+//! construction, at any thread count ([`ExecCfg::parallel`]), so
+//! results — matchings, RNG streams, `NetStats` traces — are
+//! bit-identical, with the exception of the
 //! [`stats::RoundTrace::sched_overhead`] gauge, which records the
 //! slots each scheduler examined without stepping (the dense scan's
-//! skipped nodes vs. the sparse drain's stale entries). Per-round
-//! [`stats::RoundTrace::active`] and cumulative [`NetStats::node_steps`]
-//! expose the activity the sparse plane's cost is proportional to.
+//! skipped nodes vs. the sparse drain's stale entries), and the
+//! opt-in [`ExecCfg::timing`] phase gauges ([`PhaseTimings`]).
+//! Per-round [`stats::RoundTrace::active`] and cumulative
+//! [`NetStats::node_steps`] expose the activity the sparse plane's
+//! cost is proportional to.
 //!
 //! ## Dynamic networks
 //!
@@ -143,7 +149,7 @@ pub use mailbox::{Inbox, InboxIter, Received};
 pub use message::BitSize;
 pub use network::{Ctx, ExecCfg, Network, Protocol, Rewire, RewireCtx, RunOutcome, SchedMode};
 pub use rng::SplitMix64;
-pub use stats::{NetStats, RoundTrace};
+pub use stats::{NetStats, PhaseTimings, RoundTrace};
 pub use topology::{NodeId, Port, Topology, TopologyPatch, SLOT_GONE};
 
 /// The number of bits needed to write ids in a network of `n` nodes,

@@ -16,9 +16,11 @@
 
 use crate::mailbox::{Inbox, Slab, DEAD_STAMP};
 use crate::message::BitSize;
+use crate::parallel::CostModel;
 use crate::rng::SplitMix64;
 use crate::stats::NetStats;
 use crate::topology::{NodeId, Port, Topology, TopologyPatch};
+use std::time::Instant;
 
 /// A distributed algorithm, from the point of view of a single node.
 ///
@@ -272,7 +274,7 @@ pub struct RunOutcome {
 
 /// Which round scheduler drives [`Network::step`].
 ///
-/// Both modes step exactly the same set of nodes each round (the
+/// All modes step exactly the same set of nodes each round (the
 /// scheduler contract below), so results are **bit-identical**; they
 /// differ only in how that set is found:
 ///
@@ -283,6 +285,18 @@ pub struct RunOutcome {
 /// * [`SchedMode::Dense`] sweeps `0..n` every round, skipping halted
 ///   and sleeping nodes — the classical executor, kept as a fallback
 ///   and as the reference the property suites compare against.
+/// * [`SchedMode::Hybrid`] keeps **both frontier representations** and
+///   switches per round with a deterministic `judge()` threshold, the
+///   direction-optimizing pattern of parlay's LDD: high-activity
+///   rounds run as a dense sweep (no wake-list sort, push, or
+///   delivery-stamp dedup), low-activity rounds drain the sparse wake
+///   list. Sparse→dense conversion is free (the halt/doze/mail flags
+///   the dense sweep reads are maintained in every mode); dense→sparse
+///   pays one O(n) wake-list rebuild from the scheduler predicate. The
+///   judge never inspects wall-clock or thread counts, so a hybrid
+///   run's representation sequence — and hence its `sched_overhead`
+///   trace — is reproducible; everything else is bit-identical to the
+///   other two modes.
 ///
 /// **Scheduler contract** — a node `v` is stepped in round `r` iff it
 /// is not halted and at least one of:
@@ -302,7 +316,23 @@ pub enum SchedMode {
     Sparse,
     /// Dense `0..n` sweep: round cost ∝ `n` (fallback / reference).
     Dense,
+    /// Judge-switched dual representation: dense sweep above the
+    /// activity threshold, sparse wake list below it.
+    Hybrid,
 }
+
+/// Hybrid judge, upswitch: a round whose (upper-bound) scheduled count
+/// is at least `n / HYBRID_DENSE_DIV` runs as a dense sweep. At that
+/// activity the wake list's sort + per-node push + per-delivery stamp
+/// dedup cost more than scanning the `n - active` idle flag slots.
+pub(crate) const HYBRID_DENSE_DIV: usize = 8;
+
+/// Hybrid judge, downswitch: a dense round whose *previous* round
+/// stepped fewer than `n / HYBRID_SPARSE_DIV` nodes converts back to
+/// the sparse representation (one O(n) wake-list rebuild). The gap to
+/// [`HYBRID_DENSE_DIV`] is hysteresis so activity hovering near the
+/// threshold does not thrash conversions.
+pub(crate) const HYBRID_SPARSE_DIV: usize = 16;
 
 /// Execution knobs shared by every layer that builds a [`Network`]:
 /// worker-thread count, fault injection, and the round scheduler.
@@ -310,23 +340,34 @@ pub enum SchedMode {
 /// through all of them.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecCfg {
-    /// Worker threads for node stepping (1 = sequential). Results are
-    /// bit-identical regardless of the value.
+    /// Worker threads for node stepping (1 = sequential). This is a
+    /// *ceiling*, not a demand: the per-round cost model spawns fewer
+    /// workers (down to none) when the measured workload would not pay
+    /// for them. Results are bit-identical regardless of the value.
     pub threads: usize,
     /// Message-loss probability (0.0 = reliable).
     pub loss: f64,
-    /// Round scheduler (sparse wake list vs. dense sweep). Results are
-    /// bit-identical regardless of the value.
+    /// Round scheduler (sparse wake list / dense sweep / judge-switched
+    /// hybrid). Results are bit-identical regardless of the value.
     pub sched: SchedMode,
+    /// Collect the per-phase wall-clock breakdown into
+    /// [`crate::stats::PhaseTimings`]. Off by default: the gauges cost
+    /// a few clock reads per round and — like `sched_overhead` — are
+    /// excluded from the bit-identity contract, so identity suites
+    /// leave this off or mask [`NetStats::timings`].
+    pub timing: bool,
+    /// Test/bench escape hatch: bypass the cost model and spawn one
+    /// worker per requested thread regardless of machine or workload,
+    /// so the parallel partitioners run for real on any host. Never
+    /// set this in production configs — on small workloads it
+    /// re-creates the thread-spawn pathology the cost model exists to
+    /// prevent.
+    pub force_parallel: bool,
 }
 
 impl Default for ExecCfg {
     fn default() -> Self {
-        ExecCfg {
-            threads: 1,
-            loss: 0.0,
-            sched: SchedMode::Sparse,
-        }
+        ExecCfg::sequential()
     }
 }
 
@@ -337,15 +378,17 @@ impl ExecCfg {
             threads: 1,
             loss: 0.0,
             sched: SchedMode::Sparse,
+            timing: false,
+            force_parallel: false,
         }
     }
 
-    /// Parallel stepping with `threads` workers, reliable delivery.
+    /// Parallel stepping with up to `threads` workers, reliable
+    /// delivery.
     pub const fn parallel(threads: usize) -> Self {
         ExecCfg {
             threads,
-            loss: 0.0,
-            sched: SchedMode::Sparse,
+            ..ExecCfg::sequential()
         }
     }
 
@@ -354,18 +397,50 @@ impl ExecCfg {
         self.sched = SchedMode::Dense;
         self
     }
+
+    /// The same configuration under the judge-switched hybrid
+    /// scheduler.
+    pub const fn hybrid(mut self) -> Self {
+        self.sched = SchedMode::Hybrid;
+        self
+    }
+
+    /// The same configuration with per-phase timing gauges enabled.
+    pub const fn timed(mut self) -> Self {
+        self.timing = true;
+        self
+    }
+
+    /// The same configuration with the cost model bypassed (testing
+    /// only; see [`ExecCfg::force_parallel`]).
+    pub const fn forced(mut self) -> Self {
+        self.force_parallel = true;
+        self
+    }
 }
 
-/// Per-worker scratch of the parallel executor: sender and wake lists
-/// recorded per chunk, merged in chunk (= node) order after the join.
-/// Reused every round; deliberately not charged to the plane gauge so
-/// stats stay bit-identical across thread counts.
+/// Per-worker scratch of the parallel executor: the sender buffer and
+/// the per-chunk counters, recorded contention-free per chunk and
+/// merged in chunk (= node) order after the join. Reused every round;
+/// deliberately not charged to the plane gauge so stats stay
+/// bit-identical across thread counts.
+///
+/// Next-frontier (wake) output does **not** live here: each worker
+/// writes wake ids into its own disjoint window of the shared,
+/// round-sized `wake_next` buffer — a local queue bounded by the
+/// chunk's active count, with no shared-structure contention and no
+/// spill (the bound is exact: a chunk wakes at most the nodes it
+/// steps). The merge is an in-order compaction of those windows.
 #[derive(Default)]
 pub(crate) struct WorkerScratch {
-    /// Nodes of this chunk that sent at least one message.
+    /// Nodes of this chunk that sent at least one message. Capacity is
+    /// reserved to the chunk's active count once per round, before the
+    /// step loop, so the hot loop never grows it.
     pub(crate) touched: Vec<NodeId>,
-    /// Nodes of this chunk to auto-reschedule for the next round.
-    pub(crate) wake: Vec<NodeId>,
+    /// Wake entries this worker wrote into its `wake_next` window.
+    pub(crate) wake_len: usize,
+    /// Size of this worker's `wake_next` window (= chunk active count).
+    pub(crate) wake_cap: usize,
     /// Nodes of this chunk that halted this round.
     pub(crate) halts: u64,
     /// Nodes of this chunk actually stepped this round.
@@ -373,10 +448,13 @@ pub(crate) struct WorkerScratch {
 }
 
 impl WorkerScratch {
-    /// Clear for a new round (keeps the buffers' capacity).
-    pub(crate) fn reset(&mut self) {
+    /// Ready the scratch for a new round: clear, and size the sender
+    /// buffer once so the step loop performs no reallocation.
+    pub(crate) fn prepare(&mut self, chunk_nodes: usize) {
         self.touched.clear();
-        self.wake.clear();
+        self.touched.reserve(chunk_nodes);
+        self.wake_len = 0;
+        self.wake_cap = 0;
         self.halts = 0;
         self.stepped = 0;
     }
@@ -430,12 +508,31 @@ pub struct Network<P: Protocol> {
     pub(crate) round: u64,
     /// Number of worker threads for node stepping (1 = sequential).
     pub(crate) threads: usize,
-    /// Test-only: bypass the parallel executor's fan-out throttle so
-    /// unit tests exercise real multi-worker rounds on any machine and
-    /// workload size (see `parallel::worker_cap`).
+    /// Test-only: bypass the cost model so unit tests exercise real
+    /// multi-worker rounds on any machine and workload size (see
+    /// [`ExecCfg::force_parallel`]).
     pub(crate) force_parallel: bool,
-    /// Round scheduler (sparse wake list vs. dense sweep).
+    /// Round scheduler (sparse wake list / dense sweep / hybrid).
     pub(crate) sched: SchedMode,
+    /// The representation the *next* round will run in: `true` = dense
+    /// flag sweep, `false` = sparse wake list. Fixed for the pure
+    /// modes; flipped by the judge under [`SchedMode::Hybrid`]. While
+    /// dense, the wake list is not maintained (it lapses) and is
+    /// rebuilt from the scheduler predicate on conversion back.
+    pub(crate) frontier_dense: bool,
+    /// Judge input while the frontier is dense: the number of nodes the
+    /// previous round stepped (while sparse, the wake-list length is
+    /// the exact upcoming count, so this is not consulted).
+    pub(crate) est_active: u64,
+    /// Per-round seq-vs-parallel cost model (measured ns/work-unit
+    /// EWMAs; purely a performance decision, results are bit-identical
+    /// whichever path it picks).
+    pub(crate) cost: CostModel,
+    /// Largest worker count any round actually spawned (1 = every
+    /// round ran sequentially). Bench/CI fingerprint material.
+    pub(crate) peak_workers: usize,
+    /// Collect [`crate::stats::PhaseTimings`] (see [`ExecCfg::timing`]).
+    pub(crate) timing: bool,
     /// Message-loss probability (fault injection; 0.0 = reliable).
     pub(crate) loss: f64,
     /// RNG stream deciding drops (independent of node streams so that
@@ -495,6 +592,11 @@ impl<P: Protocol> Network<P> {
             threads: 1,
             force_parallel: false,
             sched: SchedMode::default(),
+            frontier_dense: false,
+            est_active: n as u64,
+            cost: CostModel::new(),
+            peak_workers: 1,
+            timing: false,
             loss: 0.0,
             loss_rng: SplitMix64::for_node(seed, u64::MAX),
             dropped: 0,
@@ -523,14 +625,26 @@ impl<P: Protocol> Network<P> {
     /// bit-identical across modes).
     pub fn with_sched(mut self, sched: SchedMode) -> Self {
         self.sched = sched;
+        // Pure Dense runs dense from round 0; Sparse and Hybrid start
+        // sparse (round 0 schedules everyone, so a hybrid judge
+        // converts — for free — before the first step).
+        self.frontier_dense = sched == SchedMode::Dense;
+        self
+    }
+
+    /// Enable the per-phase timing gauges (see [`ExecCfg::timing`]).
+    pub fn with_timing(mut self, timing: bool) -> Self {
+        self.timing = timing;
         self
     }
 
     /// Apply all execution knobs of an [`ExecCfg`] at once.
-    pub fn with_cfg(self, cfg: ExecCfg) -> Self {
+    pub fn with_cfg(mut self, cfg: ExecCfg) -> Self {
+        self.force_parallel = cfg.force_parallel;
         self.with_threads(cfg.threads)
             .with_message_loss(cfg.loss)
             .with_sched(cfg.sched)
+            .with_timing(cfg.timing)
     }
 
     /// Messages dropped by fault injection.
@@ -579,6 +693,15 @@ impl<P: Protocol> Network<P> {
         self.live
     }
 
+    /// True while the upcoming round schedules from the wake list
+    /// (sparse representation). Dense rounds — pure [`SchedMode::Dense`]
+    /// or a hybrid round above the judge threshold — derive scheduling
+    /// from the halt/doze/mail flags and let the list lapse.
+    #[inline]
+    pub(crate) fn uses_wake_list(&self) -> bool {
+        !self.frontier_dense
+    }
+
     /// Wake `v` externally: un-halt it if needed, clear its sleep flag,
     /// and schedule it for the next round. The harness-level analogue
     /// of the wake-up a rewire's dirty set performs.
@@ -589,10 +712,11 @@ impl<P: Protocol> Network<P> {
             self.live += 1;
         }
         self.dozing[vi] = false;
-        // The wake list exists only under the sparse scheduler; the
-        // dense sweep derives scheduling from the flags above, and
-        // pushing here would grow a list dense mode never drains.
-        if self.sched == SchedMode::Sparse && self.wake_stamp[vi] != self.round {
+        // The wake list is live only in the sparse representation; a
+        // dense round derives scheduling from the flags above, and
+        // pushing here would grow a list the dense sweep never drains
+        // (a hybrid dense→sparse conversion rebuilds it instead).
+        if self.uses_wake_list() && self.wake_stamp[vi] != self.round {
             self.wake_stamp[vi] = self.round;
             self.wake_cur.push(v);
         }
@@ -611,16 +735,105 @@ impl<P: Protocol> Network<P> {
         delta
     }
 
+    /// Largest worker count any round actually spawned so far (1 =
+    /// everything ran sequentially — e.g. on a 1-core machine, or when
+    /// every round's workload sat below the cost model's threshold).
+    /// Benches record this next to the *requested* thread count so a
+    /// `par_speedup ≈ 1.0` row is interpretable at a glance.
+    pub fn peak_workers(&self) -> usize {
+        self.peak_workers
+    }
+
+    /// The hybrid judge: pick the representation for the round about to
+    /// execute and perform any conversion. Deterministic — inputs are
+    /// node counts only, never wall-clock — so a hybrid run's
+    /// representation sequence is reproducible.
+    ///
+    /// Upswitch (sparse→dense) triggers on the wake-list length (an
+    /// exact upper bound on the upcoming scheduled count, stale entries
+    /// included) and is free: the flags the dense sweep reads are
+    /// maintained in every mode, the list simply lapses. Downswitch
+    /// (dense→sparse) triggers on the previous round's stepped count
+    /// and pays one O(n) wake-list rebuild from the scheduler
+    /// predicate — charged to `PhaseTimings::conversion_ns` when timing
+    /// is on, and amortized: it only happens when leaving a regime
+    /// whose every round already cost O(n).
+    fn choose_representation(&mut self) -> bool {
+        match self.sched {
+            SchedMode::Sparse => false,
+            SchedMode::Dense => true,
+            SchedMode::Hybrid => {
+                let n = self.topo.len();
+                if !self.frontier_dense {
+                    if n > 0 && self.wake_cur.len() * HYBRID_DENSE_DIV >= n {
+                        self.frontier_dense = true; // conversion is free
+                    }
+                } else if (self.est_active as usize) * HYBRID_SPARSE_DIV < n {
+                    let t0 = self.timing.then(Instant::now);
+                    self.rebuild_wake_list();
+                    self.frontier_dense = false;
+                    if let Some(t0) = t0 {
+                        self.stats.timings.conversion_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+                self.frontier_dense
+            }
+        }
+    }
+
     /// Execute one synchronous round. Returns the number of messages
     /// sent during the round.
+    ///
+    /// Dispatch order: the hybrid judge picks the frontier
+    /// representation, then the cost model picks sequential vs.
+    /// parallel execution for that representation's workload. Both
+    /// decisions are invisible in the results (bit-identity) — the
+    /// judge is additionally deterministic, so the `sched_overhead`
+    /// trace it shapes is reproducible too.
     pub fn step(&mut self) -> u64 {
-        if self.threads > 1 {
-            return crate::parallel::step_parallel(self);
+        let dense = self.choose_representation();
+        let workload = if dense {
+            self.topo.len()
+        } else {
+            self.wake_cur.len()
+        };
+        let workers = if self.force_parallel {
+            self.threads.min(workload.max(1))
+        } else if self.threads > 1 {
+            self.cost.plan(
+                self.threads,
+                crate::parallel::hw_parallelism(),
+                workload,
+                dense,
+            )
+        } else {
+            1
+        };
+        self.peak_workers = self.peak_workers.max(workers);
+        // The cost model learns from measured rounds; the timing gauges
+        // want the same clock. One read serves both.
+        let observe = self.threads > 1 && !self.force_parallel;
+        let t0 = (observe || self.timing).then(Instant::now);
+        let sent = match (dense, workers > 1) {
+            (false, false) => self.step_sparse_seq(),
+            (true, false) => self.step_dense_seq(),
+            (false, true) => crate::parallel::step_parallel_sparse(self, workers),
+            (true, true) => crate::parallel::step_parallel_dense(self, workers),
+        };
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            if observe {
+                self.cost.observe(dense, workers, workload, ns);
+            }
+            if self.timing {
+                if dense {
+                    self.stats.timings.dense_update_ns += ns;
+                } else {
+                    self.stats.timings.sparse_update_ns += ns;
+                }
+            }
         }
-        match self.sched {
-            SchedMode::Sparse => self.step_sparse_seq(),
-            SchedMode::Dense => self.step_dense_seq(),
-        }
+        sent
     }
 
     /// Close out a round: delivery accounting, round counter, gauges.
@@ -628,7 +841,7 @@ impl<P: Protocol> Network<P> {
     /// same after their join).
     pub(crate) fn finish_round(&mut self, stepped: u64, sched_overhead: u64) -> u64 {
         let round = self.round;
-        let schedule = self.sched == SchedMode::Sparse;
+        let schedule = self.uses_wake_list();
         let (out_plane, _) = split_planes(&mut self.planes, round);
         let out = deliver(
             &self.topo,
@@ -648,6 +861,12 @@ impl<P: Protocol> Network<P> {
         self.round += 1;
         if schedule {
             std::mem::swap(&mut self.wake_cur, &mut self.wake_next);
+            // While sparse the wake list itself is the exact upcoming
+            // count; keep the estimate fresh anyway for the round after
+            // an upswitch.
+            self.est_active = self.wake_cur.len() as u64;
+        } else {
+            self.est_active = stepped;
         }
         let allocs = self.take_alloc_delta();
         self.stats
@@ -910,9 +1129,13 @@ impl<P: Protocol> Network<P> {
         }
         self.topo = new_topo.clone();
         self.recount_inboxes();
-        if self.sched == SchedMode::Sparse {
+        if self.uses_wake_list() {
             self.rebuild_wake_list();
         }
+        // A rewire typically wakes a whole damage ball; refresh the
+        // dense-side judge input so a hybrid run re-evaluates from the
+        // post-rewire schedule size rather than a pre-churn count.
+        self.est_active = self.est_active.max(patch.dirty().len() as u64);
     }
 
     /// Rebuild `inbox_count` / `in_flight` from the plane that will be

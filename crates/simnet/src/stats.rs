@@ -30,6 +30,45 @@ pub struct RoundTrace {
     pub sched_overhead: u64,
 }
 
+/// Per-phase wall-clock breakdown of the round loop, in nanoseconds,
+/// in the style of parlay's LDD `BREAKDOWN` timers: where does a round
+/// actually spend its time once the scheduler is hybrid?
+///
+/// Collected only when [`crate::ExecCfg::timing`] is set (the default
+/// leaves every field at zero, so `NetStats` equality across executors
+/// is unaffected). Like [`NetStats::sched_overhead`], these gauges are
+/// **excluded from the bit-identity contract**: wall-clock depends on
+/// the machine, the thread count, and the representation the hybrid
+/// judge picked, none of which may influence results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Time spent stepping rounds in the sparse (wake-list)
+    /// representation, including the wake-list sort and drain.
+    pub sparse_update_ns: u64,
+    /// Time spent stepping rounds in the dense (flag-sweep)
+    /// representation.
+    pub dense_update_ns: u64,
+    /// Time spent converting between representations (the dense→sparse
+    /// wake-list rebuild; sparse→dense is free and charges nothing).
+    pub conversion_ns: u64,
+    /// Time the parallel executor spent merging per-worker scratch
+    /// (sender lists, wake windows, halt counters) after the join.
+    /// Also included in the update gauges above, which time the whole
+    /// round; this isolates the sequential tail.
+    pub merge_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Fold another breakdown into this one.
+    #[inline]
+    pub fn absorb(&mut self, other: &PhaseTimings) {
+        self.sparse_update_ns += other.sparse_update_ns;
+        self.dense_update_ns += other.dense_update_ns;
+        self.conversion_ns += other.conversion_ns;
+        self.merge_ns += other.merge_ns;
+    }
+}
+
 /// Cumulative network statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -53,6 +92,10 @@ pub struct NetStats {
     pub node_steps: u64,
     /// Total scheduler overhead (sum of [`RoundTrace::sched_overhead`]).
     pub sched_overhead: u64,
+    /// Per-phase wall-clock breakdown (all zero unless
+    /// [`crate::ExecCfg::timing`] is set; excluded from bit-identity
+    /// comparisons like [`NetStats::sched_overhead`]).
+    pub timings: PhaseTimings,
     /// Messages per round, in order.
     pub per_round: Vec<RoundTrace>,
 }
@@ -126,6 +169,7 @@ impl NetStats {
         self.plane_allocs += other.plane_allocs;
         self.node_steps += other.node_steps;
         self.sched_overhead += other.sched_overhead;
+        self.timings.absorb(&other.timings);
         self.per_round.extend_from_slice(&other.per_round);
     }
 

@@ -305,6 +305,63 @@ fn conformance_gnp_baseline() {
     conformance_for(Family::Gnp);
 }
 
+/// The full scheduler matrix on the Chung–Lu hub fixture: {sequential,
+/// 2 threads, 8 threads} × {sparse, dense, hybrid} must agree with the
+/// sequential sparse reference on the matching and on the complete
+/// `NetStats` trace minus the sanctioned exemptions (`sched_overhead`,
+/// wall-clock `timings`). Threaded runs force real fan-out so the
+/// degree-weighted chunker actually has to split around the hub, which
+/// is the case contiguous equal-count chunking got wrong.
+#[test]
+fn chung_lu_hub_scheduler_matrix() {
+    let (g, sides) = fixture(Family::ChungLu, N, 3);
+    let hub_deg = g.max_degree();
+    assert!(
+        hub_deg * g.n() >= 2 * 2 * g.m(),
+        "fixture hub too mild (max degree {hub_deg}, avg {:.1})",
+        2.0 * g.m() as f64 / g.n() as f64
+    );
+    let masked = |stats: &distributed_matching::simnet::NetStats| {
+        let mut s = stats.clone();
+        s.sched_overhead = 0;
+        s.timings = Default::default();
+        for r in &mut s.per_round {
+            r.sched_overhead = 0;
+        }
+        s
+    };
+    type SchedFn = fn(ExecCfg) -> ExecCfg;
+    let scheds: [(&str, SchedFn); 3] = [
+        ("sparse", |c| c),
+        ("dense", ExecCfg::dense),
+        ("hybrid", ExecCfg::hybrid),
+    ];
+    for alg in [Algorithm::IsraeliItai, Algorithm::Generic { k: 2 }] {
+        let reference = run(
+            &g,
+            sides.as_deref(),
+            alg,
+            7,
+            TerminationMode::Oracle,
+            ExecCfg::sequential(),
+        );
+        assert!(reference.matching.validate(&g).is_ok(), "{alg}");
+        for (sched_label, sched_of) in scheds {
+            let execs = [
+                sched_of(ExecCfg::sequential()),
+                sched_of(ExecCfg::parallel(2)).forced(),
+                sched_of(ExecCfg::parallel(8)).forced(),
+            ];
+            for cfg in execs {
+                let r = run(&g, sides.as_deref(), alg, 7, TerminationMode::Oracle, cfg);
+                let label = format!("chung-lu hub / {alg} / {sched_label} / {cfg:?}");
+                assert_eq!(reference.matching, r.matching, "{label}: matching");
+                assert_eq!(masked(&reference.stats), masked(&r.stats), "{label}: stats");
+            }
+        }
+    }
+}
+
 /// Double covers preserve the degree sequence — the property that
 /// makes them a faithful bipartite incarnation of heavy-tailed
 /// families for Theorem 3.8.

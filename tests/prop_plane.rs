@@ -28,6 +28,10 @@ use std::sync::Mutex;
 fn masked(stats: &NetStats) -> NetStats {
     let mut s = stats.clone();
     s.sched_overhead = 0;
+    // Wall-clock phase gauges are likewise exempt (all-zero here unless
+    // a run enables `ExecCfg::timing`, but the mask keeps the suite
+    // honest about what the contract covers).
+    s.timings = Default::default();
     for r in &mut s.per_round {
         r.sched_overhead = 0;
     }
@@ -212,6 +216,77 @@ fn dense_vs_sparse_bit_identical_all_algorithms() {
             );
             assert_eq!(sparse.matching, dense_par.matching, "{label}");
             assert_eq!(masked(&sparse.stats), masked(&dense_par.stats), "{label}");
+        }
+    }
+}
+
+/// The hub fixture: the scheduler/executor matrix on a Chung–Lu
+/// power-law graph, whose node 0 is a heavy hub. This is the workload
+/// the degree-weighted chunker exists for — contiguous equal-count
+/// chunks would put the hub's whole port range in one worker — and the
+/// matrix asserts that chunking, the hybrid judge, and forced
+/// multi-worker execution all stay bit-identical to the sequential
+/// sparse reference: same matching, same `NetStats` minus the
+/// sched_overhead/timings exemptions.
+#[test]
+fn chung_lu_hub_scheduler_matrix_bit_identical() {
+    let _serial = HOOK_LOCK.lock().unwrap();
+    let g0 = distributed_matching::dgraph::generators::zoo::chung_lu(40, 2.2, 4.0, 9);
+    let max_deg = (0..40).map(|v| g0.degree(v)).max().unwrap_or(0);
+    assert!(
+        max_deg >= 10,
+        "fixture lost its hub (max degree {max_deg}); pick another seed"
+    );
+    let algs = [
+        Algorithm::IsraeliItai,
+        Algorithm::Generic { k: 2 },
+        Algorithm::Weighted {
+            epsilon: 0.25,
+            mwm_box: MwmBox::LocalDominant,
+        },
+    ];
+    // {seq, 2, 8 threads} × {sparse, dense, hybrid}; threaded runs are
+    // forced so the partitioners really fan out on a 40-node fixture
+    // (the cost model would otherwise route them sequentially).
+    type SchedFn = fn(ExecCfg) -> ExecCfg;
+    let execs = |sched_of: SchedFn| {
+        [
+            sched_of(ExecCfg::sequential()),
+            sched_of(ExecCfg::parallel(2)).forced(),
+            sched_of(ExecCfg::parallel(8)).forced(),
+        ]
+    };
+    let scheds: [(&str, SchedFn); 3] = [
+        ("sparse", |c| c),
+        ("dense", ExecCfg::dense),
+        ("hybrid", ExecCfg::hybrid),
+    ];
+    for alg in algs {
+        let g = if weighted_input(&alg) {
+            apply_weights(&g0, WeightModel::Uniform(0.5, 4.0), 11)
+        } else {
+            g0.clone()
+        };
+        let reference = session_run(&g, None, alg, 77, ExecCfg::sequential());
+        assert!(
+            reference.matching.validate(&g).is_ok(),
+            "{}",
+            reference.name
+        );
+        for (sched_label, sched_of) in scheds {
+            for (ti, cfg) in execs(sched_of).into_iter().enumerate() {
+                let r = session_run(&g, None, alg, 77, cfg);
+                let label = format!(
+                    "chung-lu hub / {} / {sched_label} / exec {ti}",
+                    reference.name
+                );
+                assert_eq!(reference.matching, r.matching, "{label}: matching diverged");
+                assert_eq!(
+                    masked(&reference.stats),
+                    masked(&r.stats),
+                    "{label}: NetStats diverged"
+                );
+            }
         }
     }
 }
