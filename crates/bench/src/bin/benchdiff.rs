@@ -1,0 +1,270 @@
+//! `benchdiff` — regression-gate two benchmark records (or directories
+//! of records) produced by the `exp_*` binaries.
+//!
+//! ```text
+//! benchdiff OLD NEW [--threshold R] [--counter-threshold R] [--report-only]
+//! ```
+//!
+//! `OLD` and `NEW` are either two `BENCH_*.json` files or two
+//! directories; in directory mode every `BENCH_*.json` filename present
+//! in *both* sides is diffed pairwise (names present on only one side
+//! are listed, not gated — new experiments must be addable without
+//! failing the gate).
+//!
+//! Every numeric path in the records is classified (see [`dobs::diff`]):
+//!
+//! - **perf** (wall-clock and derived): gated at `--threshold`
+//!   (default 25%) — but *only* when both records embed the same host
+//!   fingerprint. Across differing hosts benchdiff reports the ratios
+//!   and explicitly refuses the verdict: a number measured on another
+//!   machine is not a regression, it is a different machine.
+//! - **counter** (rounds, messages, bits, ratios): deterministic, gated
+//!   at `--counter-threshold` (default 5%) on any pair of hosts.
+//! - **meta** (host object, thread capacities, sizes, seeds): never
+//!   gated.
+//!
+//! Exit status: `0` clean, `1` at least one gated regression,
+//! `2` usage or I/O error. `--report-only` prints everything but always
+//! exits `0`/`2` — the mode CI uses when comparing against records
+//! committed from a different machine class.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dobs::diff::{diff, Class, DiffCfg, DiffReport};
+use dobs::json::{parse, Value};
+
+struct Args {
+    old: PathBuf,
+    new: PathBuf,
+    cfg: DiffCfg,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: benchdiff OLD NEW [--threshold R] [--counter-threshold R] [--report-only]\n\
+         \n\
+         OLD/NEW: two BENCH_*.json files, or two directories of them\n\
+         --threshold R           perf gate, relative (default 0.25)\n\
+         --counter-threshold R   counter gate, relative (default 0.05)\n\
+         --report-only           classify and print, never fail"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut cfg = DiffCfg::default();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--report-only" => cfg.report_only = true,
+            "--threshold" | "--counter-threshold" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("benchdiff: {a} needs a numeric value");
+                    return Err(usage());
+                };
+                if v < 0.0 || !v.is_finite() {
+                    eprintln!("benchdiff: {a} must be a finite non-negative ratio");
+                    return Err(usage());
+                }
+                if a == "--threshold" {
+                    cfg.perf_threshold = v;
+                } else {
+                    cfg.counter_threshold = v;
+                }
+            }
+            "-h" | "--help" => return Err(usage()),
+            _ if a.starts_with('-') => {
+                eprintln!("benchdiff: unknown flag {a}");
+                return Err(usage());
+            }
+            _ => paths.push(PathBuf::from(a)),
+        }
+    }
+    if paths.len() != 2 {
+        return Err(usage());
+    }
+    let new = paths.pop().expect("len checked");
+    let old = paths.pop().expect("len checked");
+    Ok(Args { old, new, cfg })
+}
+
+fn load(path: &Path) -> Result<Value, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("benchdiff: cannot read {}: {e}", path.display());
+        ExitCode::from(2)
+    })?;
+    parse(&text).map_err(|e| {
+        eprintln!("benchdiff: {} is not valid JSON: {e}", path.display());
+        ExitCode::from(2)
+    })
+}
+
+/// `BENCH_*.json` filenames in a directory, sorted for stable output.
+fn bench_files(dir: &Path) -> Result<Vec<String>, ExitCode> {
+    let rd = std::fs::read_dir(dir).map_err(|e| {
+        eprintln!("benchdiff: cannot list {}: {e}", dir.display());
+        ExitCode::from(2)
+    })?;
+    let mut names: Vec<String> = rd
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+fn fmt_val(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn class_tag(c: Class) -> &'static str {
+    match c {
+        Class::Perf => "perf",
+        Class::Counter => "counter",
+        Class::Meta => "meta",
+    }
+}
+
+/// Print one report; returns its gated regression count.
+fn render(label: &str, rep: &DiffReport, cfg: &DiffCfg) -> usize {
+    println!("== {label}");
+    if !rep.hosts_match {
+        println!(
+            "   host fingerprints differ or are missing: perf paths \
+             reported but NOT gated (counters still gate)"
+        );
+    }
+    // Significant movement first, one quiet summary line for the rest.
+    let noise_floor = cfg.counter_threshold.min(cfg.perf_threshold) / 2.0;
+    let mut quiet = 0usize;
+    for d in &rep.deltas {
+        let moved = d.regression_ratio.abs() > noise_floor;
+        if !moved && !d.regressed {
+            quiet += 1;
+            continue;
+        }
+        let verdict = if d.regressed {
+            "REGRESSED"
+        } else if d.regression_ratio > 0.0 {
+            if d.class == Class::Perf && !rep.hosts_match {
+                "worse (cross-host: not gated)"
+            } else if d.class == Class::Meta {
+                "changed (meta: not gated)"
+            } else {
+                "worse (within threshold)"
+            }
+        } else {
+            "improved"
+        };
+        println!(
+            "   {:<9} {:<44} {:>14} -> {:<14} {:+.1}%  {}",
+            class_tag(d.class),
+            d.path,
+            fmt_val(d.old),
+            fmt_val(d.new),
+            d.regression_ratio * 100.0,
+            verdict
+        );
+    }
+    if quiet > 0 {
+        println!("   ({quiet} paths within noise)");
+    }
+    if !rep.unmatched.is_empty() {
+        println!(
+            "   only in one record ({}): {}",
+            rep.unmatched.len(),
+            rep.unmatched.join(", ")
+        );
+    }
+    println!(
+        "   {} regression(s) over {} compared paths",
+        rep.regressions,
+        rep.deltas.len()
+    );
+    rep.regressions
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+
+    // Assemble (label, old-file, new-file) pairs.
+    let mut pairs: Vec<(String, PathBuf, PathBuf)> = Vec::new();
+    match (args.old.is_dir(), args.new.is_dir()) {
+        (true, true) => {
+            let old_names = match bench_files(&args.old) {
+                Ok(n) => n,
+                Err(c) => return c,
+            };
+            let new_names = match bench_files(&args.new) {
+                Ok(n) => n,
+                Err(c) => return c,
+            };
+            for n in &old_names {
+                if new_names.contains(n) {
+                    pairs.push((n.clone(), args.old.join(n), args.new.join(n)));
+                } else {
+                    println!("-- {n}: only in {}", args.old.display());
+                }
+            }
+            for n in &new_names {
+                if !old_names.contains(n) {
+                    println!(
+                        "-- {n}: only in {} (new record, not gated)",
+                        args.new.display()
+                    );
+                }
+            }
+            if pairs.is_empty() {
+                eprintln!("benchdiff: no common BENCH_*.json names between the directories");
+                return ExitCode::from(2);
+            }
+        }
+        (false, false) => {
+            let label = format!("{} vs {}", args.old.display(), args.new.display());
+            pairs.push((label, args.old.clone(), args.new.clone()));
+        }
+        _ => {
+            eprintln!("benchdiff: OLD and NEW must both be files or both be directories");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut total = 0usize;
+    for (label, old_path, new_path) in &pairs {
+        let old = match load(old_path) {
+            Ok(v) => v,
+            Err(c) => return c,
+        };
+        let new = match load(new_path) {
+            Ok(v) => v,
+            Err(c) => return c,
+        };
+        let rep = diff(&old, &new, &args.cfg);
+        total += render(label, &rep, &args.cfg);
+    }
+
+    if total > 0 {
+        eprintln!("benchdiff: FAIL — {total} gated regression(s)");
+        ExitCode::from(1)
+    } else {
+        println!(
+            "benchdiff: OK{}",
+            if args.cfg.report_only {
+                " (report-only)"
+            } else {
+                ""
+            }
+        );
+        ExitCode::SUCCESS
+    }
+}

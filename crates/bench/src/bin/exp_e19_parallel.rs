@@ -19,7 +19,8 @@
 //!   whenever the model did keep everything sequential;
 //! * the hybrid-vs-sparse scheduler ratio at full activity (the wake
 //!   list's sort/push/dedup tax that the dense representation avoids);
-//! * a per-phase wall-clock breakdown (`PhaseTimings`) of one
+//! * a per-phase wall-clock breakdown (the `dobs` timing-histogram
+//!   registry behind `ExecCfg::timing`) of one
 //!   low-activity hybrid run, showing where rounds actually go
 //!   (sparse vs. dense stepping, representation conversion, merge).
 //!
@@ -282,16 +283,33 @@ fn main() {
         ExecCfg::parallel(t_max).hybrid().timed(),
     );
     pb_net.run_rounds(rounds);
-    let pt = pb_net.stats().timings;
+    // The timing registry holds per-round histograms; `sum()` is the
+    // old scalar accumulator, the p99 column is what the scalars hid.
+    let pt = pb_net.stats().timings.clone();
+    let (sparse_sum, dense_sum, conv_sum, merge_sum) = (
+        pt.sum(simnet::stats::timing::SPARSE_UPDATE_NS),
+        pt.sum(simnet::stats::timing::DENSE_UPDATE_NS),
+        pt.sum(simnet::stats::timing::CONVERSION_NS),
+        pt.sum(simnet::stats::timing::MERGE_NS),
+    );
     println!(
         "  phase breakdown (n={pb_n}, 5% activity, {} rounds): \
          sparse {}us, dense {}us, conversion {}us, merge {}us",
         rounds,
-        pt.sparse_update_ns / 1_000,
-        pt.dense_update_ns / 1_000,
-        pt.conversion_ns / 1_000,
-        pt.merge_ns / 1_000
+        sparse_sum / 1_000,
+        dense_sum / 1_000,
+        conv_sum / 1_000,
+        merge_sum / 1_000
     );
+    if let Some(h) = pt.hist(simnet::stats::timing::SPARSE_UPDATE_NS) {
+        println!(
+            "  sparse round distribution: p50 {}us, p99 {}us, max {}us over {} rounds",
+            h.p50() / 1_000,
+            h.p99() / 1_000,
+            h.max() / 1_000,
+            h.count()
+        );
+    }
 
     // Machine-readable mirror for the CI artifact trail.
     let mut json = String::new();
@@ -328,10 +346,10 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"phase_breakdown_ns\": {{\"sparse_update\": {}, \"dense_update\": {}, \
-         \"conversion\": {}, \"merge\": {}}}",
-        pt.sparse_update_ns, pt.dense_update_ns, pt.conversion_ns, pt.merge_ns
+        "  \"phase_breakdown_ns\": {{\"sparse_update\": {sparse_sum}, \
+         \"dense_update\": {dense_sum}, \"conversion\": {conv_sum}, \"merge\": {merge_sum}}},"
     );
+    let _ = writeln!(json, "  \"timings\": {}", pt.to_json());
     json.push_str("}\n");
     std::fs::write("BENCH_e19_parallel.json", &json).expect("write BENCH_e19_parallel.json");
     println!("\n  wrote BENCH_e19_parallel.json");

@@ -826,6 +826,16 @@ impl Session {
                 info.rounds = self.stats.rounds - before_rounds;
                 info.matching_size = self.m.size();
                 let abort = self.emit_phase_events(&info, before_m.as_ref());
+                if dobs::plane::enabled() {
+                    dobs::plane::record(dobs::Event::Phase {
+                        t_ns: dobs::plane::now_ns(),
+                        index: info.index as u32,
+                        label: dobs::Name::new(&info.label),
+                        rounds: self.stats.rounds,
+                        matching: info.matching_size as u64,
+                        aborted: abort,
+                    });
+                }
                 self.phases.push(info.clone());
                 if abort {
                     self.status = Status::Aborted;
@@ -907,7 +917,19 @@ impl Session {
                     *region = None;
                     *next = *k;
                 } else {
-                    *region = Some(generic::ball(&self.g, &patch.damage, 4 * *k + 2));
+                    let radius = 4 * *k + 2;
+                    let ball = generic::ball(&self.g, &patch.damage, radius);
+                    if dobs::plane::enabled() {
+                        // The LCA-style locality probe: how big a region
+                        // did this damage set force the repair to read?
+                        dobs::plane::record(dobs::Event::RepairBall {
+                            t_ns: dobs::plane::now_ns(),
+                            center_edges: patch.damage.len() as u64,
+                            radius: radius as u64,
+                            ball: ball.iter().filter(|&&b| b).count() as u64,
+                        });
+                    }
+                    *region = Some(ball);
                     *next = 0;
                 }
             }

@@ -77,6 +77,14 @@ pub struct DynEngine {
     session: Option<Session>,
     /// Per-epoch reports, in order (index 0 = bootstrap).
     pub reports: Vec<EpochReport>,
+    /// Distributions over the churn epochs (bootstrap excluded):
+    /// repair-latency histograms (`repair_rounds`, `repair_messages`,
+    /// `repair_bits`) and damage-locality histograms (`damage_nodes`,
+    /// `woken`, `damage_radius`), plus `epochs` / `invalidated_edges`
+    /// counters. The [`EpochReport`] scalars answer "what did epoch
+    /// `e` cost"; this registry answers "what does an epoch cost",
+    /// p50/p99/max included.
+    metrics: dobs::Registry,
 }
 
 impl DynEngine {
@@ -118,6 +126,44 @@ impl DynEngine {
             net: None,
             session: None,
             reports: Vec::new(),
+            metrics: dobs::Registry::new(),
+        }
+    }
+
+    /// The per-epoch repair distributions (see the `metrics` field
+    /// docs for the histogram names). Empty until the first
+    /// post-bootstrap epoch completes.
+    pub fn metrics(&self) -> &dobs::Registry {
+        &self.metrics
+    }
+
+    /// Record one epoch into the metrics registry and the flight
+    /// recorder (if one is installed). Bootstrap epochs reach the
+    /// trace but not the histograms — "everything is damage" would
+    /// drown the distributions the churn epochs are measured by.
+    fn observe_epoch(&mut self, rep: &EpochReport) {
+        if dobs::plane::enabled() {
+            dobs::plane::record(dobs::Event::Epoch {
+                t_ns: dobs::plane::now_ns(),
+                epoch: rep.epoch,
+                rounds: rep.rounds,
+                damage: rep.damage as u64,
+                woken: rep.woken as u64,
+                radius: rep.locality_radius.unwrap_or(0) as u64,
+            });
+        }
+        if rep.epoch > 0 {
+            self.metrics.inc("epochs", 1);
+            self.metrics
+                .inc("invalidated_edges", rep.invalidated as u64);
+            self.metrics.record("repair_rounds", rep.rounds);
+            self.metrics.record("repair_messages", rep.messages);
+            self.metrics.record("repair_bits", rep.bits);
+            self.metrics.record("damage_nodes", rep.damage as u64);
+            self.metrics.record("woken", rep.woken as u64);
+            if let Some(r) = rep.locality_radius {
+                self.metrics.record("damage_radius", r as u64);
+            }
         }
     }
 
@@ -154,7 +200,7 @@ impl DynEngine {
     /// damage). Must be called once, before [`DynEngine::step_epoch`].
     pub fn bootstrap(&mut self) -> &EpochReport {
         assert_eq!(self.epoch, 0, "bootstrap runs exactly once");
-        match self.algo {
+        let report = match self.algo {
             RepairAlgo::IncrementalMaximal => {
                 let topo = dmatch::topology_of(&self.g);
                 let nodes = (0..self.g.n() as NodeId)
@@ -162,8 +208,7 @@ impl DynEngine {
                     .collect();
                 let net = Network::new(topo, nodes, self.seed).with_cfg(self.cfg);
                 self.net = Some(net);
-                let report = self.run_maximal_epoch(MutationBatch::empty(), 0, None, 0);
-                self.reports.push(report);
+                self.run_maximal_epoch(MutationBatch::empty(), 0, None, 0)
             }
             RepairAlgo::IncrementalGeneric { k } => {
                 let session = Session::on(&self.g)
@@ -172,10 +217,11 @@ impl DynEngine {
                     .exec(self.cfg)
                     .build();
                 self.session = Some(session);
-                let report = self.run_generic_epoch(MutationBatch::empty(), 0, None, 0);
-                self.reports.push(report);
+                self.run_generic_epoch(MutationBatch::empty(), 0, None, 0)
             }
-        }
+        };
+        self.observe_epoch(&report);
+        self.reports.push(report);
         self.epoch = 1;
         self.reports.last().expect("just pushed")
     }
@@ -250,6 +296,7 @@ impl DynEngine {
                 self.run_generic_epoch(batch, epoch, Some(patch), invalidated)
             }
         };
+        self.observe_epoch(&report);
         self.reports.push(report);
         self.reports.last().expect("just pushed")
     }

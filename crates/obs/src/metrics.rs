@@ -1,0 +1,211 @@
+//! Named metrics registry: counters, gauges, histograms.
+//!
+//! A registry is a small, ordered bag of `&'static str`-named metrics.
+//! Names are compared by content but interned statically by the
+//! caller, so lookup is a short linear scan over a handful of entries
+//! — faster than hashing at the sizes that occur here (the round
+//! loop's timing registry holds four histograms) and fully
+//! deterministic in iteration order, which keeps exports and equality
+//! checks stable.
+
+use crate::hist::Histogram;
+
+/// Counters (monotone sums), gauges (last/max values), and
+/// [`Histogram`]s, each addressed by a static name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, u64)>,
+    hists: Vec<(&'static str, Histogram)>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Add `by` to the named counter, creating it at zero.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += by,
+            None => self.counters.push((name, by)),
+        }
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Set the named gauge to `v`.
+    pub fn set_gauge(&mut self, name: &'static str, v: u64) {
+        match self.gauges.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, g)) => *g = v,
+            None => self.gauges.push((name, v)),
+        }
+    }
+
+    /// Raise the named gauge to `v` if larger (high-water mark).
+    pub fn max_gauge(&mut self, name: &'static str, v: u64) {
+        match self.gauges.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, g)) => *g = (*g).max(v),
+            None => self.gauges.push((name, v)),
+        }
+    }
+
+    /// Current value of a gauge (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The named histogram, created empty on first use.
+    pub fn hist_mut(&mut self, name: &'static str) -> &mut Histogram {
+        if let Some(i) = self.hists.iter().position(|(n, _)| *n == name) {
+            return &mut self.hists[i].1;
+        }
+        self.hists.push((name, Histogram::new()));
+        &mut self.hists.last_mut().unwrap().1
+    }
+
+    /// The named histogram, if any value was ever recorded to it.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// Record one observation into the named histogram.
+    #[inline]
+    pub fn record(&mut self, name: &'static str, v: u64) {
+        self.hist_mut(name).record(v);
+    }
+
+    /// Sum of the named histogram's observations (0 when absent) — the
+    /// scalar view, for callers that used to read an accumulator field.
+    pub fn sum(&self, name: &str) -> u64 {
+        self.hist(name).map_or(0, Histogram::sum)
+    }
+
+    /// Fold another registry into this one: counters add, gauges take
+    /// the max, histograms merge. Metrics absent on either side are
+    /// kept.
+    pub fn absorb(&mut self, other: &Registry) {
+        for &(name, v) in &other.counters {
+            self.inc(name, v);
+        }
+        for &(name, v) in &other.gauges {
+            self.max_gauge(name, v);
+        }
+        for (name, h) in &other.hists {
+            self.hist_mut(name).merge(h);
+        }
+    }
+
+    /// Iterate counters in insertion order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().copied()
+    }
+
+    /// Iterate gauges in insertion order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().copied()
+    }
+
+    /// Iterate histograms in insertion order.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.hists.iter().map(|(n, h)| (*n, h))
+    }
+
+    /// One JSON object: counters and gauges as numbers, histograms as
+    /// `{"count","sum","min","p50","p90","p99","max"}` objects.
+    pub fn to_json(&self) -> String {
+        let mut parts = Vec::new();
+        for (n, v) in &self.counters {
+            parts.push(format!("\"{n}\": {v}"));
+        }
+        for (n, v) in &self.gauges {
+            parts.push(format!("\"{n}\": {v}"));
+        }
+        for (n, h) in &self.hists {
+            parts.push(format!("\"{n}\": {}", h.to_json()));
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_hists() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        r.inc("msgs", 3);
+        r.inc("msgs", 2);
+        r.set_gauge("backlog", 7);
+        r.set_gauge("backlog", 4);
+        r.max_gauge("peak", 9);
+        r.max_gauge("peak", 5);
+        r.record("lat", 100);
+        r.record("lat", 200);
+        assert_eq!(r.counter("msgs"), 5);
+        assert_eq!(r.gauge("backlog"), 4);
+        assert_eq!(r.gauge("peak"), 9);
+        assert_eq!(r.sum("lat"), 300);
+        assert_eq!(r.hist("lat").unwrap().count(), 2);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.sum("absent"), 0);
+        assert!(r.hist("absent").is_none());
+    }
+
+    #[test]
+    fn absorb_combines_by_name() {
+        let mut a = Registry::new();
+        a.inc("c", 1);
+        a.max_gauge("g", 10);
+        a.record("h", 5);
+        let mut b = Registry::new();
+        b.inc("c", 2);
+        b.inc("only_b", 4);
+        b.max_gauge("g", 3);
+        b.record("h", 7);
+        a.absorb(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("only_b"), 4);
+        assert_eq!(a.gauge("g"), 10);
+        assert_eq!(a.hist("h").unwrap().count(), 2);
+        assert_eq!(a.sum("h"), 12);
+    }
+
+    #[test]
+    fn default_registries_compare_equal() {
+        // `masked()`-style identity checks reset the registry with
+        // Default and rely on equality afterwards.
+        let mut r = Registry::new();
+        r.record("x", 1);
+        r = Registry::default();
+        assert_eq!(r, Registry::new());
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = Registry::new();
+        r.inc("c", 1);
+        r.record("h", 2);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"c\": 1"));
+        assert!(j.contains("\"h\": {\"count\": 1"));
+    }
+}

@@ -104,7 +104,12 @@
 //! [`stats::RoundTrace::sched_overhead`] gauge, which records the
 //! slots each scheduler examined without stepping (the dense scan's
 //! skipped nodes vs. the sparse drain's stale entries), and the
-//! opt-in [`ExecCfg::timing`] phase gauges ([`PhaseTimings`]).
+//! opt-in [`ExecCfg::timing`] phase histograms recorded into the
+//! [`NetStats::timings`] registry under the [`stats::timing`] names
+//! (a [`dobs::Registry`] of log-bucketed nanosecond distributions).
+//! The `dobs` flight-recorder hooks in the round loop (round spans,
+//! mode switches, wakes, rewires, worker sections) carry the same
+//! exemption: they observe runs, they never steer them.
 //! Per-round [`stats::RoundTrace::active`] and cumulative
 //! [`NetStats::node_steps`] expose the activity the sparse plane's
 //! cost is proportional to.
@@ -149,7 +154,7 @@ pub use mailbox::{Inbox, InboxIter, Received};
 pub use message::BitSize;
 pub use network::{Ctx, ExecCfg, Network, Protocol, Rewire, RewireCtx, RunOutcome, SchedMode};
 pub use rng::SplitMix64;
-pub use stats::{NetStats, PhaseTimings, RoundTrace};
+pub use stats::{NetStats, RoundTrace};
 pub use topology::{NodeId, Port, Topology, TopologyPatch, SLOT_GONE};
 
 /// The number of bits needed to write ids in a network of `n` nodes,

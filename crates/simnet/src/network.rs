@@ -18,7 +18,7 @@ use crate::mailbox::{Inbox, Slab, DEAD_STAMP};
 use crate::message::BitSize;
 use crate::parallel::CostModel;
 use crate::rng::SplitMix64;
-use crate::stats::NetStats;
+use crate::stats::{timing, NetStats};
 use crate::topology::{NodeId, Port, Topology, TopologyPatch};
 use std::time::Instant;
 
@@ -350,11 +350,13 @@ pub struct ExecCfg {
     /// Round scheduler (sparse wake list / dense sweep / judge-switched
     /// hybrid). Results are bit-identical regardless of the value.
     pub sched: SchedMode,
-    /// Collect the per-phase wall-clock breakdown into
-    /// [`crate::stats::PhaseTimings`]. Off by default: the gauges cost
-    /// a few clock reads per round and — like `sched_overhead` — are
-    /// excluded from the bit-identity contract, so identity suites
-    /// leave this off or mask [`NetStats::timings`].
+    /// Collect the per-phase wall-clock breakdown into the
+    /// [`NetStats::timings`] histogram registry (see
+    /// [`crate::stats::timing`] for the names). Off by default: the
+    /// samples cost a few clock reads per round and — like
+    /// `sched_overhead` — are excluded from the bit-identity contract,
+    /// so identity suites leave this off or mask
+    /// [`NetStats::timings`].
     pub timing: bool,
     /// Test/bench escape hatch: bypass the cost model and spawn one
     /// worker per requested thread regardless of machine or workload,
@@ -445,6 +447,14 @@ pub(crate) struct WorkerScratch {
     pub(crate) halts: u64,
     /// Nodes of this chunk actually stepped this round.
     pub(crate) stepped: u64,
+    /// Flight-recorder span bounds for this worker's section, in ns
+    /// since the recorder epoch the main thread handed over. Written
+    /// by the worker only when tracing is enabled; the main thread
+    /// turns them into `WorkerSpan` events after the join (workers
+    /// never touch the thread-local recorder). Observation only —
+    /// never read by the algorithm.
+    pub(crate) span_t0_ns: u64,
+    pub(crate) span_t1_ns: u64,
 }
 
 impl WorkerScratch {
@@ -457,6 +467,8 @@ impl WorkerScratch {
         self.wake_cap = 0;
         self.halts = 0;
         self.stepped = 0;
+        self.span_t0_ns = 0;
+        self.span_t1_ns = 0;
     }
 }
 
@@ -531,7 +543,8 @@ pub struct Network<P: Protocol> {
     /// Largest worker count any round actually spawned (1 = every
     /// round ran sequentially). Bench/CI fingerprint material.
     pub(crate) peak_workers: usize,
-    /// Collect [`crate::stats::PhaseTimings`] (see [`ExecCfg::timing`]).
+    /// Collect the [`crate::stats::timing`] histograms (see
+    /// [`ExecCfg::timing`]).
     pub(crate) timing: bool,
     /// Message-loss probability (fault injection; 0.0 = reliable).
     pub(crate) loss: f64,
@@ -706,6 +719,13 @@ impl<P: Protocol> Network<P> {
     /// and schedule it for the next round. The harness-level analogue
     /// of the wake-up a rewire's dirty set performs.
     pub fn wake(&mut self, v: NodeId) {
+        if dobs::plane::enabled() {
+            dobs::plane::record(dobs::Event::Wake {
+                t_ns: dobs::plane::now_ns(),
+                round: self.round,
+                node: v as u64,
+            });
+        }
         let vi = v as usize;
         if self.halted[vi] {
             self.halted[vi] = false;
@@ -755,9 +775,15 @@ impl<P: Protocol> Network<P> {
     /// maintained in every mode, the list simply lapses. Downswitch
     /// (dense→sparse) triggers on the previous round's stepped count
     /// and pays one O(n) wake-list rebuild from the scheduler
-    /// predicate — charged to `PhaseTimings::conversion_ns` when timing
-    /// is on, and amortized: it only happens when leaving a regime
-    /// whose every round already cost O(n).
+    /// predicate — charged to the `conversion_ns` timing histogram
+    /// when timing is on, and amortized: it only happens when leaving
+    /// a regime whose every round already cost O(n).
+    ///
+    /// Both switch directions emit a `dobs` [`ModeSwitch`] instant
+    /// when a flight recorder is installed (observation only — the
+    /// decision itself never reads the trace plane or the clock).
+    ///
+    /// [`ModeSwitch`]: dobs::Event::ModeSwitch
     fn choose_representation(&mut self) -> bool {
         match self.sched {
             SchedMode::Sparse => false,
@@ -767,17 +793,34 @@ impl<P: Protocol> Network<P> {
                 if !self.frontier_dense {
                     if n > 0 && self.wake_cur.len() * HYBRID_DENSE_DIV >= n {
                         self.frontier_dense = true; // conversion is free
+                        self.trace_mode_switch(true);
                     }
                 } else if (self.est_active as usize) * HYBRID_SPARSE_DIV < n {
                     let t0 = self.timing.then(Instant::now);
                     self.rebuild_wake_list();
                     self.frontier_dense = false;
                     if let Some(t0) = t0 {
-                        self.stats.timings.conversion_ns += t0.elapsed().as_nanos() as u64;
+                        self.stats
+                            .timings
+                            .record(timing::CONVERSION_NS, t0.elapsed().as_nanos() as u64);
                     }
+                    self.trace_mode_switch(false);
                 }
                 self.frontier_dense
             }
+        }
+    }
+
+    /// Record a scheduler representation switch into the installed
+    /// flight recorder, if any.
+    fn trace_mode_switch(&self, to_dense: bool) {
+        if dobs::plane::enabled() {
+            dobs::plane::record(dobs::Event::ModeSwitch {
+                t_ns: dobs::plane::now_ns(),
+                round: self.round,
+                to_dense,
+                wake_len: self.wake_cur.len() as u64,
+            });
         }
     }
 
@@ -814,6 +857,10 @@ impl<P: Protocol> Network<P> {
         // want the same clock. One read serves both.
         let observe = self.threads > 1 && !self.force_parallel;
         let t0 = (observe || self.timing).then(Instant::now);
+        // Flight-recorder span for the round (observation only; one
+        // thread-local flag read when no recorder is installed).
+        let traced = dobs::plane::enabled();
+        let span_t0 = if traced { dobs::plane::now_ns() } else { 0 };
         let sent = match (dense, workers > 1) {
             (false, false) => self.step_sparse_seq(),
             (true, false) => self.step_dense_seq(),
@@ -826,12 +873,25 @@ impl<P: Protocol> Network<P> {
                 self.cost.observe(dense, workers, workload, ns);
             }
             if self.timing {
-                if dense {
-                    self.stats.timings.dense_update_ns += ns;
+                let phase = if dense {
+                    timing::DENSE_UPDATE_NS
                 } else {
-                    self.stats.timings.sparse_update_ns += ns;
-                }
+                    timing::SPARSE_UPDATE_NS
+                };
+                self.stats.timings.record(phase, ns);
             }
+        }
+        if traced {
+            let stepped = self.stats.per_round.last().map_or(0, |t| t.active);
+            dobs::plane::record(dobs::Event::RoundSpan {
+                round: self.round,
+                t0_ns: span_t0,
+                t1_ns: dobs::plane::now_ns(),
+                stepped,
+                sent,
+                dense,
+                workers: if workers > 1 { workers as u32 } else { 0 },
+            });
         }
         sent
     }
@@ -1096,6 +1156,25 @@ impl<P: Protocol> Network<P> {
             self.topo.len(),
             "rewire preserves the node population"
         );
+        if dobs::plane::enabled() {
+            // Each added edge contributes one born port at both (dirty)
+            // endpoints; the removed count follows from the edge delta.
+            let born: usize = patch
+                .dirty()
+                .iter()
+                .map(|&v| patch.born_ports(v).len())
+                .sum();
+            let added = (born / 2) as u64;
+            let removed =
+                (self.topo.num_edges() as u64 + added).saturating_sub(new_topo.num_edges() as u64);
+            dobs::plane::record(dobs::Event::Rewire {
+                t_ns: dobs::plane::now_ns(),
+                round: self.round,
+                added,
+                removed,
+                dirty: patch.dirty().len() as u64,
+            });
+        }
         let new_total = new_topo.total_ports();
         for plane in &mut self.planes {
             plane.remap(patch.slot_map(), new_total, &mut self.alloc_events);

@@ -65,6 +65,7 @@
 
 use crate::mailbox::Inbox;
 use crate::network::{split_planes, Ctx, Network, Protocol};
+use crate::stats::timing;
 use crate::topology::{NodeId, Topology};
 use std::time::Instant;
 
@@ -281,6 +282,10 @@ pub(crate) fn step_parallel_dense<P: Protocol>(net: &mut Network<P>, threads: us
         lo
     };
 
+    // When a flight recorder is installed, workers stamp their span
+    // bounds into scratch against this shared clock base (they cannot
+    // reach the main thread's recorder); the merge emits the events.
+    let trace_epoch = dobs::plane::epoch();
     let mut spawned = 0usize;
     std::thread::scope(|scope| {
         let mut nodes_rest = &mut net.nodes[..];
@@ -327,6 +332,9 @@ pub(crate) fn step_parallel_dense<P: Protocol>(net: &mut Network<P>, threads: us
             scope.spawn(move || {
                 let scratch = &mut scratch_c[0];
                 scratch.prepare(nodes_c.len());
+                if let Some(epoch) = trace_epoch {
+                    scratch.span_t0_ns = epoch.elapsed().as_nanos() as u64;
+                }
                 for i in 0..nodes_c.len() {
                     if halted_c[i] {
                         continue;
@@ -365,6 +373,9 @@ pub(crate) fn step_parallel_dense<P: Protocol>(net: &mut Network<P>, threads: us
                     if sent_any {
                         scratch.touched.push(v);
                     }
+                }
+                if let Some(epoch) = trace_epoch {
+                    scratch.span_t1_ns = epoch.elapsed().as_nanos() as u64;
                 }
             });
         }
@@ -406,6 +417,8 @@ pub(crate) fn step_parallel_sparse<P: Protocol>(net: &mut Network<P>, threads: u
     // chunk k ends once the running weight crosses k/threads of it.
     let total_w: u64 = wake_cur.iter().map(|&v| node_weight(topo, v)).sum();
 
+    // Shared clock base for worker span stamps (see the dense path).
+    let trace_epoch = dobs::plane::epoch();
     let mut spawned = 0usize;
     std::thread::scope(|scope| {
         let mut nodes_rest = &mut net.nodes[..];
@@ -483,6 +496,9 @@ pub(crate) fn step_parallel_sparse<P: Protocol>(net: &mut Network<P>, threads: u
             scope.spawn(move || {
                 let scratch = &mut scratch_c[0];
                 scratch.prepare(wake_slice.len());
+                if let Some(epoch) = trace_epoch {
+                    scratch.span_t0_ns = epoch.elapsed().as_nanos() as u64;
+                }
                 scratch.wake_cap = wake_out_c.len();
                 let mut wrote = 0usize;
                 for &vid in wake_slice {
@@ -530,6 +546,9 @@ pub(crate) fn step_parallel_sparse<P: Protocol>(net: &mut Network<P>, threads: u
                     }
                 }
                 scratch.wake_len = wrote;
+                if let Some(epoch) = trace_epoch {
+                    scratch.span_t1_ns = epoch.elapsed().as_nanos() as u64;
+                }
             });
         }
     });
@@ -545,6 +564,11 @@ pub(crate) fn step_parallel_sparse<P: Protocol>(net: &mut Network<P>, threads: u
 /// counter. Stamps were already written by the owning workers.
 fn merge_worker_scratch<P: Protocol>(net: &mut Network<P>, spawned: usize, sparse: bool) -> u64 {
     let t0 = net.timing.then(Instant::now);
+    let traced = dobs::plane::enabled();
+    let merge_t0 = if traced { dobs::plane::now_ns() } else { 0 };
+    // 1-based round number the spans belong to (`finish_round` has not
+    // incremented `net.round` yet).
+    let span_round = net.round + 1;
     net.touched.clear();
     let mut stepped = 0u64;
     // `workers` is borrowed disjointly from `touched`/`wake_next`, but
@@ -553,7 +577,7 @@ fn merge_worker_scratch<P: Protocol>(net: &mut Network<P>, spawned: usize, spars
     let workers = std::mem::take(&mut net.workers);
     let mut write = 0usize;
     let mut start = 0usize;
-    for w in &workers[..spawned] {
+    for (k, w) in workers[..spawned].iter().enumerate() {
         net.touched.extend_from_slice(&w.touched);
         stepped += w.stepped;
         net.live -= w.halts as usize;
@@ -562,13 +586,31 @@ fn merge_worker_scratch<P: Protocol>(net: &mut Network<P>, spawned: usize, spars
             write += w.wake_len;
             start += w.wake_cap;
         }
+        if traced {
+            dobs::plane::record(dobs::Event::WorkerSpan {
+                round: span_round,
+                worker: k as u32,
+                t0_ns: w.span_t0_ns,
+                t1_ns: w.span_t1_ns,
+                nodes: w.stepped,
+            });
+        }
     }
     net.workers = workers;
     if sparse {
         net.wake_next.truncate(write);
     }
     if let Some(t0) = t0 {
-        net.stats.timings.merge_ns += t0.elapsed().as_nanos() as u64;
+        net.stats
+            .timings
+            .record(timing::MERGE_NS, t0.elapsed().as_nanos() as u64);
+    }
+    if traced {
+        dobs::plane::record(dobs::Event::MergeSpan {
+            round: span_round,
+            t0_ns: merge_t0,
+            t1_ns: dobs::plane::now_ns(),
+        });
     }
     stepped
 }

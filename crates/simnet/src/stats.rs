@@ -30,43 +30,33 @@ pub struct RoundTrace {
     pub sched_overhead: u64,
 }
 
-/// Per-phase wall-clock breakdown of the round loop, in nanoseconds,
+/// Histogram names of the per-phase wall-clock breakdown recorded
+/// into [`NetStats::timings`] when [`crate::ExecCfg::timing`] is set,
 /// in the style of parlay's LDD `BREAKDOWN` timers: where does a round
 /// actually spend its time once the scheduler is hybrid?
 ///
-/// Collected only when [`crate::ExecCfg::timing`] is set (the default
-/// leaves every field at zero, so `NetStats` equality across executors
-/// is unaffected). Like [`NetStats::sched_overhead`], these gauges are
-/// **excluded from the bit-identity contract**: wall-clock depends on
-/// the machine, the thread count, and the representation the hybrid
-/// judge picked, none of which may influence results.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PhaseTimings {
-    /// Time spent stepping rounds in the sparse (wake-list)
-    /// representation, including the wake-list sort and drain.
-    pub sparse_update_ns: u64,
-    /// Time spent stepping rounds in the dense (flag-sweep)
-    /// representation.
-    pub dense_update_ns: u64,
-    /// Time spent converting between representations (the dense→sparse
-    /// wake-list rebuild; sparse→dense is free and charges nothing).
-    pub conversion_ns: u64,
-    /// Time the parallel executor spent merging per-worker scratch
-    /// (sender lists, wake windows, halt counters) after the join.
-    /// Also included in the update gauges above, which time the whole
-    /// round; this isolates the sequential tail.
-    pub merge_ns: u64,
-}
-
-impl PhaseTimings {
-    /// Fold another breakdown into this one.
-    #[inline]
-    pub fn absorb(&mut self, other: &PhaseTimings) {
-        self.sparse_update_ns += other.sparse_update_ns;
-        self.dense_update_ns += other.dense_update_ns;
-        self.conversion_ns += other.conversion_ns;
-        self.merge_ns += other.merge_ns;
-    }
+/// One sample is recorded per round (or per conversion/merge), so
+/// each histogram carries the *distribution* — `sum()` recovers the
+/// old scalar accumulators, `p50()`/`p99()` expose the per-round tail
+/// the scalars hid. The bespoke `PhaseTimings` struct this replaces
+/// lived here until the `dobs` registry subsumed it.
+pub mod timing {
+    /// Rounds stepped in the sparse (wake-list) representation,
+    /// including the wake-list sort and drain. One sample per round.
+    pub const SPARSE_UPDATE_NS: &str = "sparse_update_ns";
+    /// Rounds stepped in the dense (flag-sweep) representation. One
+    /// sample per round.
+    pub const DENSE_UPDATE_NS: &str = "dense_update_ns";
+    /// Representation conversions (the dense→sparse wake-list
+    /// rebuild; sparse→dense is free and charges nothing). One sample
+    /// per downswitch.
+    pub const CONVERSION_NS: &str = "conversion_ns";
+    /// The parallel executor's per-worker scratch merge (sender
+    /// lists, wake windows, halt counters) after the join. Also
+    /// included in the update samples above, which time the whole
+    /// round; this isolates the sequential tail. One sample per
+    /// parallel round.
+    pub const MERGE_NS: &str = "merge_ns";
 }
 
 /// Cumulative network statistics.
@@ -92,10 +82,12 @@ pub struct NetStats {
     pub node_steps: u64,
     /// Total scheduler overhead (sum of [`RoundTrace::sched_overhead`]).
     pub sched_overhead: u64,
-    /// Per-phase wall-clock breakdown (all zero unless
+    /// Per-phase wall-clock breakdown: a [`dobs::Registry`] of
+    /// nanosecond histograms under the [`timing`] names (empty unless
     /// [`crate::ExecCfg::timing`] is set; excluded from bit-identity
-    /// comparisons like [`NetStats::sched_overhead`]).
-    pub timings: PhaseTimings,
+    /// comparisons like [`NetStats::sched_overhead`] — identity suites
+    /// reset it with `Default::default()`).
+    pub timings: dobs::Registry,
     /// Messages per round, in order.
     pub per_round: Vec<RoundTrace>,
 }

@@ -25,6 +25,12 @@
 //! * [`switchsim`] — input-queued switch simulator with PIM, iSLIP and a
 //!   matching-based scheduler, under optionally time-varying port
 //!   topologies (link failures mid-run).
+//! * [`dobs`] — observability plane: a bounded flight recorder of typed
+//!   simulator events (install one with `dobs::TraceSession`),
+//!   log-bucketed percentile histograms and a metrics registry,
+//!   JSONL/Perfetto exporters, and the bench-record diff engine behind
+//!   the `benchdiff` binary. Observation only: traced runs are
+//!   bit-identical to untraced ones.
 //!
 //! Every algorithm is driven through the builder-first
 //! [`dmatch::Session`] (re-exported here): static runs, `dchurn` churn
@@ -39,6 +45,7 @@
 pub use dchurn;
 pub use dgraph;
 pub use dmatch;
+pub use dobs;
 pub use simnet;
 pub use switchsim;
 

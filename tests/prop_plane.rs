@@ -291,6 +291,73 @@ fn chung_lu_hub_scheduler_matrix_bit_identical() {
     }
 }
 
+/// The flight recorder observes, never steers: running with a `dobs`
+/// trace session installed must be bit-identical to running without
+/// one — the *full* `NetStats` (no masking at all: both runs use the
+/// same `ExecCfg`, so even the documented observability exemptions,
+/// `sched_overhead` and the `timings` registry, must agree) and the
+/// matching — across {sequential, 8 forced threads} × {sparse, dense,
+/// hybrid}. The traced runs must also actually record events, so the
+/// equality is not vacuous.
+#[test]
+fn traced_vs_untraced_bit_identical() {
+    let _serial = HOOK_LOCK.lock().unwrap();
+    let g0 = gnp(30, 0.18, 21);
+    let algs = [
+        Algorithm::IsraeliItai,
+        Algorithm::Generic { k: 2 },
+        Algorithm::Weighted {
+            epsilon: 0.25,
+            mwm_box: MwmBox::LocalDominant,
+        },
+    ];
+    type SchedFn = fn(ExecCfg) -> ExecCfg;
+    let scheds: [(&str, SchedFn); 3] = [
+        ("sparse", |c| c),
+        ("dense", ExecCfg::dense),
+        ("hybrid", ExecCfg::hybrid),
+    ];
+    let mut events_total = 0u64;
+    for alg in algs {
+        let g = if weighted_input(&alg) {
+            apply_weights(&g0, WeightModel::Uniform(0.5, 4.0), 11)
+        } else {
+            g0.clone()
+        };
+        for (sched_label, sched_of) in scheds {
+            for cfg in [
+                sched_of(ExecCfg::sequential()),
+                sched_of(ExecCfg::parallel(8)).forced(),
+            ] {
+                let plain = session_run(&g, None, alg, 55, cfg);
+                let session = distributed_matching::dobs::TraceSession::start(1 << 16);
+                let traced = session_run(&g, None, alg, 55, cfg);
+                let rec = session.finish();
+                events_total += rec.recorded();
+                let label = format!(
+                    "{} / {sched_label} / {} threads{}",
+                    plain.name,
+                    cfg.threads,
+                    if cfg.force_parallel { " (forced)" } else { "" }
+                );
+                assert_eq!(
+                    plain.matching, traced.matching,
+                    "{label}: tracing changed the matching"
+                );
+                assert_eq!(
+                    plain.stats, traced.stats,
+                    "{label}: tracing changed the NetStats"
+                );
+                assert!(
+                    rec.recorded() > 0,
+                    "{label}: traced run recorded nothing — the identity check is vacuous"
+                );
+            }
+        }
+    }
+    assert!(events_total > 0);
+}
+
 #[test]
 fn dense_vs_sparse_bit_identical_under_loss() {
     let _serial = HOOK_LOCK.lock().unwrap();
