@@ -101,24 +101,16 @@ impl Protocol for TokenNode {
             return;
         }
         // --- Flip retrace (traveling free X → leader). ---
-        if inbox.iter().any(|e| matches!(e.msg, TokMsg::Flip)) {
-            debug_assert_eq!(
-                inbox
-                    .iter()
-                    .filter(|e| matches!(e.msg, TokMsg::Flip))
-                    .count(),
-                1,
-                "flip paths are vertex-disjoint"
-            );
-            let env = inbox
-                .iter()
-                .find(|e| matches!(e.msg, TokMsg::Flip))
-                .unwrap();
-            debug_assert_eq!(
-                Some(env.port),
-                self.forward_port,
-                "flips retrace the token path"
-            );
+        // On a fault-free plane exactly one Flip can reach a node, and
+        // only on the port its token went out on (paths are vertex
+        // disjoint). The adversary breaks both: a delayed Flip can
+        // surface rounds late on a node that never forwarded a token
+        // this pass. Only honour a Flip retracing our own forward
+        // port — anything else is stale traffic to ignore.
+        if inbox
+            .iter()
+            .any(|e| matches!(e.msg, TokMsg::Flip) && Some(e.port) == self.forward_port)
+        {
             match self.role {
                 Role::Y => {
                     // New mate is the X-side path edge; the old matched
@@ -149,11 +141,15 @@ impl Protocol for TokenNode {
             }
         }
         if let Some((w, leader, port)) = best {
-            debug_assert_eq!(
-                Some(ctx.round()),
-                self.dist.map(|d| self.ell - d),
-                "tokens visit a node only in its designated round"
-            );
+            // Tokens visit a node only in its designated round ℓ - d(v)
+            // (the paper's invariant). A delayed token arriving outside
+            // it — or at a node the faulty counting pass never reached —
+            // is stale: processing it would double-walk the node, so
+            // drop it instead. On a fault-free plane this guard never
+            // fires.
+            if Some(ctx.round()) != self.dist.map(|d| self.ell - d) {
+                return;
+            }
             self.arrival_port = Some(port);
             match (self.role, self.mate_port) {
                 (Role::X, None) => {
@@ -240,7 +236,15 @@ pub fn run_cfg(
             None => UNMATCHED,
         })
         .collect();
-    let matching = state::matching_from_mates(g, mates);
+    // A Flip lost or parked mid-retrace leaves one-sided mate claims;
+    // under an active fault plan keep only the pairs both endpoints
+    // agree on (always a valid matching). Fault-free extraction is
+    // unchanged.
+    let matching = if cfg.effective_faults().is_active() {
+        state::agreed_matching(g, &mates)
+    } else {
+        state::matching_from_mates(g, mates)
+    };
     TokenOutcome {
         matching,
         applied,

@@ -160,7 +160,14 @@ pub(crate) fn gather_balls_region(
         })
         .collect();
     let mut net = Network::new(crate::state::topology_of(g), nodes, seed).with_cfg(cfg);
-    net.run_until_halt(rounds + 2);
+    if cfg.effective_faults().breaks_synchrony() {
+        // Crashed nodes never step (and so never halt), and delayed
+        // payloads keep the plane busy past the schedule: run the fixed
+        // window and take whatever views the survivors gathered.
+        net.run_rounds(rounds + 2);
+    } else {
+        net.run_until_halt(rounds + 2);
+    }
     let (nodes, stats) = net.into_parts();
     (nodes.into_iter().map(|n| n.view).collect(), stats)
 }
@@ -452,14 +459,19 @@ pub(crate) fn phase_step(
         paths.iter().all(|p| p.len() == ell + 1),
         "phase {ell}: all augmenting paths must have length exactly ℓ (Lemma 3.4 invariant)"
     );
+    // View completeness only holds on a fault-free plane: the
+    // adversary can eat or delay exactly the delta that would have
+    // carried a path into some node's ball. Safety is unaffected (path
+    // enumeration is global); the gathered traffic just degrades.
     debug_assert!(
-        paths.iter().all(|p| p.iter().all(|&v| {
-            p.windows(2).all(|w| {
-                let e = g.edge_between(w[0], w[1]).unwrap();
-                let (a, b) = g.endpoints(e);
-                views[v as usize].contains(&ViewItem::Edge(a, b, m.contains(g, e)))
-            })
-        })),
+        cfg.effective_faults().is_active()
+            || paths.iter().all(|p| p.iter().all(|&v| {
+                p.windows(2).all(|w| {
+                    let e = g.edge_between(w[0], w[1]).unwrap();
+                    let (a, b) = g.endpoints(e);
+                    views[v as usize].contains(&ViewItem::Edge(a, b, m.contains(g, e)))
+                })
+            })),
         "phase {ell}: some node cannot see a path through it in its gathered ball"
     );
 

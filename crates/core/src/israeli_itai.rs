@@ -123,8 +123,15 @@ impl Protocol for IINode {
             }
             2 => {
                 if !self.matched() {
-                    if let Some(env) = inbox.iter().find(|e| *e.msg == IIMsg::Accept) {
-                        debug_assert_eq!(Some(env.port), self.proposed_to);
+                    // Only honour an Accept on the port this iteration's
+                    // proposal went out on: under adversarial delay a
+                    // stale Accept can surface rounds later on a port
+                    // the node has since abandoned, and consummating it
+                    // would double-match the other endpoint.
+                    if let Some(env) = inbox
+                        .iter()
+                        .find(|e| *e.msg == IIMsg::Accept && Some(e.port) == self.proposed_to)
+                    {
                         self.mate_port = Some(env.port);
                     }
                 }
@@ -248,17 +255,25 @@ pub fn truncated_matching(g: &Graph, seed: u64, iterations: u64) -> (Matching, N
     (state::matching_from_mates(g, mates), stats)
 }
 
-/// Run Israeli–Itai for a fixed round budget under message loss and
-/// return the *agreed* matching: pairs in which both endpoints claim
-/// each other. Safety check for fault injection — agreement pairs
-/// always form a valid matching even when messages vanish.
-pub fn lossy_matching(g: &Graph, seed: u64, rounds: u64, loss: f64) -> (Matching, u64) {
-    let inits = state::node_inits(g, &Matching::new(g.n()));
+/// Run Israeli–Itai for a *fixed* round budget under an arbitrary
+/// `ExecCfg` fault plan and return the **agreed** matching: pairs in
+/// which both endpoints claim each other. Broken synchrony (drops,
+/// delays, crashes) can leave one-sided claims behind; the agreement
+/// rule discards them, so the result is always a valid matching — the
+/// safety guarantee fault injection verifies. Liveness degrades to
+/// whatever the surviving messages achieved within `rounds`.
+pub fn bounded_matching_from_cfg(
+    g: &Graph,
+    initial: &Matching,
+    seed: u64,
+    cfg: ExecCfg,
+    rounds: u64,
+) -> (Matching, NetStats) {
+    let inits = state::node_inits(g, initial);
     let nodes: Vec<IINode> = inits.iter().map(IINode::new).collect();
-    let mut net = Network::new(state::topology_of(g), nodes, seed).with_message_loss(loss);
+    let mut net = Network::new(state::topology_of(g), nodes, seed).with_cfg(cfg);
     net.run_rounds(rounds);
-    let dropped = net.dropped();
-    let (nodes, _) = net.into_parts();
+    let (nodes, stats) = net.into_parts();
     let claims: Vec<NodeId> = nodes
         .iter()
         .enumerate()
@@ -267,7 +282,26 @@ pub fn lossy_matching(g: &Graph, seed: u64, rounds: u64, loss: f64) -> (Matching
             None => UNMATCHED,
         })
         .collect();
-    (state::agreed_matching(g, &claims), dropped)
+    (state::agreed_matching(g, &claims), stats)
+}
+
+/// Run Israeli–Itai for a fixed round budget under message loss and
+/// return the *agreed* matching: pairs in which both endpoints claim
+/// each other. Safety check for fault injection — agreement pairs
+/// always form a valid matching even when messages vanish.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::on(g).adversary(FaultPlan::drop(loss)).round_limit(rounds)` \
+            (bit-identical for the same seed)"
+)]
+pub fn lossy_matching(g: &Graph, seed: u64, rounds: u64, loss: f64) -> (Matching, u64) {
+    let report = crate::session::Session::on(g)
+        .adversary(simnet::FaultPlan::drop(loss))
+        .round_limit(rounds)
+        .seed(seed)
+        .build()
+        .run_to_completion();
+    (report.matching, report.stats.dropped)
 }
 
 #[cfg(test)]

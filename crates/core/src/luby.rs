@@ -83,6 +83,10 @@ pub fn mis(topo: &Topology, seed: u64) -> (Vec<bool>, NetStats) {
 }
 
 /// [`mis`] under explicit execution knobs.
+///
+/// Fault-free only: this helper sits below the `Session` adversary
+/// dispatch, and its every-node-decided extraction assumes reliable
+/// delivery — install no active [`simnet::FaultPlan`] in `cfg`.
 pub fn mis_cfg(topo: &Topology, seed: u64, cfg: ExecCfg) -> (Vec<bool>, NetStats) {
     let n = topo.len();
     if n == 0 {

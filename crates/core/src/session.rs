@@ -316,6 +316,7 @@ pub struct SessionBuilder<'a> {
     warm: Option<&'a Matching>,
     observers: Vec<Box<dyn Observer>>,
     sampling_iterations: Option<u64>,
+    round_limit: Option<u64>,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -341,6 +342,28 @@ impl<'a> SessionBuilder<'a> {
     /// Execution knobs: worker threads, fault injection, scheduler.
     pub fn exec(mut self, cfg: ExecCfg) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Run every simulated round through the adversary plane under
+    /// `plan` (drops, delays, stalls, crashes, CONGEST budgets — see
+    /// `simnet::adversary`). Equivalent to setting [`ExecCfg::faults`]
+    /// on the config passed to [`SessionBuilder::exec`]; call this
+    /// *after* `exec` or the config overwrite discards the plan. Same
+    /// seed + same plan ⇒ bit-identical runs at any thread count.
+    pub fn adversary(mut self, plan: simnet::FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// Cap the simulation at exactly `rounds` rounds and extract the
+    /// *agreed* matching (pairs in which both endpoints claim each
+    /// other) instead of running to quiescence. Only meaningful for
+    /// [`Algorithm::IsraeliItai`], whose fixed-budget lossy regime the
+    /// old `lossy_matching` helper exposed; `build` panics for other
+    /// algorithms.
+    pub fn round_limit(mut self, rounds: u64) -> Self {
+        self.round_limit = Some(rounds);
         self
     }
 
@@ -401,6 +424,10 @@ impl<'a> SessionBuilder<'a> {
             self.sampling_iterations.is_none() || matches!(self.alg, Algorithm::General { .. }),
             "sampling_iterations only applies to Algorithm::General"
         );
+        assert!(
+            self.round_limit.is_none() || matches!(self.alg, Algorithm::IsraeliItai),
+            "round_limit only applies to Algorithm::IsraeliItai"
+        );
         let m = self.warm.cloned().unwrap_or_else(|| Matching::new(g.n()));
         let driver = match self.alg {
             Algorithm::IsraeliItai => Driver::IsraeliItai { done: false },
@@ -452,6 +479,7 @@ impl<'a> SessionBuilder<'a> {
             seed: self.seed,
             cfg: self.cfg,
             termination: self.termination,
+            round_limit: self.round_limit,
             observers: self.observers,
             driver,
             m,
@@ -526,6 +554,7 @@ pub struct Session {
     seed: u64,
     cfg: ExecCfg,
     termination: TerminationMode,
+    round_limit: Option<u64>,
     observers: Vec<Box<dyn Observer>>,
     driver: Driver,
     m: Matching,
@@ -561,6 +590,7 @@ impl Session {
             warm: None,
             observers: Vec::new(),
             sampling_iterations: None,
+            round_limit: None,
         }
     }
 
@@ -643,9 +673,25 @@ impl Session {
                 if *done {
                     None
                 } else {
-                    let (m, s) = israeli_itai::maximal_matching_from_cfg(
-                        &self.g, &self.m, epoch_seed, self.cfg,
-                    );
+                    // Any active fault plan (even pure drop: a lost
+                    // Accept leaves a one-sided mate claim) invalidates
+                    // run-until-halt termination and symmetric-claim
+                    // extraction; run a bounded window and keep the
+                    // agreed pairs instead. Fault-free runs stay on the
+                    // legacy path and are bit-identical to before.
+                    let plan = self.cfg.effective_faults();
+                    let (m, s) = if self.round_limit.is_some() || plan.is_active() {
+                        let rounds = self
+                            .round_limit
+                            .unwrap_or_else(|| israeli_itai::round_budget(self.g.n()));
+                        israeli_itai::bounded_matching_from_cfg(
+                            &self.g, &self.m, epoch_seed, self.cfg, rounds,
+                        )
+                    } else {
+                        israeli_itai::maximal_matching_from_cfg(
+                            &self.g, &self.m, epoch_seed, self.cfg,
+                        )
+                    };
                     // Each 3-round iteration ends with a maximality
                     // consult.
                     self.oracle_checks += s.rounds.div_ceil(3);

@@ -26,9 +26,25 @@ use crate::israeli_itai;
 use dgraph::{EdgeId, Graph, Matching};
 use simnet::{ExecCfg, NetStats};
 
-/// The per-class maximal-matching primitive (empty warm start).
+/// The per-class maximal-matching primitive (empty warm start). Under
+/// any active fault plan the run-until-halt and symmetric-claim
+/// contracts no longer hold (a dropped `Accept` leaves a one-sided
+/// mate), so the class instance runs to Israeli–Itai's fixed round
+/// budget and keeps the agreed pairs — the same dispatch as the session
+/// driver.
 fn class_maximal(g: &Graph, seed: u64, cfg: ExecCfg) -> (Matching, NetStats) {
-    israeli_itai::maximal_matching_from_cfg(g, &Matching::new(g.n()), seed, cfg)
+    let empty = Matching::new(g.n());
+    if cfg.effective_faults().is_active() {
+        israeli_itai::bounded_matching_from_cfg(
+            g,
+            &empty,
+            seed,
+            cfg,
+            israeli_itai::round_budget(g.n()),
+        )
+    } else {
+        israeli_itai::maximal_matching_from_cfg(g, &empty, seed, cfg)
+    }
 }
 
 /// Number of retained classes for a graph on `n` nodes: weights below

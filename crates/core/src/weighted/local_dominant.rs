@@ -148,7 +148,17 @@ pub fn run_from_cfg(
     let inits = state::node_inits(g, initial);
     let nodes: Vec<LdNode> = inits.iter().map(LdNode::new).collect();
     let mut net = Network::new(state::topology_of(g), nodes, seed).with_cfg(cfg);
-    net.run_until_halt(round_budget(g.n()));
+    // Any active fault plan can break the mutual-pointing handshake: a
+    // dropped `Point` matches one endpoint but not the other, and a
+    // dropped one-shot `Matched` announcement leaves a neighbor pointing
+    // forever (so the network may never halt). Run to the fixed round
+    // budget and keep only mutually-agreed pairs.
+    let faulty = cfg.effective_faults().is_active();
+    if faulty {
+        net.run_rounds(round_budget(g.n()));
+    } else {
+        net.run_until_halt(round_budget(g.n()));
+    }
     let (nodes, stats) = net.into_parts();
     let mates: Vec<NodeId> = nodes
         .iter()
@@ -158,7 +168,11 @@ pub fn run_from_cfg(
             None => UNMATCHED,
         })
         .collect();
-    (state::matching_from_mates(g, mates), stats)
+    if faulty {
+        (state::agreed_matching(g, &mates), stats)
+    } else {
+        (state::matching_from_mates(g, mates), stats)
+    }
 }
 
 /// Local-dominant matching from scratch.

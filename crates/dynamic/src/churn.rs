@@ -7,7 +7,7 @@
 
 use crate::mutation::MutationBatch;
 use dgraph::{Graph, NodeId};
-use simnet::SplitMix64;
+use simnet::{CrashEvent, CrashKind, FaultPlan, SplitMix64};
 use std::collections::{HashSet, VecDeque};
 
 /// Which kind of churn to generate each epoch.
@@ -34,6 +34,20 @@ pub enum ChurnModel {
     /// epoch (`{a,b},{c,d} → {a,d},{c,b}`), keeping every node degree
     /// exactly as it was.
     Rewire { rate: f64 },
+    /// Crash-stop faults as churn: the adversary plane's pre-sampled
+    /// schedule ([`FaultPlan::crash_schedule`] — the *same* single
+    /// source of truth the simulator applies) is replayed in windows of
+    /// `rounds_per_epoch` simulated rounds per epoch. A crash removes
+    /// the node's current incident edges (the damage ball the repair
+    /// machinery must heal around); a rejoin restores the stashed edges
+    /// whose other endpoint is back up. Plans without crash faults
+    /// yield empty batches forever.
+    Crash {
+        /// The adversary plan supplying `crash_p` / `rejoin_after`.
+        plan: FaultPlan,
+        /// How many simulated rounds of the schedule one epoch covers.
+        rounds_per_epoch: u64,
+    },
     /// Replay batches pushed with [`ChurnGen::push_trace`]; an
     /// exhausted trace yields empty batches.
     Trace,
@@ -44,11 +58,23 @@ pub enum ChurnModel {
 pub struct ChurnGen {
     model: ChurnModel,
     rng: SplitMix64,
+    /// The raw construction seed — [`ChurnModel::Crash`] derives its
+    /// schedule from this directly, so it matches what a
+    /// `simnet::Network` seeded identically would apply.
+    seed: u64,
     trace: VecDeque<MutationBatch>,
     /// NodeChurn bookkeeping: who is currently in the network, and the
     /// departure queue (rejoin order is FIFO).
     alive: Vec<bool>,
     departed: VecDeque<NodeId>,
+    /// Crash bookkeeping: the pre-sampled schedule, replay cursor and
+    /// epoch window, who is down, and the edges each down node lost
+    /// (restored on rejoin once both endpoints are up).
+    crash_events: Vec<CrashEvent>,
+    crash_next: usize,
+    crash_epoch: u64,
+    crash_down: Vec<bool>,
+    crash_stash: Vec<Vec<(NodeId, NodeId)>>,
 }
 
 /// Bounded rejection sampling: dense graphs can make random non-edges
@@ -66,12 +92,24 @@ impl ChurnGen {
         {
             assert!((0.0..=1.0).contains(&rate), "churn rate must be in [0,1]");
         }
+        if let ChurnModel::Crash {
+            rounds_per_epoch, ..
+        } = model
+        {
+            assert!(rounds_per_epoch >= 1, "an epoch must cover ≥ 1 round");
+        }
         ChurnGen {
             model,
             rng: SplitMix64::for_node(seed, 0xC4A7),
+            seed,
             trace: VecDeque::new(),
             alive: Vec::new(),
             departed: VecDeque::new(),
+            crash_events: Vec::new(),
+            crash_next: 0,
+            crash_epoch: 0,
+            crash_down: Vec::new(),
+            crash_stash: Vec::new(),
         }
     }
 
@@ -88,8 +126,87 @@ impl ChurnGen {
             ChurnModel::NodeChurn { rate, degree } => self.node_churn(g, rate, degree, false),
             ChurnModel::HubChurn { rate, degree } => self.node_churn(g, rate, degree, true),
             ChurnModel::Rewire { rate } => self.rewire(g, rate),
+            ChurnModel::Crash {
+                plan,
+                rounds_per_epoch,
+            } => self.crash_churn(g, plan, rounds_per_epoch),
             ChurnModel::Trace => self.trace.pop_front().unwrap_or_default(),
         }
+    }
+
+    /// Replay one epoch window of the adversary's crash schedule as a
+    /// mutation batch (see [`ChurnModel::Crash`]).
+    fn crash_churn(&mut self, g: &Graph, plan: FaultPlan, rounds_per_epoch: u64) -> MutationBatch {
+        let n = g.n();
+        if n == 0 {
+            return MutationBatch::empty();
+        }
+        if self.crash_down.len() != n {
+            // First epoch: pre-sample the schedule exactly as a
+            // `Network` with this seed and plan would.
+            self.crash_events = plan.crash_schedule(self.seed, n);
+            self.crash_next = 0;
+            self.crash_epoch = 0;
+            self.crash_down = vec![false; n];
+            self.crash_stash = vec![Vec::new(); n];
+        }
+        self.crash_epoch += 1;
+        let window_end = self.crash_epoch.saturating_mul(rounds_per_epoch);
+        // Net effect of this window against the *current* graph: an
+        // edge taken down and restored within one window cancels out.
+        let mut removed: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut added: HashSet<(NodeId, NodeId)> = HashSet::new();
+        while self
+            .crash_events
+            .get(self.crash_next)
+            .is_some_and(|e| e.round < window_end)
+        {
+            let ev = self.crash_events[self.crash_next];
+            self.crash_next += 1;
+            let v = ev.node;
+            match ev.kind {
+                CrashKind::Crash => {
+                    if self.crash_down[v as usize] {
+                        continue; // defensive: at most one crash per node
+                    }
+                    self.crash_down[v as usize] = true;
+                    // Incident edges in the conceptual mid-window graph:
+                    // g minus `removed` plus `added`.
+                    let mut incident: Vec<(NodeId, NodeId)> = g
+                        .incident(v)
+                        .iter()
+                        .map(|&(u, _)| (v.min(u), v.max(u)))
+                        .filter(|e| !removed.contains(e))
+                        .collect();
+                    incident.extend(added.iter().copied().filter(|&(a, b)| a == v || b == v));
+                    for e in incident {
+                        if !added.remove(&e) {
+                            removed.insert(e);
+                        }
+                        self.crash_stash[v as usize].push(e);
+                    }
+                }
+                CrashKind::Rejoin => {
+                    self.crash_down[v as usize] = false;
+                    let stash = std::mem::take(&mut self.crash_stash[v as usize]);
+                    for e in stash {
+                        let other = if e.0 == v { e.1 } else { e.0 };
+                        if self.crash_down[other as usize] {
+                            // The other endpoint is still down; the edge
+                            // comes back with *its* rejoin.
+                            self.crash_stash[other as usize].push(e);
+                        } else if !removed.remove(&e) {
+                            added.insert(e);
+                        }
+                    }
+                }
+            }
+        }
+        MutationBatch {
+            added: added.into_iter().collect(),
+            removed: removed.into_iter().collect(),
+        }
+        .normalized()
     }
 
     fn edge_churn(&mut self, g: &Graph, rate: f64) -> MutationBatch {
@@ -432,8 +549,109 @@ mod tests {
                 degree: 2,
             },
             ChurnModel::Rewire { rate: 0.5 },
+            ChurnModel::Crash {
+                plan: FaultPlan::NONE.with_crash(0.5, 2),
+                rounds_per_epoch: 4,
+            },
         ] {
             assert!(ChurnGen::new(model, 1).next_batch(&g).is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_churn_replays_the_adversary_schedule() {
+        // Aggressive plan so both fault directions show up quickly:
+        // crashes take edges down, rejoins bring the same edges back.
+        let plan = FaultPlan::NONE.with_crash(0.3, 3);
+        let mut g = gnp(40, 0.12, 6);
+        let baseline = g.clone();
+        let mut gen = ChurnGen::new(
+            ChurnModel::Crash {
+                plan,
+                rounds_per_epoch: 2,
+            },
+            11,
+        );
+        let (mut saw_removal, mut saw_addition) = (false, false);
+        for _ in 0..30 {
+            let b = gen.next_batch(&g);
+            saw_removal |= !b.removed.is_empty();
+            saw_addition |= !b.added.is_empty();
+            g = apply(&g, &b); // Graph::new re-validates every batch
+        }
+        assert!(saw_removal, "crashes must take edges down");
+        assert!(saw_addition, "rejoins must bring edges back");
+        // crash_p = 0.3 ⇒ every node's geometric first-crash lands well
+        // inside 60 rounds, and every crash rejoins 3 rounds later; once
+        // the whole schedule has replayed the graph is healed in full.
+        assert_eq!(g.m(), baseline.m(), "all crashed edges must return");
+        let orig: HashSet<(NodeId, NodeId)> = baseline.edge_list().iter().copied().collect();
+        assert!(g.edge_list().iter().all(|e| orig.contains(e)));
+    }
+
+    #[test]
+    fn crash_churn_is_deterministic() {
+        let plan = FaultPlan::NONE.with_crash(0.1, 4);
+        let mk = || {
+            let mut g = gnp(50, 0.1, 9);
+            let mut gen = ChurnGen::new(
+                ChurnModel::Crash {
+                    plan,
+                    rounds_per_epoch: 3,
+                },
+                42,
+            );
+            let mut batches = Vec::new();
+            for _ in 0..10 {
+                let b = gen.next_batch(&g);
+                g = apply(&g, &b);
+                batches.push(b);
+            }
+            batches
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn crash_of_a_star_center_takes_the_whole_star() {
+        // Certain crash at round 0, rejoin at round 1: with one round
+        // per epoch the first batch removes every incident edge of each
+        // node (= all edges) and the second restores them all.
+        let n = 12;
+        let edges: Vec<(NodeId, NodeId)> = (1..n as NodeId).map(|v| (0, v)).collect();
+        let g = Graph::new(n, edges.clone());
+        let mut gen = ChurnGen::new(
+            ChurnModel::Crash {
+                plan: FaultPlan::NONE.with_crash(1.0, 1),
+                rounds_per_epoch: 1,
+            },
+            3,
+        );
+        let b1 = gen.next_batch(&g);
+        assert_eq!(b1.removed.len(), n - 1, "the whole star must fall");
+        assert!(b1.added.is_empty());
+        let g2 = apply(&g, &b1);
+        assert_eq!(g2.m(), 0);
+        let b2 = gen.next_batch(&g2);
+        assert!(b2.removed.is_empty());
+        assert_eq!(b2.added.len(), n - 1, "rejoin restores the star");
+        assert_eq!(apply(&g2, &b2).m(), n - 1);
+    }
+
+    #[test]
+    fn crashless_plan_yields_empty_batches_forever() {
+        // Drop/delay faults are message-level; only crash faults map to
+        // churn events.
+        let g = gnp(30, 0.15, 2);
+        let mut gen = ChurnGen::new(
+            ChurnModel::Crash {
+                plan: FaultPlan::drop(0.4).with_delay(3),
+                rounds_per_epoch: 5,
+            },
+            8,
+        );
+        for _ in 0..5 {
+            assert!(gen.next_batch(&g).is_empty());
         }
     }
 }

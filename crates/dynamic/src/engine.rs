@@ -542,6 +542,35 @@ mod tests {
     }
 
     #[test]
+    fn epochs_repair_under_crash_faults() {
+        // Crash-stop faults from the adversary plane drive the churn:
+        // each epoch replays a window of the pre-sampled schedule as
+        // damage balls (crash tears out a node's edges, rejoin restores
+        // them) and incremental repair must re-reach maximality.
+        let g = gnp(120, 0.05, 4);
+        let mut eng = DynEngine::new(
+            g,
+            ChurnModel::Crash {
+                plan: simnet::FaultPlan::NONE.with_crash(0.08, 3),
+                rounds_per_epoch: 2,
+            },
+            RepairAlgo::IncrementalMaximal,
+            12,
+        );
+        eng.bootstrap();
+        let mut saw_damage = false;
+        for _ in 0..12 {
+            let rep = eng.step_epoch();
+            saw_damage |= rep.woken > 0;
+            assert!(rep.maximal);
+            assert!(eng.matching().validate(eng.graph()).is_ok());
+            assert!(eng.matching().is_maximal(eng.graph()));
+            assert!(eng.check_liveness_invariant());
+        }
+        assert!(saw_damage, "the crash schedule must inject real damage");
+    }
+
+    #[test]
     fn no_damage_epoch_is_nearly_free() {
         let g = gnp(80, 0.05, 3);
         let mut eng = DynEngine::new(g, ChurnModel::Trace, RepairAlgo::IncrementalMaximal, 9);

@@ -15,6 +15,7 @@ use crate::plane::{Event, FlightRecorder};
 const TID_ROUNDS: u32 = 0;
 const TID_PHASES: u32 = 1;
 const TID_EPOCHS: u32 = 2;
+const TID_FAULTS: u32 = 3;
 /// Worker `w` renders on tid `TID_WORKER_BASE + w`.
 const TID_WORKER_BASE: u32 = 10;
 
@@ -109,6 +110,28 @@ pub fn event_json(ev: &Event) -> String {
         } => format!(
             "{{\"ev\": \"merge\", \"round\": {round}, \"t0_ns\": {t0_ns}, \"t1_ns\": {t1_ns}}}"
         ),
+        Event::Fault {
+            t_ns,
+            round,
+            node,
+            port,
+            kind,
+        } => format!(
+            "{{\"ev\": \"fault\", \"t_ns\": {t_ns}, \"round\": {round}, \"node\": {node}, \
+             \"port\": {port}, \"kind\": \"{}\"}}",
+            kind.as_str()
+        ),
+        Event::BudgetViolation {
+            t_ns,
+            round,
+            node,
+            port,
+            bits,
+            budget,
+        } => format!(
+            "{{\"ev\": \"budget_violation\", \"t_ns\": {t_ns}, \"round\": {round}, \
+             \"node\": {node}, \"port\": {port}, \"bits\": {bits}, \"budget\": {budget}}}"
+        ),
     }
 }
 
@@ -165,6 +188,7 @@ pub fn chrome_trace(rec: &FlightRecorder) -> String {
     rows.push(metadata("thread_name", TID_ROUNDS, "rounds"));
     let mut named_phases = false;
     let mut named_epochs = false;
+    let mut named_faults = false;
     let mut max_worker: Option<u32> = None;
 
     for ev in rec.events() {
@@ -293,6 +317,32 @@ pub fn chrome_trace(rec: &FlightRecorder) -> String {
                 );
                 rows.push(instant("repair ball", TID_EPOCHS, t_ns, &args));
             }
+            Event::Fault {
+                t_ns,
+                round,
+                node,
+                port,
+                kind,
+            } => {
+                named_faults = true;
+                let args = format!("{{\"round\": {round}, \"node\": {node}, \"port\": {port}}}");
+                rows.push(instant(kind.as_str(), TID_FAULTS, t_ns, &args));
+            }
+            Event::BudgetViolation {
+                t_ns,
+                round,
+                node,
+                port,
+                bits,
+                budget,
+            } => {
+                named_faults = true;
+                let args = format!(
+                    "{{\"round\": {round}, \"node\": {node}, \"port\": {port}, \
+                     \"bits\": {bits}, \"budget\": {budget}}}"
+                );
+                rows.push(instant("budget violation", TID_FAULTS, t_ns, &args));
+            }
         }
     }
 
@@ -301,6 +351,9 @@ pub fn chrome_trace(rec: &FlightRecorder) -> String {
     }
     if named_epochs {
         rows.push(metadata("thread_name", TID_EPOCHS, "epochs"));
+    }
+    if named_faults {
+        rows.push(metadata("thread_name", TID_FAULTS, "faults"));
     }
     if let Some(m) = max_worker {
         for w in 0..=m {
@@ -375,7 +428,60 @@ mod tests {
             woken: 11,
             radius: 3,
         });
+        r.push(Event::Fault {
+            t_ns: 7500,
+            round: 4,
+            node: 6,
+            port: 2,
+            kind: crate::plane::FaultKind::Drop,
+        });
+        r.push(Event::BudgetViolation {
+            t_ns: 7600,
+            round: 4,
+            node: 6,
+            port: 1,
+            bits: 130,
+            budget: 48,
+        });
         r
+    }
+
+    #[test]
+    fn fault_events_serialize_with_stable_tags() {
+        use crate::plane::FaultKind;
+        for (kind, tag) in [
+            (FaultKind::Drop, "drop"),
+            (FaultKind::BurstDrop, "burst_drop"),
+            (FaultKind::Delay, "delay"),
+            (FaultKind::Stall, "stall"),
+            (FaultKind::Crash, "crash"),
+            (FaultKind::Rejoin, "rejoin"),
+        ] {
+            let line = event_json(&Event::Fault {
+                t_ns: 1,
+                round: 2,
+                node: 3,
+                port: 4,
+                kind,
+            });
+            let v = crate::json::parse(&line).expect("fault line parses");
+            assert_eq!(v.get("ev").and_then(|e| e.as_str()), Some("fault"));
+            assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some(tag));
+        }
+        let line = event_json(&Event::BudgetViolation {
+            t_ns: 1,
+            round: 2,
+            node: 3,
+            port: 4,
+            bits: 200,
+            budget: 48,
+        });
+        let v = crate::json::parse(&line).expect("budget line parses");
+        assert_eq!(
+            v.get("ev").and_then(|e| e.as_str()),
+            Some("budget_violation")
+        );
+        assert_eq!(v.get("bits").and_then(|b| b.as_f64()), Some(200.0));
     }
 
     #[test]
@@ -414,12 +520,13 @@ mod tests {
         assert!(names.contains(&"worker 1"));
         assert!(names.contains(&"phases"));
         assert!(names.contains(&"epochs"));
+        assert!(names.contains(&"faults"));
         // Instant markers made it through.
         let instants = events
             .iter()
             .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
             .count();
-        assert_eq!(instants, 3);
+        assert_eq!(instants, 5);
         // Spans carry positive durations in microseconds.
         for e in events {
             if e.get("ph").and_then(|p| p.as_str()) == Some("X") {

@@ -36,4 +36,4 @@ pub mod plane;
 
 pub use hist::Histogram;
 pub use metrics::Registry;
-pub use plane::{Event, FlightRecorder, Name, TraceSession};
+pub use plane::{Event, FaultKind, FlightRecorder, Name, TraceSession};

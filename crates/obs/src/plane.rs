@@ -72,6 +72,40 @@ impl From<&str> for Name {
     }
 }
 
+/// What the adversary plane did to a message or node. Recorded inside
+/// [`Event::Fault`]; the variants mirror the fault classes a
+/// `simnet::adversary::FaultPlan` composes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Bernoulli per-message drop.
+    Drop,
+    /// Drop because the edge's two-state Markov link was down.
+    BurstDrop,
+    /// Message parked for extra rounds (bounded delay, possibly
+    /// combined with a stall or budget overflow).
+    Delay,
+    /// Message parked exactly one round by partial-delivery stalling.
+    Stall,
+    /// Crash-stop node fault.
+    Crash,
+    /// A crashed node rejoined the computation.
+    Rejoin,
+}
+
+impl FaultKind {
+    /// Stable lowercase tag used by the exporters.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::BurstDrop => "burst_drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Stall => "stall",
+            FaultKind::Crash => "crash",
+            FaultKind::Rejoin => "rejoin",
+        }
+    }
+}
+
 /// A structural event. All variants are `Copy`, heap-free, and
 /// timestamped in nanoseconds since recorder installation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +226,39 @@ pub enum Event {
         t0_ns: u64,
         /// Span end, ns since recorder install.
         t1_ns: u64,
+    },
+    /// The adversary plane injected a fault (drop, delay, stall,
+    /// crash, rejoin). For message faults `round` is the sending
+    /// round and `port` the sender-side port; for node faults
+    /// (`Crash`/`Rejoin`) `port` is 0.
+    Fault {
+        /// Timestamp, ns since recorder install.
+        t_ns: u64,
+        /// Round the fault applies to.
+        round: u64,
+        /// Sender (message faults) or crashed node (node faults).
+        node: u64,
+        /// Sender-side port of the affected edge (0 for node faults).
+        port: u32,
+        /// Which fault class fired.
+        kind: FaultKind,
+    },
+    /// A message exceeded the per-edge per-round CONGEST bit budget
+    /// and degrade-mode enforcement deferred the overflow into later
+    /// rounds (strict mode panics instead of recording).
+    BudgetViolation {
+        /// Timestamp, ns since recorder install.
+        t_ns: u64,
+        /// Sending round of the over-budget message.
+        round: u64,
+        /// Sender node id.
+        node: u64,
+        /// Sender-side port of the violating edge.
+        port: u32,
+        /// Size of the offending message, in bits.
+        bits: u64,
+        /// The budget it exceeded, in bits.
+        budget: u64,
     },
 }
 

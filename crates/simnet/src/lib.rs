@@ -141,6 +141,7 @@
 //! incremental matching repair, damage-locality accounting) on top of
 //! this API.
 
+pub mod adversary;
 pub mod mailbox;
 pub mod message;
 pub mod network;
@@ -150,6 +151,7 @@ pub mod stats;
 pub mod topology;
 pub mod tree;
 
+pub use adversary::{Budget, CongestMode, CrashEvent, CrashKind, FaultPlan, Markov};
 pub use mailbox::{Inbox, InboxIter, Received};
 pub use message::BitSize;
 pub use network::{Ctx, ExecCfg, Network, Protocol, Rewire, RewireCtx, RunOutcome, SchedMode};

@@ -14,6 +14,7 @@
 //! is what the old sort-based delivery produced, so protocol semantics
 //! are unchanged.
 
+use crate::adversary::{Adversary, CongestMode, CrashKind, FaultPlan};
 use crate::mailbox::{Inbox, Slab, DEAD_STAMP};
 use crate::message::BitSize;
 use crate::parallel::CostModel;
@@ -345,8 +346,15 @@ pub struct ExecCfg {
     /// workers (down to none) when the measured workload would not pay
     /// for them. Results are bit-identical regardless of the value.
     pub threads: usize,
-    /// Message-loss probability (0.0 = reliable).
+    /// Message-loss probability (0.0 = reliable). Kept as the
+    /// historical shorthand for a uniform-drop plan: a nonzero value
+    /// overrides the drop probability of [`ExecCfg::faults`] (see
+    /// [`ExecCfg::effective_faults`]), and the drop decisions are
+    /// bit-identical to the pre-adversary loss path.
     pub loss: f64,
+    /// The full adversary plan (drop, burst, delay, stall, crash,
+    /// CONGEST budget). [`FaultPlan::NONE`] by default.
+    pub faults: FaultPlan,
     /// Round scheduler (sparse wake list / dense sweep / judge-switched
     /// hybrid). Results are bit-identical regardless of the value.
     pub sched: SchedMode,
@@ -379,6 +387,7 @@ impl ExecCfg {
         ExecCfg {
             threads: 1,
             loss: 0.0,
+            faults: FaultPlan::NONE,
             sched: SchedMode::Sparse,
             timing: false,
             force_parallel: false,
@@ -418,6 +427,24 @@ impl ExecCfg {
     pub const fn forced(mut self) -> Self {
         self.force_parallel = true;
         self
+    }
+
+    /// The same configuration under adversary plan `faults`.
+    pub const fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The plan the network actually installs: [`ExecCfg::faults`],
+    /// with a nonzero legacy [`ExecCfg::loss`] overriding the drop
+    /// probability (the historical knob wins, so existing loss-seeded
+    /// configurations reproduce bit-for-bit).
+    pub fn effective_faults(&self) -> FaultPlan {
+        if self.loss > 0.0 {
+            self.faults.with_drop(self.loss)
+        } else {
+            self.faults
+        }
     }
 }
 
@@ -546,13 +573,12 @@ pub struct Network<P: Protocol> {
     /// Collect the [`crate::stats::timing`] histograms (see
     /// [`ExecCfg::timing`]).
     pub(crate) timing: bool,
-    /// Message-loss probability (fault injection; 0.0 = reliable).
-    pub(crate) loss: f64,
-    /// RNG stream deciding drops (independent of node streams so that
-    /// enabling faults does not perturb node randomness).
-    pub(crate) loss_rng: SplitMix64,
-    /// Messages dropped by fault injection.
-    pub(crate) dropped: u64,
+    /// The adversary plane every delivery passes through: fault-class
+    /// RNG streams (independent of node streams so that enabling
+    /// faults does not perturb node randomness), burst link states,
+    /// the delayed-payload holding ring, and the pre-sampled crash
+    /// schedule. Inert ([`FaultPlan::NONE`]) by default.
+    pub(crate) adversary: Adversary<P::Msg>,
 }
 
 impl<P: Protocol> Network<P> {
@@ -610,9 +636,7 @@ impl<P: Protocol> Network<P> {
             cost: CostModel::new(),
             peak_workers: 1,
             timing: false,
-            loss: 0.0,
-            loss_rng: SplitMix64::for_node(seed, u64::MAX),
-            dropped: 0,
+            adversary: Adversary::new(seed),
         }
     }
 
@@ -628,9 +652,26 @@ impl<P: Protocol> Network<P> {
     /// sender paid for it). The paper's model is fault-free; this knob
     /// exists for robustness testing — protocols are expected to keep
     /// their *safety* properties but may lose liveness.
-    pub fn with_message_loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p));
-        self.loss = p;
+    ///
+    /// Shorthand for [`Network::with_faults`] with
+    /// [`FaultPlan::drop`]`(p)` merged into the current plan. Like
+    /// every plan setter, `p` is clamped to `[0, 1]` (with a
+    /// `debug_assert` on out-of-range input) instead of being silently
+    /// accepted.
+    pub fn with_message_loss(self, p: f64) -> Self {
+        let plan = self.adversary.plan.with_drop(p);
+        self.with_faults(plan)
+    }
+
+    /// Install an adversary plan (drop / burst / delay / stall / crash
+    /// / CONGEST budget — see [`crate::adversary`]). A pre-run builder
+    /// step: the plan's RNG streams, burst states, and pre-sampled
+    /// crash schedule are (re)derived from the construction seed and
+    /// the topology, so installation is idempotent and same seed +
+    /// same plan ⇒ bit-identical runs at any thread count and under
+    /// any scheduler.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.adversary.install(plan, &self.topo);
         self
     }
 
@@ -655,14 +696,14 @@ impl<P: Protocol> Network<P> {
     pub fn with_cfg(mut self, cfg: ExecCfg) -> Self {
         self.force_parallel = cfg.force_parallel;
         self.with_threads(cfg.threads)
-            .with_message_loss(cfg.loss)
+            .with_faults(cfg.effective_faults())
             .with_sched(cfg.sched)
             .with_timing(cfg.timing)
     }
 
-    /// Messages dropped by fault injection.
+    /// Messages dropped by fault injection (Bernoulli + burst drops).
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.stats.dropped
     }
 
     /// The communication graph.
@@ -718,7 +759,14 @@ impl<P: Protocol> Network<P> {
     /// Wake `v` externally: un-halt it if needed, clear its sleep flag,
     /// and schedule it for the next round. The harness-level analogue
     /// of the wake-up a rewire's dirty set performs.
+    ///
+    /// A node the adversary has crashed refuses the wake-up: it stays
+    /// down until its scheduled rejoin (resurrecting it early would
+    /// let the harness undo a fault).
     pub fn wake(&mut self, v: NodeId) {
+        if self.adversary.is_crashed(v as usize) {
+            return;
+        }
         if dobs::plane::enabled() {
             dobs::plane::record(dobs::Event::Wake {
                 t_ns: dobs::plane::now_ns(),
@@ -834,6 +882,9 @@ impl<P: Protocol> Network<P> {
     /// judge is additionally deterministic, so the `sched_overhead`
     /// trace it shapes is reproducible too.
     pub fn step(&mut self) -> u64 {
+        if self.adversary.has_crash_events() {
+            self.apply_crash_events();
+        }
         let dense = self.choose_representation();
         let workload = if dense {
             self.topo.len()
@@ -896,6 +947,69 @@ impl<P: Protocol> Network<P> {
         sent
     }
 
+    /// Apply the pre-sampled crash/rejoin events due at the top of the
+    /// current round, before any node is stepped. Main-thread only and
+    /// purely schedule-driven, so crash faults are bit-identical across
+    /// executors and schedulers.
+    fn apply_crash_events(&mut self) {
+        let traced = dobs::plane::enabled();
+        while let Some(ev) = self.adversary.next_crash(self.round) {
+            let vi = ev.node as usize;
+            match ev.kind {
+                CrashKind::Crash => {
+                    // A node that already halted on its own has nothing
+                    // to take down — skip entirely (its rejoin event,
+                    // if any, will find `crashed` unset and also skip).
+                    if self.halted[vi] {
+                        continue;
+                    }
+                    self.halted[vi] = true;
+                    self.adversary.set_crashed(vi, true);
+                    self.stats.crashed += 1;
+                    // A permanent crash is as dead as a halt, so runs
+                    // can terminate; a rejoin-pending node stays in
+                    // `live` so the run loops keep stepping (possibly
+                    // empty) rounds until it comes back.
+                    if self.adversary.plan.rejoin_after() == 0 {
+                        self.live -= 1;
+                    }
+                    if traced {
+                        dobs::plane::record(dobs::Event::Fault {
+                            t_ns: dobs::plane::now_ns(),
+                            round: self.round,
+                            node: ev.node as u64,
+                            port: 0,
+                            kind: dobs::FaultKind::Crash,
+                        });
+                    }
+                }
+                CrashKind::Rejoin => {
+                    if !self.adversary.is_crashed(vi) {
+                        continue; // the crash was skipped (node had halted)
+                    }
+                    self.adversary.set_crashed(vi, false);
+                    // `live` was never decremented for a rejoin-pending
+                    // crash, so only the flags come back.
+                    self.halted[vi] = false;
+                    self.dozing[vi] = false;
+                    if self.uses_wake_list() && self.wake_stamp[vi] != self.round {
+                        self.wake_stamp[vi] = self.round;
+                        self.wake_cur.push(ev.node);
+                    }
+                    if traced {
+                        dobs::plane::record(dobs::Event::Fault {
+                            t_ns: dobs::plane::now_ns(),
+                            round: self.round,
+                            node: ev.node as u64,
+                            port: 0,
+                            kind: dobs::FaultKind::Rejoin,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// Close out a round: delivery accounting, round counter, gauges.
     /// Shared by both sequential executors (the parallel ones do the
     /// same after their join).
@@ -908,9 +1022,7 @@ impl<P: Protocol> Network<P> {
             out_plane,
             &self.touched,
             &self.halted,
-            self.loss,
-            &mut self.loss_rng,
-            &mut self.dropped,
+            &mut self.adversary,
             &mut self.stats,
             &mut self.inbox_count,
             &mut self.inbox_count_round,
@@ -1090,7 +1202,12 @@ impl<P: Protocol> Network<P> {
             );
             let in_flight = self.in_flight;
             let sent = self.step();
-            if sent == 0 && in_flight == 0 {
+            // Quiet requires the adversary's holding ring to be empty
+            // too: a parked payload is still in flight, just late.
+            // Pending *crash* events deliberately do not block quiet —
+            // a network with no traffic left is idle even if a distant
+            // crash is scheduled.
+            if sent == 0 && in_flight == 0 && self.adversary.parked_empty() {
                 return RunOutcome {
                     rounds: self.round - start,
                     all_halted: self.all_halted(),
@@ -1179,6 +1296,10 @@ impl<P: Protocol> Network<P> {
         for plane in &mut self.planes {
             plane.remap(patch.slot_map(), new_total, &mut self.alloc_events);
         }
+        // Adversary state follows the slot remap: burst link states
+        // move with their surviving slots, parked payloads on removed
+        // edges are dropped (same rule as the slabs' in-flight mail).
+        self.adversary.on_rewire(patch, new_topo);
         let mut port_map: Vec<Option<Port>> = Vec::new(); // scratch, reused per node
         for v in 0..self.topo.len() {
             let vid = v as NodeId;
@@ -1200,6 +1321,12 @@ impl<P: Protocol> Network<P> {
         }
         for &v in patch.dirty() {
             let vi = v as usize;
+            // Crashed nodes stay down through a rewire: resurrecting
+            // them via the dirty set would undo the fault (and corrupt
+            // the `live` accounting, which deferred their decrement).
+            if self.adversary.is_crashed(vi) {
+                continue;
+            }
             if self.halted[vi] {
                 self.halted[vi] = false;
                 self.live += 1;
@@ -1290,12 +1417,37 @@ pub(crate) struct DeliverOutcome {
     pub(crate) peak_inbox: u64,
 }
 
-/// Account (and, under fault injection, cull) the messages written into
-/// `out` this round. Walks only the port ranges of nodes that sent,
-/// in ascending node order then ascending port order — a fixed order,
-/// so the loss RNG stream is identical under sequential and parallel
-/// stepping. Performs **no allocation and no sorting**: the payloads
-/// stay in their slots, where the receivers read them in place.
+/// Account (and, under fault injection, cull, delay, or defer) the
+/// messages written into `out` this round. Walks only the port ranges
+/// of nodes that sent, in ascending node order then ascending port
+/// order — a fixed order, so every adversary RNG stream is consumed
+/// identically under sequential and parallel stepping. The fault-free
+/// path performs **no allocation and no sorting**: the payloads stay
+/// in their slots, where the receivers read them in place.
+///
+/// Per live slot, the adversary pipeline runs in this fixed,
+/// documented order (each stream consumed only when its fault class is
+/// enabled — see [`crate::adversary`]):
+///
+/// 1. charge statistics (the sender paid for the message);
+/// 2. Bernoulli **drop** (the legacy `loss_rng` stream, drawn at the
+///    legacy point, so pure-drop plans replay old lossy runs
+///    bit-for-bit);
+/// 3. **burst** drop if the slot's Markov link is down;
+/// 4. **CONGEST** budget check — strict panics, degrade converts the
+///    overflow into `⌈bits/B⌉ - 1` extra rounds and records
+///    `deferred_bits`;
+/// 5. receiver-halted check (mail to halted or crashed nodes is
+///    dropped on the floor, unread — crash-stop);
+/// 6. **stall** (+1 round) and **delay** (uniform `0..=D` rounds)
+///    draws; a message owing extra rounds is parked in the holding
+///    ring, otherwise it is delivered as usual.
+///
+/// After the sender walk, parked payloads due this round are
+/// re-injected in deterministic `(slot, seq)` order: an occupied slot
+/// postpones its payload one round, a halted/crashed receiver discards
+/// it, and a delivered payload performs the same inbox/wake accounting
+/// as a fresh message (its bits were charged at first crossing).
 ///
 /// Under the sparse scheduler (`schedule` is `Some`), delivery is also
 /// where mail wakes nodes: every receiver is stamped and appended to
@@ -1307,9 +1459,7 @@ pub(crate) fn deliver<M: BitSize>(
     out: &mut Slab<M>,
     touched: &[NodeId],
     halted: &[bool],
-    loss: f64,
-    loss_rng: &mut SplitMix64,
-    dropped: &mut u64,
+    adversary: &mut Adversary<M>,
     stats: &mut NetStats,
     inbox_count: &mut [u32],
     inbox_count_round: &mut [u64],
@@ -1320,6 +1470,12 @@ pub(crate) fn deliver<M: BitSize>(
     let mut sent = 0u64;
     let mut delivered = 0u64;
     let mut peak = 0u64;
+    let faults = adversary.is_active();
+    let traced = faults && dobs::plane::enabled();
+    if faults {
+        adversary.evolve_bursts();
+    }
+    let plan = adversary.plan;
     for &v in touched {
         let base = topo.port_base(v);
         for p in 0..topo.degree(v) {
@@ -1333,15 +1489,79 @@ pub(crate) fn deliver<M: BitSize>(
                 .bit_size();
             stats.record_message(bits);
             sent += 1;
-            if loss > 0.0 && loss_rng.bernoulli(loss) {
-                *dropped += 1;
+            if plan.drop_p > 0.0 && adversary.drop_rng.bernoulli(plan.drop_p) {
+                stats.dropped += 1;
                 out.stamp[slot] = DEAD_STAMP; // fault injection ate it
                 out.msg[slot] = None;
+                if traced {
+                    record_fault(read_round - 1, v, p, dobs::FaultKind::Drop);
+                }
+                continue;
+            }
+            if !adversary.burst_down.is_empty() && adversary.burst_down[slot] {
+                stats.dropped += 1;
+                out.stamp[slot] = DEAD_STAMP; // link is down this round
+                out.msg[slot] = None;
+                if traced {
+                    record_fault(read_round - 1, v, p, dobs::FaultKind::BurstDrop);
+                }
                 continue;
             }
             let to = topo.neighbor(v, p) as usize;
+            // One message per port per round, so the per-message size
+            // *is* the edge's per-round bit usage.
+            let mut congest_extra = 0u64;
+            if bits > adversary.budget_bits {
+                match plan.congest {
+                    CongestMode::Strict => panic!(
+                        "CONGEST violation: {bits}-bit message on edge {v}->{to} \
+                         exceeds the {}-bit per-edge per-round budget",
+                        adversary.budget_bits
+                    ),
+                    CongestMode::Degrade => {
+                        congest_extra = (bits - 1) / adversary.budget_bits;
+                        stats.deferred_bits += bits - adversary.budget_bits;
+                        if traced {
+                            dobs::plane::record(dobs::Event::BudgetViolation {
+                                t_ns: dobs::plane::now_ns(),
+                                round: read_round - 1,
+                                node: v as u64,
+                                port: p as u32,
+                                bits,
+                                budget: adversary.budget_bits,
+                            });
+                        }
+                    }
+                }
+            }
             if halted[to] {
                 continue; // dropped on the floor, unread
+            }
+            let stall_extra = if plan.stall_p > 0.0 && adversary.stall_rng.bernoulli(plan.stall_p) {
+                1
+            } else {
+                0
+            };
+            let delay_extra = if plan.delay_max > 0 {
+                adversary.delay_rng.below(plan.delay_max + 1)
+            } else {
+                0
+            };
+            let extra = congest_extra + stall_extra + delay_extra;
+            if extra > 0 {
+                stats.delayed += 1;
+                let msg = out.msg[slot].take().expect("live slot holds a message");
+                out.stamp[slot] = DEAD_STAMP; // parked, not in the plane
+                adversary.park(read_round + extra, slot, to as NodeId, msg);
+                if traced {
+                    let kind = if stall_extra > 0 && delay_extra == 0 && congest_extra == 0 {
+                        dobs::FaultKind::Stall
+                    } else {
+                        dobs::FaultKind::Delay
+                    };
+                    record_fault(read_round - 1, v, p, kind);
+                }
+                continue;
             }
             delivered += 1;
             let c = if inbox_count_round[to] == read_round {
@@ -1360,11 +1580,65 @@ pub(crate) fn deliver<M: BitSize>(
             }
         }
     }
+    // Holding-ring injection: payloads due this round enter the plane
+    // the receivers read next round, in deterministic (slot, seq)
+    // order. Entries are never overdue (everything due is processed
+    // each round), so sorting by (due, slot, seq) puts the due set in
+    // exactly (slot, seq) order at the front.
+    if !adversary.parked_empty() {
+        adversary
+            .parked
+            .sort_unstable_by_key(|e| (e.due, e.slot, e.seq));
+        let mut i = 0;
+        while i < adversary.parked.len() && adversary.parked[i].due <= read_round {
+            let slot = adversary.parked[i].slot;
+            let to = adversary.parked[i].to as usize;
+            if out.stamp[slot] == gen {
+                // The sender refilled the slot this round: postpone one
+                // more round (adversarial reordering on a busy edge).
+                adversary.parked[i].due = read_round + 1;
+            } else if halted[to] {
+                adversary.parked[i].msg = None; // receiver gone: discard
+            } else {
+                out.msg[slot] = adversary.parked[i].msg.take();
+                out.stamp[slot] = gen;
+                delivered += 1;
+                let c = if inbox_count_round[to] == read_round {
+                    inbox_count[to] + 1
+                } else {
+                    1
+                };
+                inbox_count[to] = c;
+                inbox_count_round[to] = read_round;
+                peak = peak.max(c as u64);
+                if let Some((wake_stamp, wake_next)) = schedule.as_mut() {
+                    if wake_stamp[to] != read_round {
+                        wake_stamp[to] = read_round;
+                        wake_next.push(to as NodeId);
+                    }
+                }
+            }
+            i += 1;
+        }
+        adversary.parked.retain(|e| e.msg.is_some());
+    }
     DeliverOutcome {
         sent,
         delivered,
         peak_inbox: peak,
     }
+}
+
+/// Record one adversary fault instant into the installed flight
+/// recorder (callers have already checked `dobs::plane::enabled()`).
+fn record_fault(round: u64, node: NodeId, port: usize, kind: dobs::FaultKind) {
+    dobs::plane::record(dobs::Event::Fault {
+        t_ns: dobs::plane::now_ns(),
+        round,
+        node: node as u64,
+        port: port as u32,
+        kind,
+    });
 }
 
 #[cfg(test)]

@@ -82,6 +82,19 @@ pub struct NetStats {
     pub node_steps: u64,
     /// Total scheduler overhead (sum of [`RoundTrace::sched_overhead`]).
     pub sched_overhead: u64,
+    /// Messages dropped by the adversary plane (Bernoulli + burst
+    /// drops; mail to halted nodes is *not* counted here — it was
+    /// deliverable, the receiver just left).
+    pub dropped: u64,
+    /// Messages parked in the adversary's holding ring (delay, stall,
+    /// or degrade-mode budget overflow) instead of arriving next round.
+    pub delayed: u64,
+    /// Bits carried past their send round by degrade-mode CONGEST
+    /// enforcement (`max(0, bits - budget)` per violating message).
+    pub deferred_bits: u64,
+    /// Crash-stop node faults applied (rejoins are not counted; each
+    /// node crashes at most once per run).
+    pub crashed: u64,
     /// Per-phase wall-clock breakdown: a [`dobs::Registry`] of
     /// nanosecond histograms under the [`timing`] names (empty unless
     /// [`crate::ExecCfg::timing`] is set; excluded from bit-identity
@@ -161,6 +174,10 @@ impl NetStats {
         self.plane_allocs += other.plane_allocs;
         self.node_steps += other.node_steps;
         self.sched_overhead += other.sched_overhead;
+        self.dropped += other.dropped;
+        self.delayed += other.delayed;
+        self.deferred_bits += other.deferred_bits;
+        self.crashed += other.crashed;
         self.timings.absorb(&other.timings);
         self.per_round.extend_from_slice(&other.per_round);
     }
@@ -215,5 +232,28 @@ mod tests {
     fn avg_messages_per_round_handles_zero() {
         let s = NetStats::default();
         assert_eq!(s.avg_messages_per_round(), 0.0);
+    }
+
+    #[test]
+    fn absorb_carries_adversary_gauges() {
+        let mut a = NetStats {
+            dropped: 3,
+            delayed: 2,
+            deferred_bits: 40,
+            crashed: 1,
+            ..NetStats::default()
+        };
+        let b = NetStats {
+            dropped: 5,
+            delayed: 1,
+            deferred_bits: 60,
+            crashed: 2,
+            ..NetStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(
+            (a.dropped, a.delayed, a.deferred_bits, a.crashed),
+            (8, 3, 100, 3)
+        );
     }
 }

@@ -373,3 +373,45 @@ fn double_cover_keeps_the_hubs() {
     assert_eq!(cover.max_degree(), g.max_degree());
     assert_eq!(cover.m(), 2 * g.m());
 }
+
+/// The adversary axis of the conformance matrix: zoo families ×
+/// representative fault plans. Per cell: the output is still a valid
+/// matching (safety survives on heavy-tailed and geometric topologies,
+/// not just Erdős–Rényi), and the sequential and 4-thread executions
+/// stay bit-identical under the active adversary (the fault RNG
+/// streams are executor-invariant). Kept to two families × two plans ×
+/// two algorithms so the matrix stays CI-cheap.
+#[test]
+fn adversary_axis_on_the_zoo() {
+    use distributed_matching::simnet::FaultPlan;
+    let plans: [(&str, FaultPlan); 2] = [
+        ("drop-0.2", FaultPlan::drop(0.2)),
+        (
+            "delay-2+crash-1%",
+            FaultPlan::NONE.with_delay(2).with_crash(0.01, 5),
+        ),
+    ];
+    for family in [Family::BarabasiAlbert, Family::Geometric] {
+        let (g, sides) = fixture(family, N, 3);
+        for alg in [Algorithm::IsraeliItai, Algorithm::Generic { k: 2 }] {
+            for (plan_label, plan) in &plans {
+                let mk = |threads: usize| ExecCfg::parallel(threads).with_faults(*plan);
+                let seq = run(&g, sides.as_deref(), alg, 7, TerminationMode::Oracle, mk(1));
+                let label = format!("{family}/{alg}/{plan_label}");
+                assert!(
+                    seq.matching.validate(&g).is_ok(),
+                    "{label}: invalid matching under faults"
+                );
+                let par = run(&g, sides.as_deref(), alg, 7, TerminationMode::Oracle, mk(4));
+                assert_eq!(
+                    seq.matching, par.matching,
+                    "{label}: executor changed the faulty matching"
+                );
+                assert_eq!(
+                    seq.stats, par.stats,
+                    "{label}: executor changed the faulty statistics trace"
+                );
+            }
+        }
+    }
+}

@@ -17,7 +17,7 @@ use distributed_matching::dgraph::generators::weights::{apply_weights, WeightMod
 use distributed_matching::dgraph::Graph;
 use distributed_matching::dmatch::weighted::MwmBox;
 use distributed_matching::dmatch::{Algorithm, RunReport, Session};
-use distributed_matching::simnet::{ExecCfg, NetStats};
+use distributed_matching::simnet::{Budget, ExecCfg, FaultPlan, NetStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
@@ -454,4 +454,135 @@ fn sequential_vs_parallel_bit_identical_under_loss() {
     // The suite is vacuous if loss makes everything panic; Israeli–Itai
     // at least is loss-tolerant by design.
     assert!(succeeded >= 5, "only {succeeded} lossy runs completed");
+}
+
+/// The adversary-plane determinism gate: same seed + same `FaultPlan`
+/// ⇒ bit-identical matchings and (masked) `NetStats` across every
+/// executor ({seq, 2, 8 threads}) × every scheduler ({sparse, dense,
+/// hybrid}), for representative algorithms and for every fault class —
+/// drop, delay+stall, and crash+burst+budget. None of these plans may
+/// panic: the per-algorithm bounded-run extraction is part of the
+/// contract.
+#[test]
+fn adversary_plans_bit_identical_across_executors_and_schedulers() {
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("drop-0.2", FaultPlan::drop(0.2)),
+        (
+            "delay-3+stall-0.15",
+            FaultPlan::NONE.with_delay(3).with_stall(0.15),
+        ),
+        (
+            "crash+burst+budget",
+            FaultPlan::NONE
+                .with_crash(0.02, 5)
+                .with_burst(0.1, 0.5)
+                .with_budget(Budget::Bits(96)),
+        ),
+    ];
+    let (gb, sides) = bipartite_gnp(10, 11, 0.25, 4);
+    let cases: Vec<(String, Graph, Option<Vec<bool>>, Algorithm)> = vec![
+        (
+            "gnp/ii".into(),
+            gnp(22, 0.18, 3),
+            None,
+            Algorithm::IsraeliItai,
+        ),
+        (
+            "gnp/generic".into(),
+            gnp(22, 0.18, 3),
+            None,
+            Algorithm::Generic { k: 2 },
+        ),
+        (
+            "bipartite/k2".into(),
+            gb,
+            Some(sides),
+            Algorithm::Bipartite { k: 2 },
+        ),
+        (
+            "gnp/delta-mwm".into(),
+            apply_weights(&gnp(22, 0.18, 3), WeightModel::Uniform(0.5, 4.0), 11),
+            None,
+            Algorithm::DeltaMwm {
+                mwm_box: MwmBox::LocalDominant,
+            },
+        ),
+    ];
+    for (plan_label, plan) in &plans {
+        for (label, g, sides, alg) in &cases {
+            let mk = |threads: usize, sched: usize| {
+                let cfg = ExecCfg::parallel(threads).with_faults(*plan);
+                match sched {
+                    0 => cfg,
+                    1 => cfg.dense(),
+                    _ => cfg.hybrid(),
+                }
+            };
+            let base = session_run(g, sides.as_deref(), *alg, 29, mk(1, 0));
+            let base_edges = base.matching.edge_ids(g);
+            let base_stats = masked(&base.stats);
+            for threads in [1usize, 2, 8] {
+                for sched in [0usize, 1, 2] {
+                    if (threads, sched) == (1, 0) {
+                        continue;
+                    }
+                    let r = session_run(g, sides.as_deref(), *alg, 29, mk(threads, sched));
+                    assert_eq!(
+                        r.matching.edge_ids(g),
+                        base_edges,
+                        "{label} / {plan_label} / {threads}t sched{sched}: matching diverged"
+                    );
+                    assert_eq!(
+                        masked(&r.stats),
+                        base_stats,
+                        "{label} / {plan_label} / {threads}t sched{sched}: NetStats diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The legacy `ExecCfg::loss` knob and an explicit
+/// `FaultPlan::drop(p)` are the *same* plan (`effective_faults`
+/// resolves both to one drop probability on one RNG stream), so
+/// loss-seeded runs reproduce bit-for-bit through the adversary plane.
+#[test]
+fn legacy_loss_knob_is_bit_identical_to_adversary_drop_plan() {
+    let _serial = HOOK_LOCK.lock().unwrap();
+    let hook = HookGuard::silence();
+    let mut outcomes = Vec::new();
+    for (label, g0, sides) in topologies() {
+        for alg in algorithms() {
+            if !applicable(&alg, &sides) {
+                continue;
+            }
+            let g = if weighted_input(&alg) {
+                apply_weights(&g0, WeightModel::Uniform(0.5, 4.0), 11)
+            } else {
+                g0.clone()
+            };
+            let sides_ref = sides.as_deref();
+            let legacy = ExecCfg {
+                loss: 0.1,
+                ..ExecCfg::sequential()
+            };
+            let planned = ExecCfg::sequential().with_faults(FaultPlan::drop(0.1));
+            let a = run_caught(&g, sides_ref, alg, 13, legacy);
+            let b = run_caught(&g, sides_ref, alg, 13, planned);
+            outcomes.push((label.clone(), alg, a, b));
+        }
+    }
+    drop(hook);
+    for (label, alg, a, b) in outcomes {
+        assert_eq!(
+            a.is_ok(),
+            b.is_ok(),
+            "{label} / {alg:?}: legacy loss and drop plan disagreed on panicking"
+        );
+        if let (Ok(a), Ok(b)) = (a, b) {
+            assert_eq!(a.0, b.0, "{label} / {alg:?}: matchings diverged");
+            assert_eq!(a.1, b.1, "{label} / {alg:?}: NetStats diverged");
+        }
+    }
 }
