@@ -47,20 +47,34 @@ struct CountingAlloc;
 
 static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through wrapper around `System` — every method
+// delegates with the caller's own layout/pointer arguments unchanged,
+// so `System`'s contract (the layout fits the allocation, the pointer
+// came from this allocator) is upheld exactly when the caller upholds
+// it. The only addition is a relaxed atomic increment, which cannot
+// allocate or unwind.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same `layout` the caller passed; delegation only.
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` are the caller's, and every allocation
+        // this wrapper hands out comes from `System`, so the pair is
+        // valid for `System.dealloc` exactly when the caller's call to
+        // us was valid.
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: as in `dealloc`: unmodified caller arguments, and the
+        // allocation being resized originated from `System`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same `layout` the caller passed; delegation only.
         unsafe { System.alloc_zeroed(layout) }
     }
 }

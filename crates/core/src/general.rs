@@ -15,6 +15,7 @@
 
 use crate::bipartite::{self, SubgraphSpec};
 use dgraph::{Graph, Matching};
+use simnet::rng::streams;
 use simnet::{ExecCfg, NetStats, SplitMix64};
 
 /// The paper's iteration count `⌈2^{2k+1} (k+1) ln k⌉` (Line 2 of
@@ -53,7 +54,7 @@ pub struct GeneralRun {
 /// entry points and the `dmatch::session` driver must derive it
 /// identically (asserted bit-identical by `tests/prop_session.rs`).
 pub(crate) fn color_rng(seed: u64) -> SplitMix64 {
-    SplitMix64::for_node(seed, 0x000C_010B)
+    SplitMix64::for_node(seed, streams::GENERAL_COLOR)
 }
 
 /// One sampling iteration of Algorithm 4 (Lines 3–6): color, build `Ĝ`,

@@ -27,12 +27,13 @@
 
 use dgraph::augmenting::{enumerate_augmenting_paths, is_maximal_disjoint};
 use dgraph::{Graph, Matching, NodeId};
+use simnet::rng::streams;
 use simnet::{BitSize, Ctx, ExecCfg, Inbox, NetStats, Network, Protocol, SplitMix64};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// One knowledge item of the flooded view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ViewItem {
     /// An edge and whether it is currently matched.
     Edge(NodeId, NodeId, bool),
@@ -62,7 +63,10 @@ impl BitSize for DeltaMsg {
 
 /// Ball-gathering protocol node (Algorithm 2).
 struct GatherNode {
-    view: HashSet<ViewItem>,
+    // Ordered set: the first-round flood serializes the whole view
+    // into a message, so its iteration order must not depend on hash
+    // state.
+    view: BTreeSet<ViewItem>,
     rounds: u64,
     /// Non-participants (outside the repair region of an incremental
     /// run) take no part at all: they halt in round 0, so with the
@@ -114,7 +118,7 @@ pub(crate) fn gather_balls(
     m: &Matching,
     radius: usize,
     seed: u64,
-) -> (Vec<HashSet<ViewItem>>, NetStats) {
+) -> (Vec<BTreeSet<ViewItem>>, NetStats) {
     gather_balls_cfg(g, m, radius, seed, ExecCfg::default())
 }
 
@@ -125,7 +129,7 @@ pub(crate) fn gather_balls_cfg(
     radius: usize,
     seed: u64,
     cfg: ExecCfg,
-) -> (Vec<HashSet<ViewItem>>, NetStats) {
+) -> (Vec<BTreeSet<ViewItem>>, NetStats) {
     gather_balls_region(g, m, radius, seed, cfg, None)
 }
 
@@ -140,11 +144,11 @@ pub(crate) fn gather_balls_region(
     seed: u64,
     cfg: ExecCfg,
     region: Option<&[bool]>,
-) -> (Vec<HashSet<ViewItem>>, NetStats) {
+) -> (Vec<BTreeSet<ViewItem>>, NetStats) {
     let rounds = radius as u64 + 1;
     let nodes: Vec<GatherNode> = (0..g.n() as NodeId)
         .map(|v| {
-            let mut view = HashSet::new();
+            let mut view = BTreeSet::new();
             for &(_, e) in g.incident(v) {
                 let (a, b) = g.endpoints(e);
                 view.insert(ViewItem::Edge(a, b, m.contains(g, e)));
@@ -411,7 +415,7 @@ pub(crate) fn ball(g: &Graph, seeds: &[NodeId], radius: usize) -> Vec<bool> {
 /// stream identically, or their runs diverge (asserted bit-identical by
 /// `tests/prop_session.rs`).
 pub(crate) fn mis_rng(seed: u64) -> SplitMix64 {
-    SplitMix64::for_node(seed, 0xA160)
+    SplitMix64::for_node(seed, streams::GENERIC_MIS)
 }
 
 /// One phase of Algorithm 1 (`ℓ = 2·phase_idx + 1`): ball gathering,

@@ -28,7 +28,7 @@ pub mod local_dominant;
 
 use dgraph::{EdgeId, Graph, Matching};
 use simnet::{ExecCfg, NetStats};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The δ-MWM black box plugged into Algorithm 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,7 +120,9 @@ pub fn derived_graph(g: &Graph, m: &Matching) -> (Graph, Vec<EdgeId>) {
 /// original-graph edge ids. Returns the new matching and the realized
 /// gain (which Lemma 4.1 lower-bounds by `w_M(M')`).
 pub fn apply_wraps(g: &Graph, m: &Matching, mprime: &[EdgeId]) -> (Matching, f64) {
-    let mut p: HashSet<EdgeId> = HashSet::new();
+    // Ordered set: `pv` feeds symmetric_difference, so its order must
+    // come from edge ids, not hash state.
+    let mut p: BTreeSet<EdgeId> = BTreeSet::new();
     for &e in mprime {
         for x in wrap(g, m, e) {
             p.insert(x);

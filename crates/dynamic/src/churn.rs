@@ -7,8 +7,9 @@
 
 use crate::mutation::MutationBatch;
 use dgraph::{Graph, NodeId};
+use simnet::rng::streams;
 use simnet::{CrashEvent, CrashKind, FaultPlan, SplitMix64};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, HashSet, VecDeque};
 
 /// Which kind of churn to generate each epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,7 +101,7 @@ impl ChurnGen {
         }
         ChurnGen {
             model,
-            rng: SplitMix64::for_node(seed, 0xC4A7),
+            rng: SplitMix64::for_node(seed, streams::CHURN),
             seed,
             trace: VecDeque::new(),
             alive: Vec::new(),
@@ -154,8 +155,11 @@ impl ChurnGen {
         let window_end = self.crash_epoch.saturating_mul(rounds_per_epoch);
         // Net effect of this window against the *current* graph: an
         // edge taken down and restored within one window cancels out.
-        let mut removed: HashSet<(NodeId, NodeId)> = HashSet::new();
-        let mut added: HashSet<(NodeId, NodeId)> = HashSet::new();
+        // BTreeSets so nothing about the batch depends on hash state
+        // (`normalized()` sorts anyway; the ordered sets make the
+        // intermediate iteration at the crash site deterministic too).
+        let mut removed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut added: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         while self
             .crash_events
             .get(self.crash_next)
@@ -211,16 +215,16 @@ impl ChurnGen {
 
     fn edge_churn(&mut self, g: &Graph, rate: f64) -> MutationBatch {
         let m = g.m();
-        if m == 0 || g.n() < 2 || rate == 0.0 {
+        if m == 0 || g.n() < 2 || rate <= 0.0 {
             return MutationBatch::empty();
         }
         let count = ((rate * m as f64).round() as usize).clamp(1, m);
-        let mut removed: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut removed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         while removed.len() < count {
             let e = self.rng.below(m as u64) as u32;
             removed.insert(g.endpoints(e));
         }
-        let mut added: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut added: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         let n = g.n() as u64;
         let mut tries = 0;
         while added.len() < count && tries < MAX_TRIES * count {
@@ -245,7 +249,7 @@ impl ChurnGen {
 
     fn node_churn(&mut self, g: &Graph, rate: f64, degree: usize, hubs: bool) -> MutationBatch {
         let n = g.n();
-        if n < 2 || rate == 0.0 {
+        if n < 2 || rate <= 0.0 {
             return MutationBatch::empty();
         }
         if self.alive.len() != n {
@@ -280,7 +284,7 @@ impl ChurnGen {
                 }
             }
         }
-        let mut removed: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut removed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         for &v in &leaving {
             for &(u, _) in g.incident(v) {
                 removed.insert((v.min(u), v.max(u)));
@@ -293,7 +297,7 @@ impl ChurnGen {
             .copied()
             .filter(|v| !is_leaving.contains(v))
             .collect();
-        let mut added: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut added: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         for _ in 0..k.min(self.departed.len()) {
             let j = self.departed.pop_front().expect("checked length");
             self.alive[j as usize] = true;
@@ -325,17 +329,17 @@ impl ChurnGen {
 
     fn rewire(&mut self, g: &Graph, rate: f64) -> MutationBatch {
         let m = g.m();
-        if m < 2 || rate == 0.0 {
+        if m < 2 || rate <= 0.0 {
             return MutationBatch::empty();
         }
         let swaps = ((rate * m as f64 / 2.0).round() as usize).max(1);
-        let mut removed: HashSet<(NodeId, NodeId)> = HashSet::new();
-        let mut added: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut removed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut added: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         let exists = |u: NodeId,
                       v: NodeId,
                       g: &Graph,
-                      removed: &HashSet<(NodeId, NodeId)>,
-                      added: &HashSet<(NodeId, NodeId)>| {
+                      removed: &BTreeSet<(NodeId, NodeId)>,
+                      added: &BTreeSet<(NodeId, NodeId)>| {
             let e = (u.min(v), u.max(v));
             (g.edge_between(u, v).is_some() && !removed.contains(&e)) || added.contains(&e)
         };

@@ -7,7 +7,7 @@ use dgraph::{Graph, Matching, NodeId, UNMATCHED};
 use dmatch::session::{RewirePatch, Session};
 use dmatch::Algorithm;
 use simnet::{ExecCfg, NetStats, Network, SchedMode};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// Which incremental algorithm repairs the matching each epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -245,7 +245,10 @@ impl DynEngine {
         // Invalidate matched edges the batch destroys; their endpoints
         // are part of the damage.
         let mut invalidated = 0usize;
-        let mut damage: HashSet<NodeId> = HashSet::new();
+        // Ordered set: the damage set is iterated into the wake-up
+        // schedule, so its order must come from node ids, not hash
+        // state.
+        let mut damage: BTreeSet<NodeId> = BTreeSet::new();
         for &(u, v) in &batch.removed {
             if self.m.mate(u) == Some(v) {
                 let e = self.g.edge_between(u, v).expect("removed edge must exist");
@@ -259,8 +262,9 @@ impl DynEngine {
             damage.insert(u);
             damage.insert(v);
         }
-        let mut damage: Vec<NodeId> = damage.into_iter().collect();
-        damage.sort_unstable();
+        // BTreeSet iterates in ascending id order, so the Vec is
+        // already sorted.
+        let damage: Vec<NodeId> = damage.into_iter().collect();
         // New graph (dgraph level; the simnet level is patched in
         // place below, slabs and all).
         let gone: HashSet<(NodeId, NodeId)> = batch.removed.iter().copied().collect();
@@ -315,8 +319,8 @@ impl DynEngine {
     ) -> EpochReport {
         let net = self.net.as_mut().expect("bootstrap created the network");
         let stats0 = snapshot(net.stats());
-        let mut woken: HashSet<NodeId> = HashSet::new();
-        let step = |net: &mut Network<RepairNode>, woken: &mut HashSet<NodeId>| {
+        let mut woken: BTreeSet<NodeId> = BTreeSet::new();
+        let step = |net: &mut Network<RepairNode>, woken: &mut BTreeSet<NodeId>| {
             net.step();
             woken.extend(net.last_senders().iter().copied());
         };
@@ -470,7 +474,7 @@ fn extract_matching(net: &Network<RepairNode>, g: &Graph) -> Matching {
 /// Max BFS distance (over the current graph) from the damage set to
 /// any node that spoke; `None` when there was no damage or a speaker
 /// is unreachable from it.
-fn locality_radius(g: &Graph, damage: &[NodeId], woken: &HashSet<NodeId>) -> Option<usize> {
+fn locality_radius(g: &Graph, damage: &[NodeId], woken: &BTreeSet<NodeId>) -> Option<usize> {
     if damage.is_empty() || woken.is_empty() {
         return None;
     }

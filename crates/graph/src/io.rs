@@ -16,6 +16,7 @@ use std::str::FromStr;
 /// Serialize a graph to DIMACS-like text (weights included whenever
 /// any edge weight differs from 1).
 pub fn to_dimacs(g: &Graph) -> String {
+    // dlint::allow(float-eq, "format selection, not arithmetic: only weights exactly 1.0 (the unweighted default) may omit the weight column")
     let weighted = g.weight_list().iter().any(|&w| w != 1.0);
     let mut s = String::new();
     let _ = writeln!(s, "c distributed-matching graph");

@@ -6,7 +6,7 @@
 //! matching is always a bug in the caller.
 
 use crate::graph::{EdgeId, Graph, NodeId, UNMATCHED};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A matching in a [`Graph`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,8 +144,12 @@ impl Matching {
     /// The result must again be a matching (panics otherwise) — this is
     /// exactly the augmentation step `M ← M ⊕ P` of Algorithms 1/4/5.
     pub fn symmetric_difference(&self, g: &Graph, p: &[EdgeId]) -> Matching {
-        let current: HashSet<EdgeId> = self.edge_ids(g).into_iter().collect();
-        let pset: HashSet<EdgeId> = p.iter().copied().collect();
+        // Ordered sets: the symmetric-difference iterator's order must
+        // come from edge ids, not hash state (`from_edges` is
+        // order-independent today, but nothing downstream should ever
+        // have to prove that again).
+        let current: BTreeSet<EdgeId> = self.edge_ids(g).into_iter().collect();
+        let pset: BTreeSet<EdgeId> = p.iter().copied().collect();
         let new_edges: Vec<EdgeId> = current.symmetric_difference(&pset).copied().collect();
         Matching::from_edges(g, &new_edges)
     }

@@ -1,0 +1,50 @@
+//! Negative corpus: everything here is determinism-sound and must
+//! produce zero findings.
+//!
+//! NOT compiled: corpus input for `tests/corpus.rs`.
+
+use std::collections::{BTreeSet, HashSet};
+
+/// Ordered iteration is fine.
+fn ordered(xs: &BTreeSet<u32>) -> Vec<u32> {
+    xs.iter().copied().collect()
+}
+
+/// Membership-only HashSet use is fine: no iteration, no order.
+fn membership(seen: &HashSet<u32>, v: u32) -> bool {
+    seen.contains(&v)
+}
+
+/// Sorting immediately after collection washes the hash order out
+/// before anything observes it — dlint flags the *collect from iter*
+/// shape, so the sound spelling goes through an ordered set.
+fn collected(xs: &[u32]) -> Vec<u32> {
+    let set: BTreeSet<u32> = xs.iter().copied().collect();
+    set.into_iter().collect()
+}
+
+/// Derived node streams with the node id are the sanctioned RNG shape.
+fn node_stream(seed: u64, id: u64) -> u64 {
+    seed.wrapping_mul(id)
+}
+
+/// Float comparisons through an explicit tolerance are fine.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test code may iterate hash containers freely: assertions that
+    /// are order-insensitive (counts, memberships) are idiomatic here.
+    #[test]
+    fn hash_iteration_in_tests_is_exempt() {
+        let s: HashSet<u32> = [3, 1, 2].into_iter().collect();
+        assert_eq!(s.iter().count(), 3);
+        let mut drained: Vec<u32> = s.into_iter().collect();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Tokenizer edge cases: every pattern hidden inside a string, raw
+//! string, or comment must be invisible; the live sites at the bottom
+//! must each fire exactly once.
+//!
+//! NOT compiled: corpus input for `tests/corpus.rs`.
+
+use std::collections::HashSet;
+
+/* A block comment mentioning set.iter() and Instant::now() is not code.
+   /* Nested blocks nest: std::env::var("HIDDEN") stays hidden. */
+   Still the same comment. */
+
+fn hidden_in_strings() -> Vec<String> {
+    vec![
+        "Instant::now() in a plain string".to_string(),
+        r#"set.iter() in a raw string with a "quote" inside"#.to_string(),
+        r##"fences: r#"SplitMix64::new(42)"# is still string"##.to_string(),
+        String::from_utf8_lossy(b"bytes.iter() \x21").to_string(),
+    ]
+}
+
+// A line comment: for x in set { departed.push(x) } — not code either.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_scoped_hash_iteration_is_exempt() {
+        let set: HashSet<u32> = HashSet::new();
+        let _: Vec<u32> = set.into_iter().collect();
+        let _ = std::time::Instant::now();
+    }
+}
+
+// --- live sites: one finding each ------------------------------------
+
+fn raw_rng(seed: u64) -> u64 {
+    // rng-hygiene: raw construction bypasses the stream registry.
+    let mut state = seed;
+    let _ = SplitMix64::new(seed);
+    state = state.wrapping_add(1);
+    state
+}
+
+fn literal_stream(seed: u64) -> u64 {
+    // rng-hygiene: magic literal stream id.
+    let _ = SplitMix64::for_node(seed, 0xBEEF);
+    seed
+}
+
+fn float_gate(x: f64) -> bool {
+    // float-eq: exact comparison in a determinism-gated path.
+    x == 0.1
+}
+
+struct SplitMix64;
+impl SplitMix64 {
+    fn new(_s: u64) -> u64 {
+        0
+    }
+    fn for_node(_s: u64, _id: u64) -> u64 {
+        0
+    }
+}

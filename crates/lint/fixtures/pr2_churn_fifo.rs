@@ -1,0 +1,26 @@
+//! Resurrection of the PR 2 churn-rejoin incident: the set of leaving
+//! nodes was collected in a `HashSet` and then *iterated* to fill the
+//! departure FIFO. Per-instance hash state (not the seed) decided the
+//! FIFO order, so later epochs' rejoin edges — and every golden trace
+//! downstream — differed between bit-identical seeds.
+//!
+//! NOT compiled: this file is corpus input for `tests/corpus.rs`,
+//! which pins the findings dlint must produce on it.
+
+use std::collections::{HashSet, VecDeque};
+
+fn node_churn(live: &[u32], k: usize, rng: &mut impl FnMut(u64) -> u64) -> VecDeque<u32> {
+    let mut leaving: HashSet<u32> = HashSet::new();
+    while leaving.len() < k {
+        let v = live[rng(live.len() as u64) as usize];
+        leaving.insert(v);
+    }
+    let mut departed: VecDeque<u32> = VecDeque::new();
+    // BUG: hash-state order enters the rejoin FIFO.
+    for &v in leaving.iter() {
+        departed.push_back(v);
+    }
+    // Same bug, sink form: the FIFO inherits the set's arbitrary order.
+    departed.extend(&leaving);
+    departed
+}

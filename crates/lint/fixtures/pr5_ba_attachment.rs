@@ -1,0 +1,35 @@
+//! Resurrection of the PR 5 Barabási–Albert incident: each new node's
+//! attachment targets were deduplicated in a `HashSet` and the edges
+//! appended by iterating it. The *edge order* of the generated graph —
+//! and with it every edge id downstream — depended on per-instance
+//! hash state instead of the seed.
+//!
+//! NOT compiled: this file is corpus input for `tests/corpus.rs`,
+//! which pins the findings dlint must produce on it.
+
+use std::collections::HashSet;
+
+fn barabasi_albert(n: u32, m: usize, rng: &mut impl FnMut(u64) -> u64) -> Vec<(u32, u32)> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut stubs: Vec<u32> = Vec::new();
+    for v in 1..n {
+        let mut targets: HashSet<u32> = HashSet::new();
+        while targets.len() < m.min(v as usize) {
+            let t = if stubs.is_empty() {
+                rng(v as u64) as u32
+            } else {
+                stubs[rng(stubs.len() as u64) as usize]
+            };
+            if t != v {
+                targets.insert(t);
+            }
+        }
+        // BUG: hash-state order becomes the graph's edge order.
+        for &t in &targets {
+            edges.push((v, t));
+            stubs.push(v);
+            stubs.push(t);
+        }
+    }
+    edges
+}

@@ -1,0 +1,34 @@
+//! Suppression-syntax corpus: one valid allow, plus the three
+//! hygiene failures (missing reason, unknown rule, stale target).
+//!
+//! NOT compiled: corpus input for `tests/corpus.rs`.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// A justified suppression: the finding on the next code line is
+/// silenced and counted, not reported.
+fn justified(view: &HashSet<u32>) -> usize {
+    // dlint::allow(unordered-iter, "order is folded through max(), which is commutative")
+    view.iter().copied().max().unwrap_or(0) as usize
+}
+
+/// Reason-less allow: the wall-clock finding below must STILL be
+/// reported, plus a suppression-hygiene finding for the empty reason.
+fn no_reason() -> Instant {
+    // dlint::allow(wall-clock, "")
+    Instant::now()
+}
+
+/// Unknown rule name: hygiene finding, and the env probe still fires.
+fn bad_rule() -> Option<String> {
+    // dlint::allow(wall-clocks, "typo in the rule name")
+    std::env::var("THREADS").ok()
+}
+
+/// Stale allow: there is nothing to suppress here, so the suppression
+/// itself is the finding.
+fn stale() -> u32 {
+    // dlint::allow(float-eq, "left behind after the comparison was rewritten")
+    41 + 1
+}

@@ -1,0 +1,63 @@
+//! `dlint` — the determinism static-analysis pass.
+//!
+//! Every guarantee this workspace ships rests on one invariant: **same
+//! seed ⇒ bit-identical run**. The property suites enforce it
+//! dynamically; `dlint` enforces the *source-level rules* that keep it
+//! true, so the bug class that broke it twice (seed-nondeterministic
+//! `HashSet` iteration — the PR 2 churn-rejoin FIFO and the PR 5
+//! Barabási–Albert attachment targets, both caught late by property
+//! tests) cannot land a third time. The full contract the rules encode
+//! lives in `DETERMINISM.md` at the workspace root.
+//!
+//! The analyzer is dependency-free: a hand-rolled tokenizer
+//! (string/char/comment/raw-string aware — [`tokenizer`]), a
+//! token-pattern rule engine with `#[cfg(test)]` scoping and sanctioned
+//! path lists ([`analyzer`]), and human + JSON rendering with
+//! exit-code gating ([`report`]).
+//!
+//! Rules:
+//!
+//! | rule | fires on |
+//! |---|---|
+//! | `unordered-iter` | iterating / draining / `extend`ing from a `HashSet`/`HashMap` in non-test code |
+//! | `wall-clock` | `Instant::now` / `SystemTime` outside the dobs clock and the bench crate |
+//! | `ambient-env` | `std::env::var*` / `available_parallelism` outside the sanctioned knob modules |
+//! | `rng-hygiene` | raw `SplitMix64::new` or literal stream ids outside the RNG registries |
+//! | `float-eq` | `==` / `!=` on `f32`/`f64` in determinism-gated crates |
+//! | `suppression-hygiene` | malformed, reason-less, or stale `dlint::allow` comments |
+//!
+//! Per-site suppression: `// dlint::allow(<rule>, "<reason>")` on the
+//! offending line or the line above. The reason is mandatory — an
+//! empty one is itself a finding — and a suppression that no longer
+//! suppresses anything is flagged as stale.
+
+pub mod analyzer;
+pub mod report;
+pub mod tokenizer;
+pub mod walk;
+
+pub use analyzer::{analyze_source, Analysis, Finding, RuleId};
+pub use report::Report;
+
+/// Analyze a set of (path, source) pairs into one report. Paths must be
+/// workspace-relative with forward slashes.
+pub fn analyze_all<'a, I>(files: I) -> Report
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let mut files_scanned = 0usize;
+    for (path, src) in files {
+        let a = analyze_source(path, src);
+        findings.extend(a.findings);
+        suppressed += a.suppressed;
+        files_scanned += 1;
+    }
+    findings.sort();
+    Report {
+        findings,
+        files_scanned,
+        suppressed,
+    }
+}

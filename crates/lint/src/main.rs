@@ -1,0 +1,102 @@
+//! `dlint` CLI: determinism static analysis over the workspace.
+//!
+//! ```text
+//! dlint --workspace [--json PATH]     # lint every workspace .rs file
+//! dlint --self-check                  # lint dlint's own source (must be clean)
+//! dlint <files-or-dirs>…              # lint explicit paths (fixtures, spot checks)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+use dlint::walk;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut self_check = false;
+    let mut json_path: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--self-check" => self_check = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => return usage("--json needs a path"),
+            },
+            "--help" | "-h" => {
+                print!(
+                    "dlint: determinism static analysis\n\n\
+                     usage:\n  dlint --workspace [--json PATH]\n  dlint --self-check\n  \
+                     dlint <files-or-dirs>...\n\nexit codes: 0 clean, 1 findings, 2 error\n"
+                );
+                return ExitCode::SUCCESS;
+            }
+            p if !p.starts_with('-') => paths.push(p.to_string()),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    if !workspace && !self_check && paths.is_empty() {
+        return usage("nothing to lint: pass --workspace, --self-check, or paths");
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => return io_err(&format!("cannot read cwd: {e}")),
+    };
+    let root = walk::find_workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+
+    // Assemble the file list.
+    let mut files: Vec<PathBuf> = Vec::new();
+    if workspace {
+        files.extend(walk::rust_files(&root));
+    }
+    if self_check {
+        files.extend(walk::rust_files(&root.join("crates/lint/src")));
+    }
+    for p in &paths {
+        let pb = PathBuf::from(p);
+        let pb = if pb.is_absolute() { pb } else { cwd.join(pb) };
+        if pb.is_dir() {
+            files.extend(walk::rust_files(&pb));
+        } else if pb.is_file() {
+            files.push(pb);
+        } else {
+            return io_err(&format!("no such file or directory: {p}"));
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    // Read and analyze.
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(src) => sources.push((walk::rel_path(&root, f), src)),
+            Err(e) => return io_err(&format!("cannot read {}: {e}", f.display())),
+        }
+    }
+    let report = dlint::analyze_all(sources.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+
+    print!("{}", report.render_human());
+    if let Some(jp) = json_path {
+        if let Err(e) = std::fs::write(Path::new(&jp), report.render_json()) {
+            return io_err(&format!("cannot write {jp}: {e}"));
+        }
+    }
+    ExitCode::from(report.exit_code() as u8)
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("dlint: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+fn io_err(msg: &str) -> ExitCode {
+    eprintln!("dlint: {msg}");
+    ExitCode::from(2)
+}

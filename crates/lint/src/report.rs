@@ -1,0 +1,127 @@
+//! Human and JSON rendering of findings, with exit-code policy.
+
+use crate::analyzer::Finding;
+
+/// Summary of a whole run.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Exit code the binary should use: 0 clean, 1 findings.
+    pub fn exit_code(&self) -> i32 {
+        if self.findings.is_empty() {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// `file:line:col: rule: message` lines plus a tail summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}:{}: {}: {}\n",
+                f.file,
+                f.line,
+                f.col,
+                f.rule.name(),
+                f.message
+            ));
+        }
+        out.push_str(&format!(
+            "dlint: {} finding{} across {} file{} ({} suppressed by dlint::allow)\n",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+            self.suppressed,
+        ));
+        out
+    }
+
+    /// Machine-readable report (consumed by the CI artifact; schema is
+    /// additive-only).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&f.file),
+                f.line,
+                f.col,
+                json_str(f.rule.name()),
+                json_str(&f.message),
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"suppressed\": {}\n}}\n",
+            self.files_scanned, self.suppressed
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the report contains only paths and
+/// fixed message text).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::RuleId;
+
+    #[test]
+    fn exit_codes() {
+        let clean = Report {
+            findings: vec![],
+            files_scanned: 3,
+            suppressed: 1,
+        };
+        assert_eq!(clean.exit_code(), 0);
+        let dirty = Report {
+            findings: vec![Finding {
+                file: "a.rs".into(),
+                line: 1,
+                col: 2,
+                rule: RuleId::WallClock,
+                message: "x".into(),
+            }],
+            files_scanned: 1,
+            suppressed: 0,
+        };
+        assert_eq!(dirty.exit_code(), 1);
+        assert!(dirty.render_human().contains("a.rs:1:2: wall-clock"));
+        assert!(dirty.render_json().contains("\"rule\": \"wall-clock\""));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), r#""a\"b\\c\n""#);
+    }
+}

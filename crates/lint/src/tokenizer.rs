@@ -1,0 +1,491 @@
+//! A lightweight Rust tokenizer: exact enough for determinism linting,
+//! tiny enough to stay dependency-free.
+//!
+//! The lexer understands everything that can *hide* code from a naive
+//! grep — line comments, nested block comments, string literals,
+//! raw strings with arbitrary `#` fences, byte strings, char literals
+//! vs. lifetimes — and nothing it does not need (no keyword table, no
+//! expression grammar). Rules pattern-match over the token stream;
+//! comments are lexed on the side because the suppression syntax
+//! (`// dlint::allow(rule, "reason")`) lives in them.
+
+/// Token classification. `Punct` carries the (possibly fused) operator
+/// text: `::`, `->`, `=>`, `==`, `!=`, `<=`, `>=` and `..` are single
+/// tokens, every other symbol is one character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the rules do their own keyword checks).
+    Ident,
+    /// Numeric literal, suffix included (`0xC4A7`, `1.0e-9f64`).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`). Distinguished from `Char` so `'a'` vs `'a` is
+    /// handled once, here.
+    Lifetime,
+    /// Operator / delimiter.
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punct token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// True when the numeric literal is float-shaped: a decimal point,
+    /// an `f32`/`f64` suffix, or a decimal exponent (`1e9`). Hex/octal/
+    /// binary literals are never float-shaped.
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokKind::Num {
+            return false;
+        }
+        let t = &self.text;
+        if t.starts_with("0x") || t.starts_with("0X") || t.starts_with("0b") || t.starts_with("0o")
+        {
+            return false;
+        }
+        t.contains('.') || t.ends_with("f32") || t.ends_with("f64") || t.contains(['e', 'E'])
+    }
+}
+
+/// One comment (`//…` without the newline, or `/*…*/` fences included).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+}
+
+/// Tokenized file: code tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True when `line` carries at least one code token.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        // Token lines are non-decreasing; a binary search would do, but
+        // files are small and this is called rarely.
+        self.toks.iter().any(|t| t.line == line)
+    }
+}
+
+/// Tokenize `src`. Never fails: unterminated literals are swallowed to
+/// the end of input (the analyzer lints real, compiling code; garbage
+/// in just degrades to fewer tokens, not a crash).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    // Advance over `n` chars, maintaining line/col.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < b.len() {
+                    if b[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < b.len() {
+        let c = b[i];
+        let (tl, tc) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                bump!(1);
+            }
+            out.comments.push(Comment {
+                text: b[start..i].iter().collect(),
+                line: tl,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start = i;
+            bump!(2);
+            let mut depth = 1usize;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!(2);
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            out.comments.push(Comment {
+                text: b[start..i].iter().collect(),
+                line: tl,
+            });
+            continue;
+        }
+
+        // Raw strings and byte strings: r"…", r#"…"#, br"…", b"…", b'…'.
+        if c == 'r' || c == 'b' {
+            // Longest prefix of r/b that introduces a literal.
+            let mut j = i;
+            let mut saw_b = false;
+            let mut saw_r = false;
+            if b[j] == 'b' {
+                saw_b = true;
+                j += 1;
+            }
+            if j < b.len() && b[j] == 'r' {
+                saw_r = true;
+                j += 1;
+            }
+            let is_raw_intro = saw_r && j < b.len() && (b[j] == '"' || b[j] == '#');
+            let is_plain_b = saw_b && !saw_r && j < b.len() && (b[j] == '"' || b[j] == '\'');
+            if is_raw_intro {
+                // Count the fence.
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '"' {
+                    j += 1;
+                    // Scan to closing `"` + fence.
+                    'raw: while j < b.len() {
+                        if b[j] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let n = j - i;
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: b[i..j].iter().collect(),
+                        line: tl,
+                        col: tc,
+                    });
+                    bump!(n);
+                    continue;
+                }
+                // `r#ident` raw identifier: fall through to ident lexing.
+            } else if is_plain_b {
+                // Re-dispatch on the quote with the prefix consumed: the
+                // quote branch below handles escapes for both.
+                let quote = b[j];
+                let start = i;
+                let mut k = j + 1;
+                while k < b.len() {
+                    if b[k] == '\\' {
+                        k += 2;
+                        continue;
+                    }
+                    if b[k] == quote {
+                        k += 1;
+                        break;
+                    }
+                    k += 1;
+                }
+                let n = k - start;
+                out.toks.push(Tok {
+                    kind: if quote == '"' {
+                        TokKind::Str
+                    } else {
+                        TokKind::Char
+                    },
+                    text: b[start..k.min(b.len())].iter().collect(),
+                    line: tl,
+                    col: tc,
+                });
+                bump!(n);
+                continue;
+            }
+            // Not a literal intro — plain identifier starting with r/b.
+        }
+
+        // Strings.
+        if c == '"' {
+            let start = i;
+            let mut j = i + 1;
+            while j < b.len() {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            let n = j.min(b.len()) - start;
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[start..j.min(b.len())].iter().collect(),
+                line: tl,
+                col: tc,
+            });
+            bump!(n);
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let after = b.get(i + 2).copied();
+            let is_lifetime = matches!(next, Some(nc) if is_ident_start(nc)) && after != Some('\'');
+            if is_lifetime {
+                let start = i;
+                let mut j = i + 1;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                let n = j - start;
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..j].iter().collect(),
+                    line: tl,
+                    col: tc,
+                });
+                bump!(n);
+                continue;
+            }
+            // Char literal with escapes ('\'', '\u{1F600}').
+            let start = i;
+            let mut j = i + 1;
+            while j < b.len() {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '\'' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            let n = j.min(b.len()) - start;
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: b[start..j.min(b.len())].iter().collect(),
+                line: tl,
+                col: tc,
+            });
+            bump!(n);
+            continue;
+        }
+
+        // Numbers (suffixes and `1.5` fractions included; `1.max(2)` and
+        // `0..n` keep the dot out of the number).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            // Fraction: a dot followed by a digit (not `..`, not a
+            // method call on the literal).
+            if j < b.len() && b[j] == '.' && j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+            }
+            // Signed exponent (`1e-9`, `2.5E+3`): the alnum scan stops
+            // at the sign, glue it back on.
+            if j < b.len()
+                && (b[j] == '+' || b[j] == '-')
+                && matches!(b[j - 1], 'e' | 'E')
+                && j + 1 < b.len()
+                && b[j + 1].is_ascii_digit()
+            {
+                j += 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+            }
+            let n = j - start;
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[start..j].iter().collect(),
+                line: tl,
+                col: tc,
+            });
+            bump!(n);
+            continue;
+        }
+
+        // Identifiers / keywords (incl. r#raw idents).
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i;
+            if b[j] == 'r'
+                && j + 1 < b.len()
+                && b[j + 1] == '#'
+                && j + 2 < b.len()
+                && is_ident_start(b[j + 2])
+            {
+                j += 2; // r#ident
+            }
+            while j < b.len() && is_ident_cont(b[j]) {
+                j += 1;
+            }
+            let n = j - start;
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..j].iter().collect(),
+                line: tl,
+                col: tc,
+            });
+            bump!(n);
+            continue;
+        }
+
+        // Punctuation, fusing the operators the rules care about.
+        let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+        let fused = matches!(
+            two.as_str(),
+            "::" | "->" | "=>" | "==" | "!=" | "<=" | ">=" | ".."
+        );
+        let n = if fused { 2 } else { 1 };
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: b[i..i + n].iter().collect(),
+            line: tl,
+            col: tc,
+        });
+        bump!(n);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let l = lex(r#"let s = "HashSet::new().iter()";"#);
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Ident).count(),
+            2, // let, s
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let l = lex(r###"let s = r#"a "quoted" HashSet"#; x.iter()"###);
+        let idents: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "x", "iter"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert!(l.toks[0].is_ident("fn"));
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 2));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let l = lex("a == 1.0; b == 0x1F; 0..n; 2e-9; 3f64; 4.max(5)");
+        let nums: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Num).collect();
+        let flags: Vec<bool> = nums.iter().map(|t| t.is_float_literal()).collect();
+        assert_eq!(
+            nums.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            ["1.0", "0x1F", "0", "2e-9", "3f64", "4", "5"]
+        );
+        assert_eq!(flags, [true, false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn fused_operators() {
+        assert!(texts("a == b != c :: d").contains(&"==".to_string()));
+        let l = lex("x != 0.0");
+        assert!(l.toks[1].is_punct("!="));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let l = lex("let x = b\"HashSet\"; let y = b'\\n'; let z = br##\"iter\"##;");
+        assert!(l
+            .toks
+            .iter()
+            .all(|t| t.kind != TokKind::Ident || !t.text.contains("HashSet")));
+    }
+
+    #[test]
+    fn comment_lines_recorded() {
+        let l = lex("// dlint::allow(wall-clock, \"x\")\nfn f() {}");
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("dlint::allow"));
+        assert!(l.line_has_code(2));
+        assert!(!l.line_has_code(1));
+    }
+}

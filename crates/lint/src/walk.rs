@@ -1,0 +1,86 @@
+//! Workspace discovery and file walking.
+
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned during a workspace walk. The fixture
+/// corpus is input data for the corpus tests, not workspace code.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// Walk upward from `start` to the workspace root (the first ancestor
+/// whose `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Member directories named in the root manifest (`members = [...]`).
+/// Used for reporting; the walk itself is recursive so that new crates
+/// are covered the moment they exist on disk.
+pub fn workspace_members(root: &Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(root.join("Cargo.toml")) else {
+        return Vec::new();
+    };
+    let Some(start) = text.find("members") else {
+        return Vec::new();
+    };
+    let Some(open) = text[start..].find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = text[start + open..].find(']') else {
+        return Vec::new();
+    };
+    let body = &text[start + open + 1..start + open + close];
+    body.split(',')
+        .filter_map(|s| {
+            let s = s.trim().trim_matches('"');
+            (!s.is_empty()).then(|| s.to_string())
+        })
+        .collect()
+}
+
+/// All `.rs` files under `dir` (sorted for deterministic reports),
+/// skipping `target`, `.git`, `fixtures`, and hidden directories.
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect(dir, &mut out);
+    out.sort();
+    out
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative path with forward slashes (what the rule scopes
+/// match against).
+pub fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

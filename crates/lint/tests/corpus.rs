@@ -1,0 +1,137 @@
+//! Golden-finding tests over the fixture corpus.
+//!
+//! The two historical incidents (the PR 2 churn-rejoin FIFO and the
+//! PR 5 Barabási–Albert attachment targets, both seed-nondeterminism
+//! escapes that property tests caught only after merge) are pinned
+//! here verbatim: dlint must flag them, at these exact lines, forever.
+
+use dlint::analyzer::analyze_source;
+use dlint::RuleId;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Read a fixture and analyze it under its workspace-relative path
+/// (rule scopes match on the path, so it must look real).
+fn analyze_fixture(name: &str) -> dlint::analyzer::Analysis {
+    let src = std::fs::read_to_string(fixture_path(name))
+        .unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+    analyze_source(&format!("crates/lint/fixtures/{name}"), &src)
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// (rule, line) pairs, sorted, for golden comparison.
+fn hits(a: &dlint::analyzer::Analysis) -> Vec<(RuleId, u32)> {
+    a.findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn pr2_churn_fifo_is_flagged() {
+    let a = analyze_fixture("pr2_churn_fifo.rs");
+    assert_eq!(
+        hits(&a),
+        vec![
+            // The FIFO fill loop iterating the HashSet…
+            (RuleId::UnorderedIter, 20),
+            // …and the sink form that extends the FIFO from it.
+            (RuleId::UnorderedIter, 24),
+        ],
+        "findings drifted: {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn pr5_ba_attachment_is_flagged() {
+    let a = analyze_fixture("pr5_ba_attachment.rs");
+    assert_eq!(
+        hits(&a),
+        vec![(RuleId::UnorderedIter, 28)],
+        "findings drifted: {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let a = analyze_fixture("clean.rs");
+    assert!(a.findings.is_empty(), "false positives: {:?}", a.findings);
+    assert_eq!(a.suppressed, 0);
+}
+
+#[test]
+fn suppression_corpus() {
+    let a = analyze_fixture("suppressed.rs");
+    // The justified allow silences exactly one finding…
+    assert_eq!(a.suppressed, 1);
+    // …and the three hygiene failures surface alongside the findings
+    // their broken allows failed to silence.
+    assert_eq!(
+        hits(&a),
+        vec![
+            (RuleId::SuppressionHygiene, 19), // empty reason
+            (RuleId::WallClock, 20),          // …which therefore still fires
+            (RuleId::SuppressionHygiene, 25), // unknown rule name
+            (RuleId::AmbientEnv, 26),         // …which therefore still fires
+            (RuleId::SuppressionHygiene, 32), // stale: suppresses nothing
+        ],
+        "findings drifted: {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn tokenizer_edge_cases() {
+    let a = analyze_fixture("edges.rs");
+    // Everything inside strings, raw strings, nested comments, and the
+    // #[cfg(test)] module is invisible; only the three live sites fire.
+    assert_eq!(
+        hits(&a),
+        vec![
+            (RuleId::RngHygiene, 41), // raw SplitMix64::new
+            (RuleId::RngHygiene, 48), // literal stream id
+            (RuleId::FloatEq, 54),    // exact float comparison
+        ],
+        "findings drifted: {:?}",
+        a.findings
+    );
+}
+
+/// The real binary, on the real historical-bug fixtures, must gate:
+/// exit code 1 and both files in the JSON report.
+#[test]
+fn binary_gates_on_historical_bugs() {
+    let json = std::env::temp_dir().join(format!("dlint_corpus_{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_dlint"))
+        .arg(fixture_path("pr2_churn_fifo.rs"))
+        .arg(fixture_path("pr5_ba_attachment.rs"))
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .expect("spawn dlint");
+    assert_eq!(out.status.code(), Some(1), "exit code must gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pr2_churn_fifo.rs:20"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("pr5_ba_attachment.rs:28"),
+        "stdout: {stdout}"
+    );
+    let report = std::fs::read_to_string(&json).expect("json report written");
+    let _ = std::fs::remove_file(&json);
+    assert!(report.contains("\"rule\": \"unordered-iter\""), "{report}");
+    assert!(report.contains("pr5_ba_attachment.rs"), "{report}");
+}
+
+/// The clean fixture through the real binary: exit 0.
+#[test]
+fn binary_passes_clean_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dlint"))
+        .arg(fixture_path("clean.rs"))
+        .output()
+        .expect("spawn dlint");
+    assert_eq!(out.status.code(), Some(0), "clean file must pass");
+}

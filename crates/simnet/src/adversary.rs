@@ -70,15 +70,14 @@ use crate::topology::{NodeId, Topology, TopologyPatch};
 /// length already destroys liveness), so the setter clamps to it.
 pub const MAX_DELAY_ROUNDS: u64 = 1 << 20;
 
-/// Reserved node-id offsets of the adversary RNG streams (all derived
-/// via [`SplitMix64::for_node`] from the master seed). `u64::MAX` is
-/// the legacy `loss_rng` id, kept so pure-drop plans reproduce old
-/// lossy runs bit-for-bit.
-const STREAM_DROP: u64 = u64::MAX;
-const STREAM_BURST: u64 = u64::MAX - 1;
-const STREAM_DELAY: u64 = u64::MAX - 2;
-const STREAM_STALL: u64 = u64::MAX - 3;
-const STREAM_CRASH: u64 = u64::MAX - 4;
+// Adversary RNG stream ids live in the workspace-wide registry
+// (`crate::rng::streams`) so dlint can verify no other consumer
+// collides with them. `ADV_DROP` (= u64::MAX) is the legacy `loss_rng`
+// id, kept so pure-drop plans reproduce old lossy runs bit-for-bit.
+use crate::rng::streams::{
+    ADV_BURST as STREAM_BURST, ADV_CRASH as STREAM_CRASH, ADV_DELAY as STREAM_DELAY,
+    ADV_DROP as STREAM_DROP, ADV_STALL as STREAM_STALL,
+};
 
 /// Clamp a probability into `[0, 1]`, mapping NaN to 0 (no fault).
 /// Factored out of the `debug_assert`ing setters so the clamping rule

@@ -844,6 +844,7 @@ impl<P: Protocol> Network<P> {
                         self.trace_mode_switch(true);
                     }
                 } else if (self.est_active as usize) * HYBRID_SPARSE_DIV < n {
+                    // dlint::allow(wall-clock, "timing gauge only: feeds the histogram, never steers execution; traced-vs-untraced bit-identity is property-tested")
                     let t0 = self.timing.then(Instant::now);
                     self.rebuild_wake_list();
                     self.frontier_dense = false;
@@ -907,6 +908,7 @@ impl<P: Protocol> Network<P> {
         // The cost model learns from measured rounds; the timing gauges
         // want the same clock. One read serves both.
         let observe = self.threads > 1 && !self.force_parallel;
+        // dlint::allow(wall-clock, "cost-model/gauge observation only: measured durations never steer the round schedule; traced-vs-untraced bit-identity is property-tested")
         let t0 = (observe || self.timing).then(Instant::now);
         // Flight-recorder span for the round (observation only; one
         // thread-local flag read when no recorder is installed).

@@ -107,6 +107,7 @@ const PROBE_PERIOD: u64 = 256;
 /// mid-run).
 pub(crate) fn hw_parallelism() -> usize {
     static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    // dlint::allow(ambient-env, "the one sanctioned probe: CostModel's thread cap; results are bit-identical for every thread count by the parallel-equivalence suite")
     *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
 }
 
@@ -563,6 +564,7 @@ pub(crate) fn step_parallel_sparse<P: Protocol>(net: &mut Network<P>, threads: u
 /// windows of `wake_next` in the same order, and settle the halt
 /// counter. Stamps were already written by the owning workers.
 fn merge_worker_scratch<P: Protocol>(net: &mut Network<P>, spawned: usize, sparse: bool) -> u64 {
+    // dlint::allow(wall-clock, "timing gauge only: merge duration feeds the histogram, never steers execution")
     let t0 = net.timing.then(Instant::now);
     let traced = dobs::plane::enabled();
     let merge_t0 = if traced { dobs::plane::now_ns() } else { 0 };

@@ -83,6 +83,63 @@ impl SplitMix64 {
     }
 }
 
+/// Registry of every reserved RNG stream id in the workspace.
+///
+/// [`SplitMix64::for_node`] takes a stream id; per-node protocol
+/// streams use the node id itself, and every *non-node* consumer
+/// (churn schedule, adversary fault classes, switch traffic, …) must
+/// reserve a named id here instead of inventing a magic literal at the
+/// call site — scattered literals are exactly what the `rng-hygiene`
+/// dlint rule rejects.
+///
+/// The values are **frozen**: committed `BENCH_*.json` records and
+/// golden traces were produced with them, so renumbering is a silent
+/// bit-identity break. The low ids predate this registry and collide
+/// with node streams only on graphs larger than the current stress
+/// ceiling (smallest is `SWITCH_TRAFFIC` = 0x7AFF = 31 743 nodes,
+/// vs. 2¹⁵ node stress topologies). New streams must come from the
+/// high block counting down from `u64::MAX` (next free:
+/// `u64::MAX - 5`), which no realizable node id reaches.
+pub mod streams {
+    /// Adversary: per-message drop coin flips.
+    pub const ADV_DROP: u64 = u64::MAX;
+    /// Adversary: partition burst scheduling.
+    pub const ADV_BURST: u64 = u64::MAX - 1;
+    /// Adversary: per-message delay jitter.
+    pub const ADV_DELAY: u64 = u64::MAX - 2;
+    /// Adversary: node stall scheduling.
+    pub const ADV_STALL: u64 = u64::MAX - 3;
+    /// Adversary: crash-site selection.
+    pub const ADV_CRASH: u64 = u64::MAX - 4;
+    /// Dynamic plane: churn arrival/departure schedule.
+    pub const CHURN: u64 = 0xC4A7;
+    /// Core: Luby-style MIS coin flips in the generic reduction.
+    pub const GENERIC_MIS: u64 = 0xA160;
+    /// Core: palette sampling in the general-graph coloring stage.
+    pub const GENERAL_COLOR: u64 = 0x000C_010B;
+    /// Switch plane: scheduler tie-breaking.
+    pub const SWITCH_SCHED: u64 = 0x9147;
+    /// Switch plane: synthetic traffic arrivals.
+    pub const SWITCH_TRAFFIC: u64 = 0x7AFF;
+    /// Switch plane: port failure injection.
+    pub const SWITCH_FAILURE: u64 = 0xFA11;
+
+    /// Every reserved id, for the distinctness test and for docs.
+    pub const ALL: [(&str, u64); 11] = [
+        ("ADV_DROP", ADV_DROP),
+        ("ADV_BURST", ADV_BURST),
+        ("ADV_DELAY", ADV_DELAY),
+        ("ADV_STALL", ADV_STALL),
+        ("ADV_CRASH", ADV_CRASH),
+        ("CHURN", CHURN),
+        ("GENERIC_MIS", GENERIC_MIS),
+        ("GENERAL_COLOR", GENERAL_COLOR),
+        ("SWITCH_SCHED", SWITCH_SCHED),
+        ("SWITCH_TRAFFIC", SWITCH_TRAFFIC),
+        ("SWITCH_FAILURE", SWITCH_FAILURE),
+    ];
+}
+
 impl SplitMix64 {
     /// Fill `dest` with random bytes (kept for harness-level hashing).
     pub fn fill_bytes(&mut self, dest: &mut [u8]) {
@@ -144,6 +201,15 @@ mod tests {
                     b[shift..shift + 16] != a[..16],
                     "stream {a_id} replays stream {b_id} at shift {shift}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_stream_ids_are_pairwise_distinct() {
+        for (i, &(na, a)) in streams::ALL.iter().enumerate() {
+            for &(nb, b) in &streams::ALL[i + 1..] {
+                assert_ne!(a, b, "streams {na} and {nb} share id {a:#x}");
             }
         }
     }

@@ -18,6 +18,7 @@
 use dgraph::{Graph, GraphBuilder, NodeId};
 use dmatch::session::Session;
 use dmatch::Algorithm;
+use simnet::rng::streams;
 use simnet::{ExecCfg, SplitMix64};
 
 /// A scheduling decision: `out[input] = Some(output)`.
@@ -118,7 +119,7 @@ impl Pim {
         Pim {
             n,
             iterations: iterations.max(1),
-            rng: SplitMix64::for_node(seed, 0x9147),
+            rng: SplitMix64::for_node(seed, streams::SWITCH_SCHED),
         }
     }
 }

@@ -10,6 +10,7 @@
 use crate::sched::{is_valid_decision, Scheduler, SchedulerKind};
 use crate::traffic::{TrafficGen, TrafficModel};
 use crate::voq::{Cell, Voqs};
+use simnet::rng::streams;
 use simnet::SplitMix64;
 
 /// Simulation parameters.
@@ -57,7 +58,7 @@ impl LinkState {
         LinkState {
             up: vec![vec![true; n]; n],
             plan,
-            rng: SplitMix64::for_node(plan.seed, 0xFA11),
+            rng: SplitMix64::for_node(plan.seed, streams::SWITCH_FAILURE),
             down_cycles: 0,
         }
     }

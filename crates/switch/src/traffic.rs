@@ -6,6 +6,7 @@
 //! `ρ < 1` (MWM does; maximal-matching schedulers saturate earlier
 //! under skewed patterns — exactly what experiment E8 shows).
 
+use simnet::rng::streams;
 use simnet::SplitMix64;
 
 /// Destination pattern.
@@ -102,7 +103,7 @@ impl TrafficGen {
         TrafficGen {
             model,
             n,
-            rng: SplitMix64::for_node(seed, 0x7AFF),
+            rng: SplitMix64::for_node(seed, streams::SWITCH_TRAFFIC),
             bursts: vec![
                 Burst {
                     remaining: 0,
