@@ -163,13 +163,24 @@ fn render(label: &str, rep: &DiffReport, cfg: &DiffCfg) -> usize {
         } else {
             "improved"
         };
+        // Zero-valued baselines produce an infinite ratio (the 0→k
+        // verdict); print it honestly rather than as "+inf%".
+        let pct = if d.regression_ratio.is_infinite() {
+            if d.regression_ratio > 0.0 {
+                "from-zero".to_string()
+            } else {
+                "to-zero".to_string()
+            }
+        } else {
+            format!("{:+.1}%", d.regression_ratio * 100.0)
+        };
         println!(
-            "   {:<9} {:<44} {:>14} -> {:<14} {:+.1}%  {}",
+            "   {:<9} {:<44} {:>14} -> {:<14} {}  {}",
             class_tag(d.class),
             d.path,
             fmt_val(d.old),
             fmt_val(d.new),
-            d.regression_ratio * 100.0,
+            pct,
             verdict
         );
     }

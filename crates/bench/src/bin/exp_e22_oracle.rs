@@ -1,0 +1,241 @@
+//! E22 — `MatchingOracle`: LCA point queries over a graph that is
+//! never run end-to-end.
+//!
+//! The LCA claim (Alon–Rubinfeld–Vardi–Xie; Reingold–Vardi), measured:
+//! answering "who is `v`'s mate?" costs work proportional to a local
+//! ball around `v` whose radius tracks the *algorithm's* locality (the
+//! halt horizon, `O(log n)` rounds), not the graph size. The probe
+//! cells use a **bounded-growth topology** (the cycle: `|ball(r)| =
+//! 2r+1`) and a **fresh oracle per query**, because both choices are
+//! load-bearing for an honest measurement:
+//!
+//! - On an expander, `|ball(r)|` is exponential in `r`, so the
+//!   exactness cone engulfs the whole component within the halt
+//!   horizon — the known LCA caveat, not a bug. Bounded growth is
+//!   where ball-local really means cheap.
+//! - With a shared memo, one resolved ball certifies (and memoizes)
+//!   many vertices, so amortized probed-per-query *falls* as the
+//!   radius grows. A fresh oracle per query isolates the single-query
+//!   cost the LCA model talks about; the memo contract is gated
+//!   separately in `tests/oracle.rs`.
+//!
+//! **Part A — probe cost vs. starting radius (fixed n).** Starting
+//! radii at/above the certification radius probe exactly one ball of
+//! `2r+1` nodes: probed-per-query must grow from the smallest to the
+//! largest radius cell (asserted unless `E22_ASSERT=0`).
+//!
+//! **Part B — probe cost vs. n (adaptive radius).** The default
+//! radius doubles until the exactness cone certifies the queried
+//! vertex, i.e. until the radius clears the local halt round. Across
+//! a 4× range of n, probed-per-query may creep logarithmically but
+//! must stay within `E22_FLAT_FACTOR` (×10, default 25 = 2.5×;
+//! asserted). This is the headline: query cost does not scale with n.
+//!
+//! **Part C — Generic consistency spot-check.** A `Generic { k: 2 }`
+//! oracle against the full `Session` run on a small gnp instance —
+//! every queried vertex must agree bit-for-bit (always asserted; the
+//! cheap twin of the `tests/oracle.rs` consistency gate).
+//!
+//! Knobs: `E22_N` (default 8192), `E22_QUERIES` (default 200),
+//! `E22_RUNS` (default 3), `E22_FLAT_FACTOR` (×10, default 25),
+//! `E22_ASSERT` (default 1).
+//!
+//! Writes `BENCH_e22_oracle.json` (host-fingerprinted) for the CI
+//! artifact trail; `throughput_qps` is a perf metric (host-gated),
+//! the probed/ball counters are deterministic and gate cross-host.
+
+use bench_harness::{banner, env_or, f2, host, timing, Table};
+use dgraph::generators::random::gnp;
+use dgraph::generators::structured::cycle;
+use dgraph::{Graph, NodeId};
+use dmatch::{Algorithm, MatchingOracle, Session};
+use simnet::SplitMix64;
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+/// Seeded query set: `q` distinct-ish vertices drawn with replacement.
+fn sample_queries(n: usize, q: usize, tag: u64) -> Vec<NodeId> {
+    let mut rng = SplitMix64::for_node(0xE22, tag);
+    (0..q).map(|_| rng.below(n as u64) as NodeId).collect()
+}
+
+struct Cell {
+    probed_per_query: f64,
+    balls_per_query: f64,
+    qps: f64,
+}
+
+/// One measurement cell: a fresh oracle per query (no memo
+/// amortization — see the module docs), deterministic probe counters
+/// summed across queries, throughput over `runs` passes (fastest run).
+fn fresh_cell(g: &Graph, seed: u64, radius: usize, queries: &[NodeId], runs: u32) -> Cell {
+    let (mut probed, mut balls) = (0u64, 0u64);
+    for &v in queries {
+        let mut o = MatchingOracle::on(g)
+            .seed(seed)
+            .initial_radius(radius)
+            .build();
+        black_box(o.query_node(v));
+        probed += o.metrics().counter("oracle_probed_nodes");
+        balls += o.metrics().counter("oracle_balls");
+    }
+    let q = queries.len() as f64;
+    let s = timing::bench(runs, || {
+        for &v in queries {
+            let mut o = MatchingOracle::on(g)
+                .seed(seed)
+                .initial_radius(radius)
+                .build();
+            black_box(o.query_node(v));
+        }
+    });
+    Cell {
+        probed_per_query: probed as f64 / q,
+        balls_per_query: balls as f64 / q,
+        qps: q / s.min.as_secs_f64(),
+    }
+}
+
+fn main() {
+    banner(
+        "E22",
+        "MatchingOracle: LCA point queries",
+        "work ∝ probed ball, flat in n (ARVX / Reingold–Vardi model)",
+    );
+    let n = env_or("E22_N", 8192) as usize;
+    let q = env_or("E22_QUERIES", 200) as usize;
+    let runs = env_or("E22_RUNS", 3) as u32;
+    let flat_factor = env_or("E22_FLAT_FACTOR", 25) as f64 / 10.0;
+    let do_assert = env_or("E22_ASSERT", 1) == 1;
+    let seed = 22u64;
+    let radii = [4usize, 16, 64];
+
+    // Part A: radius sweep at fixed n on the cycle.
+    println!("Part A: probed region vs starting radius, cycle(n={n}), {q} fresh queries");
+    let g = cycle(n);
+    let queries = sample_queries(n, q, 1);
+    let mut t = Table::new(vec!["radius", "probed/query", "balls/query", "queries/sec"]);
+    let mut radius_cells = Vec::new();
+    for &r in &radii {
+        let c = fresh_cell(&g, seed, r, &queries, runs);
+        t.row(vec![
+            format!("{r}"),
+            format!("{:.1}", c.probed_per_query),
+            format!("{}", f2(c.balls_per_query)),
+            format!("{:.0}", c.qps),
+        ]);
+        radius_cells.push((r, c));
+    }
+    t.print();
+    let (first, last) = (&radius_cells[0].1, &radius_cells[radii.len() - 1].1);
+    println!(
+        "  probed/query grows {}x from radius {} to {}",
+        f2(last.probed_per_query / first.probed_per_query),
+        radii[0],
+        radii[radii.len() - 1]
+    );
+    if do_assert {
+        assert!(
+            last.probed_per_query > first.probed_per_query,
+            "probed nodes/query must grow with the starting radius \
+             ({} at r={} vs {} at r={})",
+            last.probed_per_query,
+            radii[radii.len() - 1],
+            first.probed_per_query,
+            radii[0]
+        );
+    }
+
+    // Part B: n sweep at the adaptive default radius on the cycle.
+    println!("\nPart B: probed region vs n at the adaptive default radius");
+    let ns = [n / 4, n / 2, n];
+    let mut t = Table::new(vec!["n", "probed/query", "balls/query", "queries/sec"]);
+    let mut n_cells = Vec::new();
+    for &ni in &ns {
+        let gi = cycle(ni);
+        let qi = sample_queries(ni, q, 2);
+        let c = fresh_cell(&gi, seed, 2, &qi, runs);
+        t.row(vec![
+            format!("{ni}"),
+            format!("{:.1}", c.probed_per_query),
+            format!("{}", f2(c.balls_per_query)),
+            format!("{:.0}", c.qps),
+        ]);
+        n_cells.push((ni, c));
+    }
+    t.print();
+    let (small, big) = (&n_cells[0].1, &n_cells[ns.len() - 1].1);
+    println!(
+        "  probed/query ratio across 4x n: {}",
+        f2(big.probed_per_query / small.probed_per_query)
+    );
+    if do_assert {
+        assert!(
+            big.probed_per_query <= flat_factor * small.probed_per_query,
+            "probed nodes/query must stay flat in n: {} at n={} vs {} at n={} \
+             (allowed factor {flat_factor})",
+            big.probed_per_query,
+            ns[ns.len() - 1],
+            small.probed_per_query,
+            ns[0]
+        );
+    }
+
+    // Part C: Generic consistency spot-check (always asserted).
+    let gn = 512usize;
+    let gg = gnp(gn, 3.0 / gn as f64, 221);
+    let alg = Algorithm::Generic { k: 2 };
+    let mut session = Session::on(&gg).algorithm(alg).seed(seed).build();
+    session.run_to_completion();
+    let mut go = MatchingOracle::on(&gg).seed(seed).algorithm(alg).build();
+    let gqueries = sample_queries(gn, 40, 3);
+    for &v in &gqueries {
+        assert_eq!(
+            go.query_node(v),
+            session.matching().mate(v),
+            "Generic oracle diverged from the session at vertex {v}"
+        );
+    }
+    println!(
+        "\nPart C: generic(k=2) oracle agrees with the session on {} queries at n={gn}",
+        gqueries.len()
+    );
+
+    // Machine-readable mirror.
+    let mut json = String::from("{\n  \"bench\": \"e22_oracle\",\n");
+    let _ = writeln!(json, "  \"host\": {},", host::fingerprint().to_json());
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"queries\": {q},");
+    let _ = writeln!(json, "  \"runs\": {runs},");
+    json.push_str("  \"radius_cells\": [\n");
+    for (i, (r, c)) in radius_cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"radius\": {r}, \"probed_per_query\": {:.2}, \"balls_per_query\": {:.3}, \
+             \"throughput_qps\": {:.0}}}",
+            c.probed_per_query, c.balls_per_query, c.qps
+        );
+        json.push_str(if i + 1 < radius_cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n  \"n_cells\": [\n");
+    for (i, (ni, c)) in n_cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"cell_n\": {ni}, \"probed_per_query\": {:.2}, \"balls_per_query\": {:.3}, \
+             \"throughput_qps\": {:.0}}}",
+            c.probed_per_query, c.balls_per_query, c.qps
+        );
+        json.push_str(if i + 1 < n_cells.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"generic_spot_check\": {{\"cell_n\": {gn}, \"queries\": {}, \"consistent\": 1}}\n}}",
+        gqueries.len()
+    );
+    std::fs::write("BENCH_e22_oracle.json", &json).expect("write BENCH_e22_oracle.json");
+    println!("\n  wrote BENCH_e22_oracle.json");
+}

@@ -177,21 +177,79 @@ pub(crate) fn gather_balls_region(
 }
 
 /// Result of the central Luby emulation on the conflict graph.
-struct ConflictMis {
+pub(crate) struct ConflictMis {
     /// Indices of the chosen (independent, maximal) paths.
-    chosen: Vec<usize>,
+    pub(crate) chosen: Vec<usize>,
     /// Luby iterations executed (each costs `O(ℓ)` rounds in `G`).
-    iterations: u64,
+    pub(crate) iterations: u64,
     /// Alive-path count summed over iterations (for bit charging).
     alive_work: u64,
 }
 
+/// The canonical key of an augmenting path: a scrambled fold of its
+/// (global) vertex sequence, direction-normalized so both traversal
+/// orders hash alike. Keys — not enumeration indices — address paths
+/// in the MIS priority draws, which is what makes the process a pure
+/// function of the path set (see [`conflict_graph_mis`]).
+pub(crate) fn path_key(path: &[NodeId]) -> u64 {
+    let mut acc = path.len() as u64;
+    let fold = |acc: u64, v: NodeId| {
+        let mut s = SplitMix64::for_node(acc, v as u64);
+        s.next()
+    };
+    if path.last() < path.first() {
+        for &v in path.iter().rev() {
+            acc = fold(acc, v);
+        }
+    } else {
+        for &v in path {
+            acc = fold(acc, v);
+        }
+    }
+    acc
+}
+
+/// Priority of the path with canonical key `key` in Luby iteration
+/// `iteration` of the phase-`ell` conflict-graph MIS. A pure function
+/// of `(seed, ell, iteration, key)` anchored at the frozen
+/// [`streams::GENERIC_MIS`] stream — *not* a draw from a shared
+/// sequential stream, so the value does not depend on how many other
+/// paths exist or in which order they were enumerated.
+pub(crate) fn path_priority(seed: u64, ell: u64, iteration: u64, key: u64) -> u64 {
+    let mut base = SplitMix64::for_node(seed, streams::GENERIC_MIS);
+    let mut a = SplitMix64::for_node(base.next() ^ ell, iteration);
+    let mut b = SplitMix64::for_node(a.next(), key);
+    b.next()
+}
+
 /// Luby's MIS on the conflict graph of `paths` (two paths conflict iff
-/// they share a vertex), executed centrally with the given RNG. This is
-/// exactly the process of [20]: every alive path draws a priority and
-/// joins when it beats all alive conflicting paths.
-fn conflict_graph_mis(n: usize, paths: &[Vec<NodeId>], rng: &mut SplitMix64) -> ConflictMis {
+/// they share a vertex), executed centrally. This is exactly the
+/// process of [20]: every alive path draws a priority and joins when it
+/// beats all alive conflicting paths.
+///
+/// Priorities are *keyed*: path `i` draws
+/// [`path_priority`]`(seed, ell, t, keys[i])` in iteration `t`, and
+/// ties break on `(key, vertex sequence)` rather than the enumeration
+/// index. Consequences, both load-bearing:
+///
+/// * the chosen set is a deterministic function of the path *set* —
+///   enumeration order is irrelevant — and it factorizes over the
+///   connected components of the conflict graph, since a path's fate
+///   depends only on draws inside its component;
+/// * a restricted re-run over any vertex set that contains a whole
+///   conflict component reproduces that component's decisions
+///   bit-for-bit. This is the locality property
+///   `dmatch::oracle::MatchingOracle` certifies its Generic answers
+///   with.
+pub(crate) fn conflict_graph_mis(
+    n: usize,
+    paths: &[Vec<NodeId>],
+    keys: &[u64],
+    seed: u64,
+    ell: usize,
+) -> ConflictMis {
     let p = paths.len();
+    debug_assert_eq!(keys.len(), p);
     let mut vertex_paths: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, path) in paths.iter().enumerate() {
         for &v in path {
@@ -209,7 +267,7 @@ fn conflict_graph_mis(n: usize, paths: &[Vec<NodeId>], rng: &mut SplitMix64) -> 
         alive_work += alive_count as u64;
         for (i, pr) in prio.iter_mut().enumerate() {
             if alive[i] {
-                *pr = rng.next();
+                *pr = path_priority(seed, ell as u64, iterations, keys[i]);
             }
         }
         let mut winners = Vec::new();
@@ -219,7 +277,10 @@ fn conflict_graph_mis(n: usize, paths: &[Vec<NodeId>], rng: &mut SplitMix64) -> 
             }
             for &v in &paths[i] {
                 for &j in &vertex_paths[v as usize] {
-                    if j != i && alive[j] && (prio[j], j) > (prio[i], i) {
+                    if j != i
+                        && alive[j]
+                        && (prio[j], keys[j], &paths[j][..]) > (prio[i], keys[i], &paths[i][..])
+                    {
                         continue 'paths;
                     }
                 }
@@ -378,8 +439,21 @@ pub fn repair_cfg(
             phases: Vec::new(),
         };
     }
-    let region = ball(g, damage, 4 * k + 2);
+    let damage = normalize_damage(damage);
+    let region = ball(g, &damage, 4 * k + 2);
     run_inner(g, initial, k, seed, cfg, Some(region))
+}
+
+/// Sort + dedupe a damage list. Callers hand us raw endpoint dumps
+/// (`RewirePatch` explicitly allows duplicates), and a hub that lost
+/// ten edges would otherwise seed the BFS ten times and inflate every
+/// `damage`-derived gauge (`center_edges`, woken counts) by its
+/// multiplicity.
+pub(crate) fn normalize_damage(damage: &[NodeId]) -> Vec<NodeId> {
+    let mut d = damage.to_vec();
+    d.sort_unstable();
+    d.dedup();
+    d
 }
 
 /// `region[v]` = v is within `radius` hops of a seed. Shared with the
@@ -410,18 +484,11 @@ pub(crate) fn ball(g: &Graph, seeds: &[NodeId], radius: usize) -> Vec<bool> {
     dist.into_iter().map(|d| d != usize::MAX).collect()
 }
 
-/// The RNG stream feeding the conflict-graph MIS priorities. Both the
-/// legacy entry points and the `dmatch::session` driver must derive the
-/// stream identically, or their runs diverge (asserted bit-identical by
-/// `tests/prop_session.rs`).
-pub(crate) fn mis_rng(seed: u64) -> SplitMix64 {
-    SplitMix64::for_node(seed, streams::GENERIC_MIS)
-}
-
 /// One phase of Algorithm 1 (`ℓ = 2·phase_idx + 1`): ball gathering,
 /// conflict-graph MIS, augmentation — the single source of truth shared
 /// by [`run_from_cfg`]'s loop and the stepwise `dmatch::session` driver.
-#[allow(clippy::too_many_arguments)] // the phase contract: graph, state, schedule, knobs
+/// MIS priorities are keyed by `(seed, ell, iteration, path key)` (see
+/// [`path_priority`]), so the phase carries no RNG state between calls.
 pub(crate) fn phase_step(
     g: &Graph,
     m: &mut Matching,
@@ -429,7 +496,6 @@ pub(crate) fn phase_step(
     seed: u64,
     cfg: ExecCfg,
     region: Option<&[bool]>,
-    rng: &mut SplitMix64,
     stats: &mut NetStats,
 ) -> PhaseLog {
     let ell = 2 * phase_idx + 1;
@@ -480,7 +546,8 @@ pub(crate) fn phase_step(
     );
 
     // Step 5: MIS on C_M(ℓ) via Luby, charged per Lemma 3.3.
-    let cm = conflict_graph_mis(g.n(), &paths, rng);
+    let keys: Vec<u64> = paths.iter().map(|p| path_key(p)).collect();
+    let cm = conflict_graph_mis(g.n(), &paths, &keys, seed, ell);
     debug_assert!({
         let chosen = cm.chosen.clone();
         is_maximal_disjoint(g, &paths, &chosen)
@@ -524,7 +591,6 @@ fn run_inner(
     debug_assert!(m.validate(g).is_ok(), "warm start must be a valid matching");
     let mut stats = NetStats::default();
     let mut phases = Vec::new();
-    let mut rng = mis_rng(seed); // MIS priorities
 
     for phase_idx in 0..k {
         if g.n() == 0 {
@@ -537,7 +603,6 @@ fn run_inner(
             seed,
             cfg,
             region.as_deref(),
-            &mut rng,
             &mut stats,
         ));
     }
@@ -684,6 +749,60 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn repair_ignores_damage_duplicates() {
+        // A duplicated-hub damage list (one entry per lost edge) must
+        // behave exactly like its deduped form: same matching, same
+        // stats, same phase logs.
+        let g = gnp(40, 0.08, 91);
+        let k = 2;
+        let full = run(&g, k, 7);
+        let &e = full.matching.edge_ids(&g).first().expect("nonempty");
+        let (a, b) = g.endpoints(e);
+        let (g2, _) = g.edge_subgraph(|x| x != e);
+        let mut m = Matching::new(g2.n());
+        for &eid in &full.matching.edge_ids(&g) {
+            if eid != e {
+                let (u, v) = g.endpoints(eid);
+                m.add(&g2, g2.edge_between(u, v).expect("surviving edge"));
+            }
+        }
+        let clean = repair(&g2, &m, &[a, b], k, 8);
+        let dup = repair(&g2, &m, &[b, b, a, b, a, a], k, 8);
+        assert_eq!(clean.matching, dup.matching);
+        assert_eq!(clean.stats, dup.stats);
+        assert_eq!(clean.phases.len(), dup.phases.len());
+    }
+
+    #[test]
+    fn mis_priorities_are_enumeration_order_independent() {
+        // The keyed draws must make the chosen set a function of the
+        // path *set*: reversing the enumeration order cannot change it.
+        let g = gnp(30, 0.12, 17);
+        let m = Matching::new(g.n());
+        let paths = enumerate_augmenting_paths(&g, &m, 1);
+        assert!(paths.len() > 2, "fixture needs a real conflict graph");
+        let keys: Vec<u64> = paths.iter().map(|p| path_key(p)).collect();
+        let fwd = conflict_graph_mis(g.n(), &paths, &keys, 3, 1);
+        let rev_paths: Vec<Vec<NodeId>> = paths.iter().rev().cloned().collect();
+        let rev_keys: Vec<u64> = keys.iter().rev().copied().collect();
+        let rev = conflict_graph_mis(g.n(), &rev_paths, &rev_keys, 3, 1);
+        let mut a: Vec<&Vec<NodeId>> = fwd.chosen.iter().map(|&i| &paths[i]).collect();
+        let mut b: Vec<&Vec<NodeId>> = rev.chosen.iter().map(|&i| &rev_paths[i]).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn path_key_is_direction_invariant() {
+        let p: Vec<NodeId> = vec![3, 9, 4, 12];
+        let mut q = p.clone();
+        q.reverse();
+        assert_eq!(path_key(&p), path_key(&q));
+        assert_ne!(path_key(&p), path_key(&[3, 9, 4]));
     }
 
     #[test]

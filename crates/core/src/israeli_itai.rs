@@ -52,6 +52,20 @@ pub struct IINode {
 }
 
 impl IINode {
+    /// A cold node of the given degree: unmatched, all ports live. The
+    /// oracle's micro-executor builds fresh-session ball nodes from the
+    /// induced degree alone — bit-identical to `new` on a `NodeInit`
+    /// with no warm mate, which reads only `mate_port` and the degree.
+    pub(crate) fn cold(degree: usize) -> Self {
+        IINode {
+            mate_port: None,
+            active_port: vec![true; degree],
+            male: false,
+            proposed_to: None,
+            announced: false,
+        }
+    }
+
     fn new(init: &NodeInit) -> Self {
         IINode {
             mate_port: init.mate_port,

@@ -58,12 +58,14 @@ pub mod generic;
 pub mod israeli_itai;
 pub mod line_mm;
 pub mod luby;
+pub mod oracle;
 pub mod paper;
 pub mod runner;
 pub mod session;
 pub mod state;
 pub mod weighted;
 
+pub use oracle::MatchingOracle;
 pub use runner::{Algorithm, RunReport, TerminationMode};
 pub use session::{
     Control, ConvergenceCurve, CurvePoint, MatchingDelta, NullObserver, Observer, Phase,

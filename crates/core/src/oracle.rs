@@ -1,0 +1,467 @@
+//! `MatchingOracle` — the LCA point-query plane.
+//!
+//! Answers "is edge `e` matched?" / "who is `v`'s mate?" for the
+//! matching a full [`crate::Session`] run *would* produce, without ever
+//! running the network: a query materializes only a ball around the
+//! query vertex ([`dgraph::subgraph::SubgraphView`]), simulates the
+//! algorithm there, and **certifies** which local answers are
+//! bit-identical to the global run. This is the Local Computation
+//! Algorithm model of Alon–Rubinfeld–Vardi–Xie / Reingold–Vardi:
+//! consistent point queries over a graph far too big to solve end to
+//! end, with shared randomness (the frozen per-node RNG streams) making
+//! independent probes mutually consistent.
+//!
+//! ## Certification
+//!
+//! Let `C` be the ball's contamination frontier: vertices with a
+//! neighbor outside the ball (all on the outermost sphere). The local
+//! run diverges from the global one only at `C`, and divergence travels
+//! one hop per round / one path-length per phase:
+//!
+//! * **Israeli–Itai** (network simulation on the ball, via
+//!   [`simnet::MicroNet`] with *global* RNG stream ids): a node's state
+//!   after `t` rounds is a function of initial states within distance
+//!   `t`, so a node that halted in round `h` is exact iff
+//!   `h < dist(node, C)` (multi-source BFS inside the ball). An empty
+//!   `C` (ball = whole component) certifies every node.
+//! * **Generic** (purely combinatorial — phases on the induced
+//!   subgraph): MIS priorities are keyed by the global vertex sequence
+//!   of each path (`generic::path_priority`), so decisions factorize
+//!   over conflict-graph components. Per phase `ℓ`, vertices within
+//!   `ℓ` of `C` or of previously-suspect vertices are *suspect*: any
+//!   global path the ball cannot see exactly stays confined to them.
+//!   Conflict components touching a suspect vertex are tainted (their
+//!   vertices become suspect for later phases); all other components
+//!   replay the global decisions bit-for-bit. After `k` phases every
+//!   non-suspect vertex carries its exact global mate.
+//!
+//! Certified answers — and only those — go into an ordered memo table,
+//! so answers are query-order independent *by construction*: every
+//! memoized value equals the global run's value, no matter which query
+//! (or probe radius) discovered it. If the query vertex itself is not
+//! certified, the radius doubles and the probe re-runs; once the ball
+//! swallows the component, `C` is empty and certification is total, so
+//! the loop always terminates.
+
+use crate::runner::Algorithm;
+use crate::{generic, israeli_itai};
+use dgraph::augmenting::enumerate_augmenting_paths;
+use dgraph::subgraph::SubgraphView;
+use dgraph::{EdgeId, Graph, Matching, NodeId};
+use dobs::metrics::Registry;
+use simnet::{MicroNet, Topology};
+use std::collections::BTreeMap;
+
+/// Builder for a [`MatchingOracle`]; start from [`MatchingOracle::on`].
+pub struct OracleBuilder<'g> {
+    g: &'g Graph,
+    seed: u64,
+    alg: Algorithm,
+    initial_radius: usize,
+    radius_budget: usize,
+}
+
+impl<'g> OracleBuilder<'g> {
+    /// Session seed the answers must agree with (epoch 0 of a fresh
+    /// `Session::on(g).seed(seed)` run). Default 0.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Algorithm whose matching is being queried. Supported:
+    /// [`Algorithm::IsraeliItai`] (default) and
+    /// [`Algorithm::Generic`]; `build` panics on the others.
+    pub fn algorithm(mut self, alg: Algorithm) -> Self {
+        self.alg = alg;
+        self
+    }
+
+    /// First probe radius (doubles on every uncertified retry).
+    /// Default 2.
+    pub fn initial_radius(mut self, r: usize) -> Self {
+        self.initial_radius = r.max(1);
+        self
+    }
+
+    /// Radius cap: a probe that still cannot certify its query vertex
+    /// at this radius stops doubling and swallows the whole component
+    /// (which always certifies). Default: no cap — pure doubling, which
+    /// reaches the component on its own.
+    pub fn radius_budget(mut self, r: usize) -> Self {
+        self.radius_budget = r.max(1);
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> MatchingOracle<'g> {
+        assert!(
+            matches!(self.alg, Algorithm::IsraeliItai | Algorithm::Generic { .. }),
+            "MatchingOracle supports IsraeliItai and Generic, not {}",
+            self.alg
+        );
+        if let Algorithm::Generic { k } = self.alg {
+            assert!(k >= 1, "k must be positive");
+        }
+        MatchingOracle {
+            g: self.g,
+            seed: self.seed,
+            alg: self.alg,
+            initial_radius: self.initial_radius,
+            radius_budget: self.radius_budget,
+            memo: BTreeMap::new(),
+            metrics: Registry::new(),
+        }
+    }
+}
+
+/// The LCA query plane over a borrowed graph. See the module docs for
+/// the consistency contract and the certification argument.
+pub struct MatchingOracle<'g> {
+    g: &'g Graph,
+    seed: u64,
+    alg: Algorithm,
+    initial_radius: usize,
+    radius_budget: usize,
+    /// Certified global mates: `v -> Some(mate)` or `v -> None` (free).
+    /// Ordered container — part of the determinism contract (dlint).
+    memo: BTreeMap<NodeId, Option<NodeId>>,
+    metrics: Registry,
+}
+
+impl<'g> MatchingOracle<'g> {
+    /// Start building an oracle over `g`.
+    pub fn on(g: &'g Graph) -> OracleBuilder<'g> {
+        OracleBuilder {
+            g,
+            seed: 0,
+            alg: Algorithm::IsraeliItai,
+            initial_radius: 2,
+            radius_budget: usize::MAX,
+        }
+    }
+
+    /// Is edge `e` in the global matching?
+    pub fn query(&mut self, e: EdgeId) -> bool {
+        self.metrics.inc("oracle_queries", 1);
+        let (u, v) = self.g.endpoints(e);
+        self.resolve(u) == Some(v)
+    }
+
+    /// Global mate of `v` (`None` = free in the global matching).
+    pub fn query_node(&mut self, v: NodeId) -> Option<NodeId> {
+        self.metrics.inc("oracle_queries", 1);
+        self.resolve(v)
+    }
+
+    /// Probe/memo statistics: counters `oracle_queries`,
+    /// `oracle_memo_hits`, `oracle_misses`, `oracle_balls`,
+    /// `oracle_probed_nodes`; histograms `oracle_ball_radius`,
+    /// `oracle_probed_per_query`; gauge `oracle_memo_size`.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Certified answer for `v`, probing outward as needed.
+    fn resolve(&mut self, v: NodeId) -> Option<NodeId> {
+        assert!((v as usize) < self.g.n(), "vertex out of range");
+        if let Some(&mate) = self.memo.get(&v) {
+            self.metrics.inc("oracle_memo_hits", 1);
+            return mate;
+        }
+        self.metrics.inc("oracle_misses", 1);
+        let mut radius = self.initial_radius;
+        let mut probed_this_query = 0u64;
+        loop {
+            self.metrics.inc("oracle_balls", 1);
+            let view = SubgraphView::ball(self.g, &[v], radius);
+            self.metrics.inc("oracle_probed_nodes", view.len() as u64);
+            probed_this_query += view.len() as u64;
+            let certified = match self.alg {
+                Algorithm::IsraeliItai => self.probe_ii(&view),
+                Algorithm::Generic { k } => self.probe_generic(&view, k),
+                _ => unreachable!("rejected in build"),
+            };
+            for (local, mate) in certified {
+                let gv = view.global(local);
+                let prev = self.memo.insert(gv, mate);
+                debug_assert!(
+                    prev.is_none_or(|p| p == mate),
+                    "memo must be single-valued: vertex {gv} was {prev:?}, now {mate:?}"
+                );
+            }
+            if let Some(&mate) = self.memo.get(&v) {
+                // Cap the recorded radius at n: any radius ≥ n-1 means
+                // "the whole component" (and the uncapped sentinel
+                // would overflow the histogram's sum).
+                self.metrics
+                    .record("oracle_ball_radius", radius.min(self.g.n()) as u64);
+                self.metrics
+                    .record("oracle_probed_per_query", probed_this_query);
+                self.metrics
+                    .set_gauge("oracle_memo_size", self.memo.len() as u64);
+                return mate;
+            }
+            // Not yet certified: grow. Past the budget, swallow the
+            // component in one step (an uncapped radius ball).
+            radius = if radius >= self.radius_budget {
+                usize::MAX
+            } else {
+                radius.saturating_mul(2)
+            };
+        }
+    }
+
+    /// Multi-source BFS distances from `sources` (locals) inside the
+    /// induced subgraph described by `edges` over `n` locals.
+    /// `usize::MAX` = unreachable.
+    fn local_dists(n: usize, edges: &[(NodeId, NodeId)], sources: &[usize]) -> Vec<usize> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a as usize].push(b as usize);
+            adj[b as usize].push(a as usize);
+        }
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in sources {
+            if dist[s] == usize::MAX {
+                dist[s] = 0;
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &w in &adj[u] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Simulate Israeli–Itai on the ball and certify by halt round vs.
+    /// distance to the contamination frontier.
+    fn probe_ii(&mut self, view: &SubgraphView<'_>) -> Vec<(usize, Option<NodeId>)> {
+        let n_local = view.len();
+        let edges = view.local_edges();
+        let topo = Topology::from_edges(n_local, &edges);
+        let nodes: Vec<israeli_itai::IINode> = (0..n_local)
+            .map(|l| israeli_itai::IINode::cold(topo.degree(l as NodeId)))
+            .collect();
+        let streams: Vec<u64> = view.vertices().iter().map(|&gv| gv as u64).collect();
+        let mut micro = MicroNet::new(topo, nodes, self.seed, &streams);
+        // The *global* budget: every node of the global run halts
+        // within it, so certified halt rounds always fit. Exhausting it
+        // locally only leaves contaminated stragglers uncertified.
+        micro.run(israeli_itai::round_budget(self.g.n()));
+        let boundary = view.boundary_locals();
+        let dist = Self::local_dists(n_local, &edges, &boundary);
+        let halt: Vec<Option<u64>> = (0..n_local).map(|l| micro.halt_round(l)).collect();
+        let (states, _) = micro.into_parts();
+        // Port p of local l = p-th smallest local neighbor (Graph and
+        // Topology both order ports by neighbor id).
+        let mut nbrs: Vec<Vec<NodeId>> = vec![Vec::new(); n_local];
+        for &(a, b) in &edges {
+            nbrs[a as usize].push(b);
+            nbrs[b as usize].push(a);
+        }
+        for list in &mut nbrs {
+            list.sort_unstable();
+        }
+        let mut certified = Vec::new();
+        for (l, state) in states.iter().enumerate() {
+            let exact = match halt[l] {
+                // Halt round h is exact iff h < dist(l, C); dist is
+                // usize::MAX (∞) when C cannot reach l — e.g. C = ∅.
+                Some(h) => (h as u128) < dist[l] as u128,
+                None => false,
+            };
+            if exact {
+                let mate = state.mate_port.map(|p| view.global(nbrs[l][p] as usize));
+                certified.push((l, mate));
+            }
+        }
+        certified
+    }
+
+    /// Replay the Generic phases on the induced subgraph with
+    /// globally-keyed MIS priorities, growing a suspect set instead of
+    /// simulating the network (gathering does not affect the matching).
+    fn probe_generic(&mut self, view: &SubgraphView<'_>, k: usize) -> Vec<(usize, Option<NodeId>)> {
+        let ind = view.induced();
+        let n_local = ind.n();
+        let edges: Vec<(NodeId, NodeId)> = ind.edge_list().to_vec();
+        let boundary = view.boundary_locals();
+        let mut m = Matching::new(n_local);
+        // suspect[l]: l's matched status may deviate from the global
+        // run in some phase seen so far.
+        let mut suspect = vec![false; n_local];
+        for &b in &boundary {
+            suspect[b] = true;
+        }
+        for phase_idx in 0..k {
+            let ell = 2 * phase_idx + 1;
+            let sources: Vec<usize> = (0..n_local).filter(|&l| suspect[l]).collect();
+            let dist = Self::local_dists(n_local, &edges, &sources);
+            let paths = enumerate_augmenting_paths(&ind, &m, ell);
+            // Keys and priorities address paths by *global* vertex
+            // sequences, so untainted conflict components replay the
+            // global draws exactly.
+            let keys: Vec<u64> = paths
+                .iter()
+                .map(|p| {
+                    let gp: Vec<NodeId> = p.iter().map(|&l| view.global(l as usize)).collect();
+                    generic::path_key(&gp)
+                })
+                .collect();
+            let cm = generic::conflict_graph_mis(n_local, &paths, &keys, self.seed, ell);
+            // Conflict components via union-find on path indices.
+            let mut uf: Vec<usize> = (0..paths.len()).collect();
+            fn find(uf: &mut [usize], i: usize) -> usize {
+                let mut r = i;
+                while uf[r] != r {
+                    r = uf[r];
+                }
+                let mut c = i;
+                while uf[c] != c {
+                    let next = uf[c];
+                    uf[c] = r;
+                    c = next;
+                }
+                r
+            }
+            let mut vertex_path: Vec<Option<usize>> = vec![None; n_local];
+            for (i, path) in paths.iter().enumerate() {
+                for &v in path {
+                    match vertex_path[v as usize] {
+                        Some(j) => {
+                            let (a, b) = (find(&mut uf, i), find(&mut uf, j));
+                            if a != b {
+                                uf[a] = b;
+                            }
+                        }
+                        None => vertex_path[v as usize] = Some(i),
+                    }
+                }
+            }
+            // A component is tainted iff any of its paths touches a
+            // vertex within ℓ of the suspect set: any global path the
+            // ball mis-sees is confined to that margin, and a path has
+            // at most ℓ edges, so taint cannot leak further.
+            let mut tainted_root = vec![false; paths.len()];
+            for (i, path) in paths.iter().enumerate() {
+                if path.iter().any(|&v| dist[v as usize] <= ell) {
+                    let r = find(&mut uf, i);
+                    tainted_root[r] = true;
+                }
+            }
+            // Apply every chosen augmentation (tainted ones too — their
+            // vertices are about to be marked suspect, and the local
+            // matching must stay a valid matching for later phases).
+            for &i in &cm.chosen {
+                m.augment_path(&ind, &paths[i]);
+            }
+            // Grow the suspect set: the ℓ-margin itself, plus every
+            // vertex of every path in a tainted component.
+            for l in 0..n_local {
+                if dist[l] <= ell {
+                    suspect[l] = true;
+                }
+            }
+            for (i, path) in paths.iter().enumerate() {
+                if tainted_root[find(&mut uf, i)] {
+                    for &v in path {
+                        suspect[v as usize] = true;
+                    }
+                }
+            }
+        }
+        (0..n_local)
+            .filter(|&l| !suspect[l])
+            .map(|l| {
+                let mate = m.mate(l as NodeId).map(|w| view.global(w as usize));
+                (l, mate)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use dgraph::generators::random::gnp;
+
+    fn global_mates(g: &Graph, alg: Algorithm, seed: u64) -> Vec<Option<NodeId>> {
+        let mut s = Session::on(g).algorithm(alg).seed(seed).build();
+        s.run_to_completion();
+        let m = s.matching().clone();
+        (0..g.n() as NodeId).map(|v| m.mate(v)).collect()
+    }
+
+    #[test]
+    fn ii_matches_global_session() {
+        for seed in 0..4 {
+            let g = gnp(48, 0.08, 100 + seed);
+            let want = global_mates(&g, Algorithm::IsraeliItai, seed);
+            let mut o = MatchingOracle::on(&g).seed(seed).build();
+            for v in 0..g.n() as NodeId {
+                assert_eq!(o.query_node(v), want[v as usize], "seed {seed} vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn generic_matches_global_session() {
+        for seed in 0..4 {
+            let g = gnp(40, 0.09, 300 + seed);
+            let alg = Algorithm::Generic { k: 2 };
+            let want = global_mates(&g, alg, seed);
+            let mut o = MatchingOracle::on(&g).seed(seed).algorithm(alg).build();
+            for v in 0..g.n() as NodeId {
+                assert_eq!(o.query_node(v), want[v as usize], "seed {seed} vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_queries_equal_node_queries() {
+        let g = gnp(40, 0.1, 9);
+        let mut o = MatchingOracle::on(&g).seed(5).build();
+        for e in 0..g.m() as EdgeId {
+            let (u, v) = g.endpoints(e);
+            let matched = o.query(e);
+            assert_eq!(matched, o.query_node(u) == Some(v));
+        }
+    }
+
+    #[test]
+    fn memo_hits_count_and_memo_is_stable() {
+        let g = gnp(40, 0.1, 2);
+        let mut o = MatchingOracle::on(&g).seed(1).build();
+        let first: Vec<_> = (0..g.n() as NodeId).map(|v| o.query_node(v)).collect();
+        let probed = o.metrics().counter("oracle_probed_nodes");
+        let hits = o.metrics().counter("oracle_memo_hits");
+        let second: Vec<_> = (0..g.n() as NodeId).map(|v| o.query_node(v)).collect();
+        assert_eq!(first, second);
+        assert_eq!(
+            o.metrics().counter("oracle_probed_nodes"),
+            probed,
+            "memoized re-queries must probe nothing"
+        );
+        assert_eq!(o.metrics().counter("oracle_memo_hits"), hits + g.n() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "MatchingOracle supports")]
+    fn rejects_unsupported_algorithms() {
+        let g = gnp(10, 0.2, 1);
+        let _ = MatchingOracle::on(&g)
+            .algorithm(Algorithm::General {
+                k: 2,
+                early_stop: None,
+            })
+            .build();
+    }
+}

@@ -435,7 +435,6 @@ impl<'a> SessionBuilder<'a> {
                 assert!(k >= 1, "k must be positive");
                 Driver::Generic {
                     k,
-                    rng: generic::mis_rng(self.seed),
                     region: None,
                     next: 0,
                 }
@@ -515,7 +514,6 @@ enum Driver {
     },
     Generic {
         k: usize,
-        rng: SplitMix64,
         /// Gathering region (damage ball) for repair epochs; `None` on
         /// the initial run.
         region: Option<Vec<bool>>,
@@ -710,12 +708,7 @@ impl Session {
                     })
                 }
             }
-            Driver::Generic {
-                k,
-                rng,
-                region,
-                next,
-            } => {
+            Driver::Generic { k, region, next } => {
                 if *next >= *k || self.g.n() == 0 {
                     None
                 } else {
@@ -726,7 +719,6 @@ impl Session {
                         epoch_seed,
                         self.cfg,
                         region.as_deref(),
-                        rng,
                         &mut self.stats,
                     );
                     *next += 1;
@@ -947,30 +939,27 @@ impl Session {
         self.m = Matching::from_mates(mates);
         debug_assert!(self.m.validate(&self.g).is_ok());
         self.epoch += 1;
-        let epoch_seed = self.seed.wrapping_add(self.epoch);
         match &mut self.driver {
             Driver::IsraeliItai { done } => *done = false,
-            Driver::Generic {
-                k,
-                rng,
-                region,
-                next,
-            } => {
-                *rng = generic::mis_rng(epoch_seed);
+            Driver::Generic { k, region, next } => {
                 if patch.damage.is_empty() {
                     // No damage ⇒ the previous guarantee still holds
                     // and the repair is free.
                     *region = None;
                     *next = *k;
                 } else {
+                    // Normalize before anything derived from the damage
+                    // set: a duplicated hub must not seed the BFS (or
+                    // the `center_edges` gauge) once per incident edge.
+                    let damage = generic::normalize_damage(&patch.damage);
                     let radius = 4 * *k + 2;
-                    let ball = generic::ball(&self.g, &patch.damage, radius);
+                    let ball = generic::ball(&self.g, &damage, radius);
                     if dobs::plane::enabled() {
                         // The LCA-style locality probe: how big a region
                         // did this damage set force the repair to read?
                         dobs::plane::record(dobs::Event::RepairBall {
                             t_ns: dobs::plane::now_ns(),
-                            center_edges: patch.damage.len() as u64,
+                            center_edges: damage.len() as u64,
                             radius: radius as u64,
                             ball: ball.iter().filter(|&&b| b).count() as u64,
                         });
@@ -1208,6 +1197,52 @@ mod tests {
         assert!(r.matching.validate(&g2).is_ok());
         assert!(!has_augmenting_path_within(&g2, &r.matching, 2 * k - 1));
         assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn rewire_normalizes_duplicated_damage() {
+        // A hub that lost several edges shows up once per endpoint dump
+        // in `RewirePatch::damage`. The duplicated list must produce
+        // the same repair (matching + stats) as the deduped one, and
+        // the RepairBall gauge must report the *deduped* center count.
+        let g = gnp(40, 0.08, 9);
+        let k = 2;
+        let run = |damage: Vec<NodeId>| {
+            let mut s = Session::on(&g)
+                .algorithm(Algorithm::Generic { k })
+                .seed(5)
+                .build();
+            s.run_to_completion();
+            let e = s.matching().edge_ids(&g)[0];
+            let (g2, _) = g.edge_subgraph(|x| x != e);
+            let session = dobs::plane::TraceSession::start(64);
+            s.resume_after_rewire(RewirePatch::new(g2.clone(), damage));
+            let rec = session.finish();
+            let center = rec
+                .events()
+                .find_map(|ev| match ev {
+                    dobs::Event::RepairBall { center_edges, .. } => Some(*center_edges),
+                    _ => None,
+                })
+                .expect("repair must record a RepairBall event");
+            let r = s.run_to_completion();
+            (r.matching, s.stats().clone(), center)
+        };
+        let e0 = {
+            let mut s = Session::on(&g)
+                .algorithm(Algorithm::Generic { k })
+                .seed(5)
+                .build();
+            s.run_to_completion();
+            s.matching().edge_ids(&g)[0]
+        };
+        let (a, b) = g.endpoints(e0);
+        let (m_dup, stats_dup, center_dup) = run(vec![b, a, a, b, a]);
+        let (m_clean, stats_clean, center_clean) = run(vec![a, b]);
+        assert_eq!(m_dup, m_clean);
+        assert_eq!(stats_dup, stats_clean);
+        assert_eq!(center_clean, 2);
+        assert_eq!(center_dup, 2, "duplicates must not inflate the gauge");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod line_graph;
 pub mod matching;
 pub mod mwm_exact;
 pub mod rng;
+pub mod subgraph;
 pub mod waug;
 
 pub use builder::GraphBuilder;

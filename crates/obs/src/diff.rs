@@ -181,6 +181,32 @@ pub fn host_fingerprint(v: &Value) -> Option<String> {
     Some(parts.join(";"))
 }
 
+/// Relative change of `old → new` in the *worse* direction, safe for
+/// zero-valued baselines:
+///
+/// * both sides (effectively) zero → `0.0` — no change, a pass;
+/// * a zero baseline that becomes nonzero in the worse direction →
+///   `+∞` — any finite threshold flags it, so `0 → k` on a gated
+///   counter can never slip through as a pass;
+/// * a nonzero baseline → ordinary `(worse_to - worse_from) /
+///   |worse_from|`, negative when `new` improved.
+///
+/// Never divides by zero and never returns `NaN`.
+pub fn regression_ratio(old: f64, new: f64, higher_better: bool) -> f64 {
+    let (worse_from, worse_to) = if higher_better {
+        (new, old)
+    } else {
+        (old, new)
+    };
+    if worse_from.abs() > f64::EPSILON {
+        (worse_to - worse_from) / worse_from.abs()
+    } else if worse_to.abs() > f64::EPSILON {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
 /// Diff two parsed records under `cfg`.
 pub fn diff(old: &Value, new: &Value, cfg: &DiffCfg) -> DiffReport {
     let old_flat = flatten(old);
@@ -202,19 +228,7 @@ pub fn diff(old: &Value, new: &Value, cfg: &DiffCfg) -> DiffReport {
             continue;
         };
         let class = classify(path);
-        // Relative change in the worse direction.
-        let (worse_from, worse_to) = if higher_is_better(path) {
-            (*new_v, *old_v)
-        } else {
-            (*old_v, *new_v)
-        };
-        let regression_ratio = if worse_from.abs() > f64::EPSILON {
-            (worse_to - worse_from) / worse_from.abs()
-        } else if worse_to.abs() > f64::EPSILON {
-            f64::INFINITY
-        } else {
-            0.0
-        };
+        let regression_ratio = regression_ratio(*old_v, *new_v, higher_is_better(path));
         let threshold = match class {
             Class::Perf => cfg.perf_threshold,
             Class::Counter => cfg.counter_threshold,
@@ -285,6 +299,62 @@ mod tests {
         assert!(higher_is_better("par_speedup"));
         assert!(higher_is_better("ii_ratio"));
         assert!(!higher_is_better("rounds"));
+    }
+
+    #[test]
+    fn zero_baseline_counters_have_explicit_verdicts() {
+        // 0 → 0: no change, pass.
+        let rep = diff(
+            &record(HOST_A, 0, 10.0),
+            &record(HOST_A, 0, 10.0),
+            &DiffCfg::default(),
+        );
+        let d = rep.deltas.iter().find(|d| d.path == "rounds").unwrap();
+        assert!(!d.regressed, "0 → 0 must pass");
+        assert_eq!(d.regression_ratio, 0.0);
+        assert_eq!(rep.regressions, 0);
+
+        // 0 → k: infinite blowup, must gate — never a silent pass.
+        let rep = diff(
+            &record(HOST_A, 0, 10.0),
+            &record(HOST_A, 7, 10.0),
+            &DiffCfg::default(),
+        );
+        let d = rep.deltas.iter().find(|d| d.path == "rounds").unwrap();
+        assert!(d.regressed, "0 → k must gate");
+        assert!(d.regression_ratio.is_infinite() && d.regression_ratio > 0.0);
+        assert_eq!(rep.regressions, 1);
+
+        // k → 0: an improvement, pass.
+        let rep = diff(
+            &record(HOST_A, 7, 10.0),
+            &record(HOST_A, 0, 10.0),
+            &DiffCfg::default(),
+        );
+        let d = rep.deltas.iter().find(|d| d.path == "rounds").unwrap();
+        assert!(!d.regressed, "k → 0 must pass");
+        assert!((d.regression_ratio + 1.0).abs() < 1e-9);
+        assert_eq!(rep.regressions, 0);
+    }
+
+    #[test]
+    fn regression_ratio_never_divides_by_zero_or_nans() {
+        for &(old, new, hb) in &[
+            (0.0, 0.0, false),
+            (0.0, 5.0, false),
+            (5.0, 0.0, false),
+            (0.0, 0.0, true),
+            (0.0, 5.0, true),
+            (5.0, 0.0, true),
+        ] {
+            let r = regression_ratio(old, new, hb);
+            assert!(!r.is_nan(), "({old}, {new}, {hb}) produced NaN");
+        }
+        // Higher-is-better collapse to zero is an infinite regression
+        // (throughput 5 → 0), and a zero baseline that gains
+        // throughput is an improvement-from-nothing, not a regression.
+        assert!(regression_ratio(5.0, 0.0, true).is_infinite());
+        assert_eq!(regression_ratio(0.0, 5.0, true), -1.0);
     }
 
     #[test]

@@ -144,6 +144,7 @@
 pub mod adversary;
 pub mod mailbox;
 pub mod message;
+pub mod micro;
 pub mod network;
 pub mod parallel;
 pub mod rng;
@@ -154,6 +155,7 @@ pub mod tree;
 pub use adversary::{Budget, CongestMode, CrashEvent, CrashKind, FaultPlan, Markov};
 pub use mailbox::{Inbox, InboxIter, Received};
 pub use message::BitSize;
+pub use micro::MicroNet;
 pub use network::{Ctx, ExecCfg, Network, Protocol, Rewire, RewireCtx, RunOutcome, SchedMode};
 pub use rng::SplitMix64;
 pub use stats::{NetStats, RoundTrace};

@@ -1,0 +1,163 @@
+//! A localized micro-executor: the slab message plane on a small
+//! (typically induced-subgraph) topology, with per-node RNG streams
+//! chosen by the caller and per-node halt rounds recorded.
+//!
+//! This is the simulation engine of the LCA query plane
+//! (`dmatch::oracle::MatchingOracle`). A point query materializes a
+//! ball around the query vertex, relabels it to local ids, and runs the
+//! protocol *only there*. Two deviations from [`Network`] make that
+//! sound:
+//!
+//! * **Caller-assigned RNG streams.** [`Network::new`] seeds node `v`
+//!   from stream id `v` — correct when local ids are global ids, wrong
+//!   in a relabeled ball. [`MicroNet::new`] takes the stream id for
+//!   every node explicitly (the oracle passes the *global* ids), so a
+//!   ball node flips exactly the coins its global twin would.
+//! * **Budgeted, non-panicking run.** A ball whose boundary cuts the
+//!   component can deadlock nodes near the cut (their conversation
+//!   partner is missing). [`Network::run_until_halt`] treats budget
+//!   exhaustion as a bug; here it is an expected outcome that simply
+//!   leaves those nodes uncertified, so [`MicroNet::run`] stops quietly
+//!   at the budget.
+//!
+//! The recorded halt round is what certification consumes: a node's
+//! state after `t` executed rounds is a function of the initial states
+//! within distance `t` (information travels one hop per round), so a
+//! node that halted in round `h` is *exact* — bit-identical to the
+//! global run — iff `h < dist(node, contaminated frontier)`.
+
+use crate::network::{ExecCfg, Network, Protocol};
+use crate::rng::SplitMix64;
+use crate::stats::NetStats;
+use crate::topology::Topology;
+
+/// A single-threaded, budgeted network over caller-chosen RNG streams.
+pub struct MicroNet<P: Protocol> {
+    net: Network<P>,
+    /// `halt_round[v]` = 0-based round in which `v` called `halt()`,
+    /// `None` while it is still live.
+    halt_round: Vec<Option<u64>>,
+}
+
+impl<P: Protocol> MicroNet<P> {
+    /// Build the executor. `streams[v]` is the RNG stream id for local
+    /// node `v` — pass global ids when `topo` is a relabeled subgraph,
+    /// so local coin flips match the global run (`SplitMix64::for_node`
+    /// seeding, same as [`Network::new`]).
+    pub fn new(topo: Topology, nodes: Vec<P>, seed: u64, streams: &[u64]) -> Self {
+        assert_eq!(nodes.len(), streams.len(), "one stream id per node");
+        let n = nodes.len();
+        let mut net = Network::new(topo, nodes, seed).with_cfg(ExecCfg::sequential());
+        net.rngs = streams
+            .iter()
+            .map(|&sid| SplitMix64::for_node(seed, sid))
+            .collect();
+        MicroNet {
+            net,
+            halt_round: vec![None; n],
+        }
+    }
+
+    /// Run until all nodes halt or `budget` rounds elapse (no panic on
+    /// exhaustion — unhalted nodes just stay uncertified). Returns
+    /// whether every node halted.
+    pub fn run(&mut self, budget: u64) -> bool {
+        while !self.net.all_halted() && self.net.round() < budget {
+            self.net.run_rounds(1);
+            let just_finished = self.net.round() - 1;
+            for (v, hr) in self.halt_round.iter_mut().enumerate() {
+                if hr.is_none() && self.net.halted[v] {
+                    *hr = Some(just_finished);
+                }
+            }
+        }
+        self.net.all_halted()
+    }
+
+    /// 0-based round in which local node `v` halted, or `None` if it
+    /// is still live.
+    pub fn halt_round(&self, v: usize) -> Option<u64> {
+        self.halt_round[v]
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.net.round()
+    }
+
+    /// Final protocol states + accounting.
+    pub fn into_parts(self) -> (Vec<P>, NetStats) {
+        self.net.into_parts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mailbox::Inbox;
+    use crate::network::Ctx;
+
+    /// Each node draws one random value in round 0, halts in round 1.
+    #[derive(Debug)]
+    struct Draw {
+        value: Option<u64>,
+    }
+
+    impl Protocol for Draw {
+        type Msg = ();
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, _inbox: Inbox<'_, Self::Msg>) {
+            match ctx.round() {
+                0 => self.value = Some(ctx.rng().next()),
+                _ => ctx.halt(),
+            }
+        }
+    }
+
+    #[test]
+    fn streams_override_matches_global_ids() {
+        // Local node v simulating global node g_v must draw what a
+        // Network indexed by global ids would give g_v.
+        let seed = 42;
+        let globals = [7u64, 19, 23];
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let nodes = (0..3).map(|_| Draw { value: None }).collect();
+        let mut micro = MicroNet::new(topo, nodes, seed, &globals);
+        assert!(micro.run(10));
+        let (states, _) = micro.into_parts();
+        for (v, &gid) in globals.iter().enumerate() {
+            let mut want = SplitMix64::for_node(seed, gid);
+            assert_eq!(states[v].value, Some(want.next()), "node {v}");
+        }
+    }
+
+    #[test]
+    fn halt_rounds_recorded() {
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let nodes = vec![Draw { value: None }, Draw { value: None }];
+        let mut micro = MicroNet::new(topo, nodes, 1, &[0, 1]);
+        assert!(micro.run(10));
+        assert_eq!(micro.halt_round(0), Some(1));
+        assert_eq!(micro.halt_round(1), Some(1));
+        assert_eq!(micro.rounds(), 2);
+    }
+
+    /// A node that never halts must exhaust the budget quietly.
+    #[derive(Debug)]
+    struct Stubborn;
+
+    impl Protocol for Stubborn {
+        type Msg = ();
+
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _inbox: Inbox<'_, Self::Msg>) {}
+    }
+
+    #[test]
+    fn budget_exhaustion_is_quiet() {
+        let topo = Topology::from_edges(1, &[]);
+        let mut micro = MicroNet::new(topo, vec![Stubborn], 5, &[0]);
+        assert!(!micro.run(8));
+        assert_eq!(micro.rounds(), 8);
+        assert_eq!(micro.halt_round(0), None);
+    }
+}
